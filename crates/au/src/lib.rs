@@ -1,0 +1,50 @@
+//! # aum-au — accelerator-unit models
+//!
+//! The Variation-1/Variation-3 substrate of the AUM reproduction:
+//!
+//! - [`mod@unit`]: AMX/AVX-512/scalar unit specs derived from the Table I
+//!   platform TFLOPS, including tile-fill efficiency (why small matrices
+//!   prefer AVX);
+//! - [`gemm`]: roofline cost model calibrated to the paper's §IV-A3 GEMM
+//!   measurements (≈40 TFLOPS prefill, ≈4 TFLOPS decode on GenA);
+//! - [`ari`]: arithmetic-intensity formulas (§VI-B1) and the `U_AU` usage
+//!   classifier;
+//! - [`topdown`]: top-down cycle accounting signatures (Fig 7/8, Table II)
+//!   with allocation-pressure modulation;
+//! - [`counters`]: synthetic PMU counters (`tma_amx_busy`, µop ratios,
+//!   `avx_insts`) accumulated from cost-model executions;
+//! - [`sharing`]: shared-AU topologies (SME-style clusters, §VIII future
+//!   work) with their contention dimension.
+//!
+//! ## Example
+//!
+//! ```
+//! use aum_au::gemm::{gemm_time, Bound, ExecContext, GemmShape};
+//! use aum_au::unit::{AuKind, AuSpec, Precision};
+//! use aum_platform::spec::PlatformSpec;
+//! use aum_platform::units::GbPerSec;
+//!
+//! let spec = PlatformSpec::gen_a();
+//! let amx = AuSpec::for_platform(&spec, AuKind::Amx);
+//! let ctx = ExecContext::new(96, 2.5, spec.mem_bw);
+//!
+//! // The paper's two signature GEMMs land on opposite roofline legs:
+//! let prefill = gemm_time(GemmShape::new(8192, 4096, 22016), Precision::Bf16, &amx, &ctx);
+//! let decode = gemm_time(GemmShape::new(16, 4096, 22016), Precision::Bf16, &amx, &ctx);
+//! assert_eq!(prefill.bound, Bound::Compute);
+//! assert_eq!(decode.bound, Bound::Memory);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ari;
+pub mod counters;
+pub mod gemm;
+pub mod sharing;
+pub mod topdown;
+pub mod unit;
+
+pub use counters::PmuCounters;
+pub use gemm::{gemm_time, Bound, ExecContext, GemmExecution, GemmShape};
+pub use unit::{AuKind, AuSpec, Precision};

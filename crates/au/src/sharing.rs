@@ -1,0 +1,140 @@
+//! Shared-AU topologies (paper §VIII, "Hardware topology adaptability").
+//!
+//! AMX places one accelerator unit on every physical core, so the paper can
+//! assume "AU is not shared for hyperthreads" (§V-A). Emerging topologies
+//! break that assumption: ARM's C1-SME2 unit is *shared among a cluster of
+//! physical cores*, introducing a new contention dimension the paper flags
+//! as future work. This module models it: under a shared topology, the
+//! effective per-core AU throughput divides by the number of active cores
+//! contending for each unit, and the profiler can sweep the new dimension.
+
+use serde::{Deserialize, Serialize};
+
+use crate::unit::AuSpec;
+
+/// How accelerator units map onto physical cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AuTopology {
+    /// One AU per physical core (Intel AMX; the paper's assumption).
+    #[default]
+    PerCore,
+    /// One AU shared by a cluster of physical cores (ARM SME2-style).
+    SharedCluster {
+        /// Physical cores per accelerator unit.
+        cores_per_au: usize,
+    },
+}
+
+impl AuTopology {
+    /// Fraction of a core's nominal AU throughput available when
+    /// `active_cores` of the platform's `total_cores` issue AU work.
+    ///
+    /// Per-core units never contend. A shared cluster saturates once more
+    /// cores than units are active: with `cores_per_au = 4` and every core
+    /// busy, each core sustains only a quarter of the nominal rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cores` is zero or `active_cores > total_cores`.
+    #[must_use]
+    pub fn contention_factor(&self, active_cores: usize, total_cores: usize) -> f64 {
+        assert!(total_cores > 0, "platform needs cores");
+        assert!(active_cores <= total_cores, "more active cores than the platform has");
+        match *self {
+            AuTopology::PerCore => 1.0,
+            AuTopology::SharedCluster { cores_per_au } => {
+                assert!(cores_per_au > 0, "a cluster shares at least one core");
+                if active_cores == 0 {
+                    return 1.0;
+                }
+                let units = total_cores.div_ceil(cores_per_au);
+                // Active cores spread across clusters; each unit serves up
+                // to `cores_per_au` contenders round-robin.
+                let contenders_per_unit = active_cores as f64 / units as f64;
+                (1.0 / contenders_per_unit).min(1.0)
+            }
+        }
+    }
+
+    /// Returns an [`AuSpec`] with its sustained throughput derated by the
+    /// contention factor at the given occupancy.
+    #[must_use]
+    pub fn derate(&self, unit: &AuSpec, active_cores: usize, total_cores: usize) -> AuSpec {
+        let factor = self.contention_factor(active_cores, total_cores);
+        AuSpec { sustained_frac: unit.sustained_frac * factor, ..*unit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::AuKind;
+    use aum_platform::spec::PlatformSpec;
+
+    #[test]
+    fn per_core_never_contends() {
+        let t = AuTopology::PerCore;
+        for active in [0usize, 1, 48, 96] {
+            assert_eq!(t.contention_factor(active, 96), 1.0);
+        }
+    }
+
+    #[test]
+    fn shared_cluster_divides_throughput_at_saturation() {
+        let t = AuTopology::SharedCluster { cores_per_au: 4 };
+        // All 96 cores active on 24 units: 4 contenders each → 1/4.
+        assert!((t.contention_factor(96, 96) - 0.25).abs() < 1e-12);
+        // 24 active cores on 24 units: one each → no contention.
+        assert!((t.contention_factor(24, 96) - 1.0).abs() < 1e-12);
+        // Idle platform: nominal.
+        assert_eq!(t.contention_factor(0, 96), 1.0);
+    }
+
+    #[test]
+    fn contention_is_monotone_in_occupancy() {
+        let t = AuTopology::SharedCluster { cores_per_au: 4 };
+        let mut last = f64::INFINITY;
+        for active in (0..=96).step_by(8) {
+            let f = t.contention_factor(active, 96);
+            assert!(f <= last + 1e-12, "more active cores cannot raise throughput");
+            assert!((0.0..=1.0).contains(&f));
+            last = f;
+        }
+    }
+
+    #[test]
+    fn derate_scales_sustained_fraction_only() {
+        let spec = PlatformSpec::gen_a();
+        let amx = AuSpec::for_platform(&spec, AuKind::Amx);
+        let t = AuTopology::SharedCluster { cores_per_au: 2 };
+        let derated = t.derate(&amx, 96, 96);
+        assert!((derated.sustained_frac - amx.sustained_frac * 0.5).abs() < 1e-12);
+        assert_eq!(derated.ops_per_cycle, amx.ops_per_cycle);
+        assert_eq!(derated.tile_m, amx.tile_m);
+    }
+
+    #[test]
+    fn shared_topology_slows_compute_bound_kernels() {
+        use crate::gemm::{gemm_time, ExecContext, GemmShape};
+        use crate::unit::Precision;
+        use aum_platform::units::GbPerSec;
+        let spec = PlatformSpec::gen_a();
+        let amx = AuSpec::for_platform(&spec, AuKind::Amx);
+        let shared = AuTopology::SharedCluster { cores_per_au: 4 }.derate(&amx, 96, 96);
+        let ctx = ExecContext::new(96, 2.5, GbPerSec(233.8));
+        let shape = GemmShape::new(8192, 4096, 22016);
+        let dedicated = gemm_time(shape, Precision::Bf16, &amx, &ctx);
+        let contended = gemm_time(shape, Precision::Bf16, &shared, &ctx);
+        let ratio = contended.time.as_secs_f64() / dedicated.time.as_secs_f64();
+        assert!(
+            (3.0..4.5).contains(&ratio),
+            "4-way shared unit should slow compute-bound prefill ≈4×, got {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more active cores")]
+    fn oversubscribed_occupancy_panics() {
+        let _ = AuTopology::PerCore.contention_factor(97, 96);
+    }
+}

@@ -1,0 +1,43 @@
+//! Validates the paper's <1 ms runtime-controller decision latency claim
+//! (§VII-D: "decides resource allocation with one CPU core in less than
+//! 1 ms to lookup table").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aum::controller::AumController;
+use aum::manager::{ResourceManager, SystemState};
+use aum::profiler::{build_model, ProfilerConfig};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_sim::time::{SimDuration, SimTime};
+use aum_workloads::be::BeKind;
+
+fn bench(c: &mut Criterion) {
+    let model = build_model(&ProfilerConfig::smoke(
+        PlatformSpec::gen_a(),
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+    ));
+    let mut controller = AumController::new(model);
+    let state = SystemState {
+        now: SimTime::from_secs(10),
+        scenario: Scenario::Chatbot,
+        be: Some(BeKind::SpecJbb),
+        queue_len: 1,
+        head_wait: SimDuration::from_millis(20),
+        decode_batch: 12,
+        worst_lag_secs: 0.01,
+        recent_ttft_p50: 0.3,
+        recent_ttft_p90: 0.5,
+        recent_tpot_p50: 0.09,
+        recent_tpot_p90: 0.098,
+        power_w: 220.0,
+        bw_utilization: 0.9,
+    };
+    c.bench_function("controller/decide", |b| {
+        b.iter(|| controller.decide(black_box(&state)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

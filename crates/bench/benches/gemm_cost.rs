@@ -1,0 +1,25 @@
+//! Microbenchmark of the GEMM roofline cost model: the innermost primitive
+//! of every serving-iteration evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aum_au::gemm::{gemm_time, ExecContext, GemmShape};
+use aum_au::unit::{AuKind, AuSpec, Precision};
+use aum_platform::spec::PlatformSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = PlatformSpec::gen_a();
+    let amx = AuSpec::for_platform(&spec, AuKind::Amx);
+    let ctx = ExecContext::new(96, 2.5, spec.mem_bw);
+    let prefill = GemmShape::new(8192, 4096, 22016);
+    let decode = GemmShape::new(16, 4096, 22016);
+    c.bench_function("gemm_cost/prefill_shape", |b| {
+        b.iter(|| gemm_time(black_box(prefill), Precision::Bf16, &amx, &ctx))
+    });
+    c.bench_function("gemm_cost/decode_shape", |b| {
+        b.iter(|| gemm_time(black_box(decode), Precision::Bf16, &amx, &ctx))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! One platform-model step: frequency governor + bandwidth arbitration +
+//! power + thermal integration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aum_platform::power::ActivityClass;
+use aum_platform::spec::PlatformSpec;
+use aum_platform::state::{PlatformSim, RegionLoad};
+use aum_platform::topology::AuUsageLevel;
+use aum_platform::units::GbPerSec;
+use aum_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let mut sim = PlatformSim::new(PlatformSpec::gen_a());
+    let loads = [
+        RegionLoad::new(AuUsageLevel::High, 48, ActivityClass::Amx, 0.4, GbPerSec(40.0)),
+        RegionLoad::new(AuUsageLevel::Low, 24, ActivityClass::Avx, 0.9, GbPerSec(190.0)),
+        RegionLoad::new(AuUsageLevel::None, 24, ActivityClass::Mixed, 1.0, GbPerSec(28.0)),
+    ];
+    c.bench_function("platform/step", |b| {
+        b.iter(|| sim.step(SimDuration::from_millis(500), &loads))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Cost of one offline profiling sweep (a reduced grid; the paper's full
+//! grid is 450 executions, §VII-D).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aum::profiler::{build_model, ProfilerConfig};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_workloads::be::BeKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ProfilerConfig::smoke(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    let mut group = c.benchmark_group("profiler");
+    group.sample_size(10);
+    group.bench_function("build_model/smoke_grid", |b| b.iter(|| build_model(&cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

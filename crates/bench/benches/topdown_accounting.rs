@@ -1,0 +1,20 @@
+//! Top-down signature generation and allocation-pressure modulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aum_au::topdown::{signature, SignatureKind};
+use aum_platform::spec::PlatformSpec;
+
+fn bench(c: &mut Criterion) {
+    let spec = PlatformSpec::gen_a();
+    c.bench_function("topdown/signature", |b| {
+        b.iter(|| signature(black_box(SignatureKind::Decode), &spec))
+    });
+    let sig = signature(SignatureKind::Decode, &spec);
+    c.bench_function("topdown/under_pressure", |b| {
+        b.iter(|| sig.under_pressure(black_box(1.8), black_box(1.3)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

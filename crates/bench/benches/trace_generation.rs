@@ -1,0 +1,18 @@
+//! Request-trace generation throughput (Table IV scenarios).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aum_llm::traces::{Scenario, TraceGenerator};
+use aum_sim::rng::DetRng;
+use aum_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rng = DetRng::from_seed(42);
+    let generator = TraceGenerator::new(Scenario::Chatbot, 1.0);
+    c.bench_function("traces/generate_300s", |b| {
+        b.iter(|| generator.generate(&rng, SimDuration::from_secs(300)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Reproduction driver: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   repro `<id>`             run one experiment (e.g. `fig14`, `table2`)
+//!   repro all                run everything in paper order
+//!   repro all --out <dir>    additionally write one .txt artifact per
+//!                            experiment into <dir>
+//!   repro list               list experiment ids
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = aum_bench::experiments();
+    let usage = || {
+        eprintln!("usage: repro <id>|all|list [--out <dir>]");
+        eprintln!("ids: {}", experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+    };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let emit = |name: &str, out: &str, elapsed: std::time::Duration| {
+        println!("==== {name} ({elapsed:?}) ====\n{out}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{name}.txt"));
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("cannot write {}: {e}", path.display());
+            }
+        }
+    };
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for (name, _) in &experiments {
+                println!("{name}");
+            }
+        }
+        Some("all") => {
+            let t0 = Instant::now();
+            for (name, run) in &experiments {
+                let t = Instant::now();
+                let out = run();
+                emit(name, &out, t.elapsed());
+            }
+            eprintln!("total: {:?}", t0.elapsed());
+        }
+        Some(id) => match experiments.iter().find(|(n, _)| *n == id) {
+            Some((name, run)) => {
+                let t = Instant::now();
+                let out = run();
+                emit(name, &out, t.elapsed());
+            }
+            None => {
+                usage();
+                std::process::exit(2);
+            }
+        },
+        None => {
+            usage();
+            std::process::exit(2);
+        }
+    }
+}

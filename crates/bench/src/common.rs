@@ -1,0 +1,162 @@
+//! Shared infrastructure of the reproduction harness: scheme construction,
+//! AUV-model caching, and experiment execution.
+
+use std::collections::HashMap;
+
+use aum::baselines::{AllAu, AuFi, AuRb, AuUp, RpAu, SmtAu};
+use aum::controller::AumController;
+use aum::experiment::{run_experiment, ExperimentConfig, Outcome};
+use aum::manager::ResourceManager;
+use aum::profiler::{build_model, AuvModel, ProfilerConfig};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_workloads::be::BeKind;
+
+/// The seven evaluated schemes (paper Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// AU-exclusive, no sharing.
+    AllAu,
+    /// AUV-oblivious SMT sharing.
+    SmtAu,
+    /// AUV-oblivious resource partitioning.
+    RpAu,
+    /// Usage-pattern-aware variant.
+    AuUp,
+    /// Frequency-interference-aware variant.
+    AuFi,
+    /// Resource-bound-aware variant.
+    AuRb,
+    /// The full three-dimensional proposal.
+    Aum,
+}
+
+impl Scheme {
+    /// All schemes in Table V order.
+    pub const ALL: [Scheme; 7] = [
+        Scheme::AllAu,
+        Scheme::SmtAu,
+        Scheme::RpAu,
+        Scheme::AuUp,
+        Scheme::AuFi,
+        Scheme::AuRb,
+        Scheme::Aum,
+    ];
+
+    /// Printable scheme name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::AllAu => "ALL-AU",
+            Scheme::SmtAu => "SMT-AU",
+            Scheme::RpAu => "RP-AU",
+            Scheme::AuUp => "AU-UP",
+            Scheme::AuFi => "AU-FI",
+            Scheme::AuRb => "AU-RB",
+            Scheme::Aum => "AUM",
+        }
+    }
+}
+
+/// Caches profiled AUV models across experiments (one offline profile can
+/// drive thousands of cores, §VII-D).
+#[derive(Default)]
+pub struct ModelCache {
+    models: HashMap<(String, Scenario, BeKind), AuvModel>,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ModelCache::default()
+    }
+
+    /// Returns (building if necessary) the AUV model for a configuration.
+    pub fn model(&mut self, spec: &PlatformSpec, scenario: Scenario, be: BeKind) -> AuvModel {
+        self.models
+            .entry((spec.name.clone(), scenario, be))
+            .or_insert_with(|| {
+                build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be))
+            })
+            .clone()
+    }
+
+    /// Total profiling executions performed so far.
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.models.values().map(|m| m.profiling_runs).sum()
+    }
+}
+
+/// Builds the manager for a scheme (profiling first for AUM).
+pub fn make_manager(
+    scheme: Scheme,
+    spec: &PlatformSpec,
+    scenario: Scenario,
+    be: Option<BeKind>,
+    cache: &mut ModelCache,
+) -> Box<dyn ResourceManager> {
+    match scheme {
+        Scheme::AllAu => Box::new(AllAu::new(spec)),
+        Scheme::SmtAu => Box::new(SmtAu::new(spec)),
+        Scheme::RpAu => Box::new(RpAu::new(spec)),
+        Scheme::AuUp => Box::new(AuUp::new(spec)),
+        Scheme::AuFi => Box::new(AuFi::new(spec)),
+        Scheme::AuRb => Box::new(AuRb::new(spec)),
+        Scheme::Aum => {
+            let model = cache.model(spec, scenario, be.unwrap_or(BeKind::SpecJbb));
+            Box::new(AumController::new(model))
+        }
+    }
+}
+
+/// Runs one scheme on one (platform, scenario, co-runner) cell. ALL-AU runs
+/// exclusively (no co-runner) by definition.
+pub fn scheme_outcome(
+    scheme: Scheme,
+    spec: &PlatformSpec,
+    scenario: Scenario,
+    be: BeKind,
+    cache: &mut ModelCache,
+) -> Outcome {
+    scheme_outcome_with_rate(scheme, spec, scenario, be, None, cache)
+}
+
+/// [`scheme_outcome`] with an explicit request-rate override — used by the
+/// cross-platform study where the offered load scales with serving capacity.
+pub fn scheme_outcome_with_rate(
+    scheme: Scheme,
+    spec: &PlatformSpec,
+    scenario: Scenario,
+    be: BeKind,
+    rate: Option<f64>,
+    cache: &mut ModelCache,
+) -> Outcome {
+    let be_opt = if scheme == Scheme::AllAu { None } else { Some(be) };
+    let mut cfg = ExperimentConfig::paper_default(spec.clone(), scenario, be_opt);
+    cfg.rate = rate;
+    let mut mgr = make_manager(scheme, spec, scenario, be_opt, cache);
+    run_experiment(&cfg, mgr.as_mut())
+}
+
+/// Offered request rate scaled to a platform's serving capacity relative to
+/// GenA — the binding resource is memory bandwidth for decode and AMX
+/// throughput for prefill, so the scale takes the smaller of the two
+/// (GenB's HBM triples bandwidth but keeps GenA's AU, GenC improves both).
+#[must_use]
+pub fn platform_scaled_rate(spec: &PlatformSpec, scenario: Scenario) -> f64 {
+    let gen_a = PlatformSpec::gen_a();
+    let bw_ratio = spec.mem_bw.value() / gen_a.mem_bw.value();
+    let amx_ratio = spec.amx_peak.value() / gen_a.amx_peak.value();
+    scenario.default_rate() * bw_ratio.min(amx_ratio)
+}
+
+/// Runs an exclusive (ALL-AU) experiment with a request-rate override —
+/// used by capacity measurements such as Fig 5.
+pub fn exclusive_capacity(spec: &PlatformSpec, scenario: Scenario, rate: f64) -> Outcome {
+    let mut cfg = ExperimentConfig::paper_default(spec.clone(), scenario, None);
+    cfg.rate = Some(rate);
+    let mut mgr = AllAu::new(spec);
+    run_experiment(&cfg, &mut mgr)
+}

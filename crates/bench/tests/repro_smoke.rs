@@ -1,0 +1,97 @@
+//! Smoke tests of the reproduction harness: every experiment renders
+//! non-trivial output containing its expected markers. The heavyweight
+//! grids (fig14/fig15/cluster) are exercised once each to keep CI time
+//! bounded — their content is checked through cheaper anchors.
+
+use aum_bench::experiments;
+
+fn run(id: &str) -> String {
+    let (_, f) = experiments()
+        .into_iter()
+        .find(|(n, _)| *n == id)
+        .unwrap_or_else(|| panic!("experiment {id} not registered"));
+    f()
+}
+
+#[test]
+fn all_experiments_are_registered_once() {
+    let ids: Vec<&str> = experiments().iter().map(|(n, _)| *n).collect();
+    let mut dedup = ids.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), ids.len(), "duplicate experiment ids");
+    for required in [
+        "fig1", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig12", "fig13", "table3", "fig14", "fig15", "fig16", "fig17", "fig18", "sens",
+        "overhead", "tco", "ablate", "adapt", "chunked", "cluster", "precision",
+    ] {
+        assert!(ids.contains(&required), "missing experiment {required}");
+    }
+}
+
+#[test]
+fn table1_lists_all_platforms() {
+    let out = run("table1");
+    for p in ["GenA", "GenB", "GenC", "Xeon 8475B", "233.8"] {
+        assert!(out.contains(p), "table1 missing {p}:\n{out}");
+    }
+}
+
+#[test]
+fn table2_anchors_llama2_row() {
+    let out = run("table2");
+    assert!(out.contains("llama2-7b"));
+    assert!(out.contains("92 / 96"), "llama2-7b BB anchor:\n{out}");
+    assert!(out.contains("24 / 59"), "llama2-7b DB anchor:\n{out}");
+}
+
+#[test]
+fn fig5_keeps_the_gpu_ahead_on_perf_per_watt_of_gen_a() {
+    let out = run("fig5");
+    assert!(out.contains("A100"));
+    assert!(out.contains("GenA"));
+}
+
+#[test]
+fn fig6_shows_the_license_frequencies() {
+    let out = run("fig6");
+    assert!(out.contains("3.20"), "turbo cores:\n{out}");
+    assert!(out.contains("3.10"), "decode license:\n{out}");
+}
+
+#[test]
+fn fig13_is_normalized() {
+    let out = run("fig13");
+    assert!(out.contains("1.000"));
+    assert!(out.contains("LLC ways"));
+}
+
+#[test]
+fn overhead_validates_the_paper_bounds() {
+    // `overhead` itself asserts the <1 ms decision bound internally.
+    let out = run("overhead");
+    assert!(out.contains("450 pinned executions"));
+    assert!(out.contains("decision latency"));
+}
+
+#[test]
+fn tco_reaches_the_88_percent_anchor() {
+    let out = run("tco");
+    assert!(out.contains("perf/CapEx"));
+    assert!(out.contains("0.8"), "≈88% anchor expected:\n{out}");
+}
+
+#[test]
+fn fig16_decomposes_all_schemes() {
+    let out = run("fig16");
+    for scheme in ["ALL-AU", "SMT-AU", "RP-AU", "AU-UP", "AU-FI", "AU-RB", "AUM"] {
+        assert!(out.contains(scheme), "fig16 missing {scheme}");
+    }
+}
+
+#[test]
+fn chunked_prefill_bounds_stalls_in_the_table() {
+    let out = run("chunked");
+    assert!(out.contains("whole prompt"));
+    assert!(out.contains("chunk 512"));
+}

@@ -1,0 +1,95 @@
+//! Cache-affinity calibration of the AU application phases.
+//!
+//! Fig 13 of the paper sweeps LLC ways for different AU usages and
+//! platforms: on GenA, high-AU (prefill/GEMM) operators lose some
+//! performance below ~6 ways while low-AU (decode) operators are almost
+//! insensitive — their working set is a weight stream that no LLC holds —
+//! so LLC can be harvested from decode almost for free. These profiles
+//! feed both the experiment harness (AU-side memory penalties) and the
+//! Fig 13 reproduction.
+
+use aum_platform::cache::{CacheProfile, MissRateCurve};
+use aum_platform::spec::PlatformSpec;
+use aum_platform::topology::AuUsageLevel;
+
+/// Cache profile of the prefill phase: activations and weight panels get
+/// real reuse out of the LLC (Fig 8b: the whole hierarchy matters).
+#[must_use]
+pub fn prefill_cache_profile() -> CacheProfile {
+    CacheProfile::new(
+        MissRateCurve::new(0.35, 0.75, 35.0),
+        MissRateCurve::new(0.25, 0.55, 1.0),
+        0.30,
+    )
+}
+
+/// Cache profile of the decode phase: a weight/KV stream with compulsory
+/// misses; nearly flat in LLC capacity (Fig 13 decode on GenA).
+#[must_use]
+pub fn decode_cache_profile() -> CacheProfile {
+    CacheProfile::new(
+        MissRateCurve::new(0.88, 0.97, 25.0),
+        MissRateCurve::new(0.80, 0.92, 1.0),
+        0.10,
+    )
+}
+
+/// Profile for a phase by its usage level (None has no AU working set).
+#[must_use]
+pub fn au_cache_profile(level: AuUsageLevel) -> CacheProfile {
+    match level {
+        AuUsageLevel::High => prefill_cache_profile(),
+        AuUsageLevel::Low | AuUsageLevel::None => decode_cache_profile(),
+    }
+}
+
+/// Memory-phase penalty (≥ 1) the AU application suffers when its class
+/// holds `llc_ways` of `spec`'s LLC — the factor fed into the engine's
+/// `memory_penalty`.
+#[must_use]
+pub fn au_llc_penalty(spec: &PlatformSpec, level: AuUsageLevel, llc_ways: u32) -> f64 {
+    let profile = au_cache_profile(level);
+    1.0 / profile.performance_factor(spec, llc_ways, spec.l2_ways).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_is_nearly_llc_insensitive() {
+        // Fig 13: "we can harvest LLC resources for low-AU operators".
+        let spec = PlatformSpec::gen_a();
+        let pen = au_llc_penalty(&spec, AuUsageLevel::Low, 2);
+        assert!(pen < 1.05, "decode with 2 ways should barely slow: {pen}");
+    }
+
+    #[test]
+    fn prefill_cares_somewhat() {
+        let spec = PlatformSpec::gen_a();
+        let starved = au_llc_penalty(&spec, AuUsageLevel::High, 1);
+        let full = au_llc_penalty(&spec, AuUsageLevel::High, 16);
+        assert!((full - 1.0).abs() < 1e-9);
+        assert!(starved > 1.05, "prefill with 1 way should slow: {starved}");
+        assert!(starved < 1.4, "but not catastrophically: {starved}");
+    }
+
+    #[test]
+    fn penalty_is_monotone_in_ways() {
+        let spec = PlatformSpec::gen_a();
+        let mut last = f64::INFINITY;
+        for ways in 1..=16 {
+            let p = au_llc_penalty(&spec, AuUsageLevel::High, ways);
+            assert!(p <= last + 1e-12, "penalty must shrink with ways");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn gen_c_big_llc_softens_prefill_penalty() {
+        // Fig 13: bigger-LLC platforms show different affinity.
+        let a = au_llc_penalty(&PlatformSpec::gen_a(), AuUsageLevel::High, 4);
+        let c = au_llc_penalty(&PlatformSpec::gen_c(), AuUsageLevel::High, 4);
+        assert!(c < a, "GenC's 504MB LLC (4 ways = 126MB) hurts less: {c} vs {a}");
+    }
+}

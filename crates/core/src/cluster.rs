@@ -1,0 +1,290 @@
+//! Cluster-level scheduling (paper §VIII, "Large-scale cluster
+//! scalability").
+//!
+//! The paper's machine-level methodology extends to scale-out clusters by
+//! analyzing each processor's AUV and load-balancing across servers. This
+//! module implements that sketch: a cluster of heterogeneous AU-enabled
+//! servers, a routing policy that splits the offered request rate, and a
+//! per-server AUM (or baseline) manager. Since one profiled AUV model
+//! amortizes across every server of the same platform (§VII-D), the router
+//! can weight servers by their *profiled* serving capacity — the
+//! AUV-aware policy the paper anticipates.
+
+use serde::{Deserialize, Serialize};
+
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_sim::time::SimDuration;
+use aum_workloads::be::BeKind;
+
+use crate::baselines::AllAu;
+use crate::controller::AumController;
+use crate::experiment::{run_experiment, ExperimentConfig, Outcome};
+use crate::prices::Prices;
+use crate::profiler::{build_model, AuvModel, ProfilerConfig};
+
+/// How the cluster router splits the offered load across servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Equal share to every server, blind to heterogeneity.
+    Uniform,
+    /// Shares proportional to each platform's peak memory bandwidth (a
+    /// static hardware-spec heuristic).
+    BandwidthProportional,
+    /// Shares proportional to each server's *profiled* decode capacity —
+    /// the AUV-aware policy: the same AUV models the runtime controllers
+    /// use also inform routing.
+    AuvWeighted,
+}
+
+impl core::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RoutingPolicy::Uniform => write!(f, "uniform"),
+            RoutingPolicy::BandwidthProportional => write!(f, "bw-proportional"),
+            RoutingPolicy::AuvWeighted => write!(f, "auv-weighted"),
+        }
+    }
+}
+
+/// One server of the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// The server's platform.
+    pub platform: PlatformSpec,
+    /// Co-located best-effort application (None = exclusive serving).
+    pub be: Option<BeKind>,
+}
+
+/// Cluster experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// The servers.
+    pub servers: Vec<ServerConfig>,
+    /// Serving scenario (shared across the cluster).
+    pub scenario: Scenario,
+    /// Total offered request rate across the cluster, req/s.
+    pub total_rate: f64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Base seed (each server derives its own).
+    pub seed: u64,
+    /// Efficiency prices.
+    pub prices: Prices,
+}
+
+impl ClusterConfig {
+    /// A heterogeneous demo cluster: one of each Table I platform, all
+    /// sharing with SPECjbb, at a load proportional to the fleet size.
+    #[must_use]
+    pub fn heterogeneous_demo(scenario: Scenario) -> Self {
+        ClusterConfig {
+            servers: PlatformSpec::presets()
+                .into_iter()
+                .map(|platform| ServerConfig { platform, be: Some(BeKind::SpecJbb) })
+                .collect(),
+            scenario,
+            total_rate: scenario.default_rate() * 3.0,
+            duration: SimDuration::from_secs(180),
+            seed: 4242,
+            prices: Prices::paper_default(),
+        }
+    }
+}
+
+/// Outcome of one cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// Routing policy used.
+    pub policy: String,
+    /// Per-server outcomes, in server order.
+    pub per_server: Vec<Outcome>,
+    /// Routing weights applied, in server order (sum = 1).
+    pub weights: Vec<f64>,
+    /// Cluster-wide weighted efficiency: total value / total power.
+    pub efficiency: f64,
+    /// Cluster-wide mean SLO violation rate (request-weighted).
+    pub violation_rate: f64,
+}
+
+/// Profiles each server (AUM path) and returns its AUV model.
+fn server_model(server: &ServerConfig, scenario: Scenario) -> AuvModel {
+    build_model(&ProfilerConfig::paper_default(
+        server.platform.clone(),
+        scenario,
+        server.be.unwrap_or(BeKind::SpecJbb),
+    ))
+}
+
+/// Routing weights for a policy (normalized to sum 1).
+///
+/// # Panics
+///
+/// Panics if the cluster is empty.
+#[must_use]
+pub fn routing_weights(
+    cfg: &ClusterConfig,
+    policy: RoutingPolicy,
+    models: &[AuvModel],
+) -> Vec<f64> {
+    assert!(!cfg.servers.is_empty(), "cluster needs servers");
+    let raw: Vec<f64> = match policy {
+        RoutingPolicy::Uniform => vec![1.0; cfg.servers.len()],
+        RoutingPolicy::BandwidthProportional => {
+            cfg.servers.iter().map(|s| s.platform.mem_bw.value()).collect()
+        }
+        RoutingPolicy::AuvWeighted => models
+            .iter()
+            .map(|m| {
+                // Profiled decode capacity of the server's best bucket.
+                m.buckets
+                    .iter()
+                    .map(|b| b.decode_tps)
+                    .fold(0.0f64, f64::max)
+                    .max(1e-6)
+            })
+            .collect(),
+    };
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// Runs the cluster under a routing policy with per-server AUM controllers
+/// (or ALL-AU when a server has no co-runner). Servers run concurrently.
+#[must_use]
+pub fn run_cluster(cfg: &ClusterConfig, policy: RoutingPolicy) -> ClusterOutcome {
+    let models: Vec<AuvModel> =
+        cfg.servers.iter().map(|s| server_model(s, cfg.scenario)).collect();
+    let weights = routing_weights(cfg, policy, &models);
+
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cfg
+            .servers
+            .iter()
+            .zip(&weights)
+            .zip(&models)
+            .enumerate()
+            .map(|(i, ((server, &weight), model))| {
+                let model = model.clone();
+                let scenario = cfg.scenario;
+                let prices = cfg.prices;
+                let duration = cfg.duration;
+                let seed = cfg.seed.wrapping_add(i as u64 * 7919);
+                let rate = (cfg.total_rate * weight).max(1e-3);
+                scope.spawn(move || {
+                    let exp = ExperimentConfig {
+                        platform: server.platform.clone(),
+                        scenario,
+                        be: server.be,
+                        duration,
+                        control_interval: SimDuration::from_millis(500),
+                        seed,
+                        rate: Some(rate),
+                        rate_profile: aum_llm::traces::RateProfile::Constant,
+                        fault: None,
+                        prices,
+                        model: aum_llm::config::ModelConfig::llama2_7b(),
+                    };
+                    match server.be {
+                        Some(_) => run_experiment(&exp, &mut AumController::new(model)),
+                        None => run_experiment(&exp, &mut AllAu::new(&server.platform)),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("server simulation panicked")).collect()
+    });
+
+    let total_power: f64 = outcomes.iter().map(|o| o.avg_power_w).sum();
+    let total_value: f64 = outcomes
+        .iter()
+        .zip(&cfg.servers)
+        .map(|(o, s)| {
+            let gamma = s.be.map_or(0.0, Prices::gamma);
+            cfg.prices.alpha * o.prefill_tps + cfg.prices.beta * o.decode_tps + gamma * o.be_rate
+        })
+        .sum();
+    let total_requests: f64 = outcomes.iter().map(|o| o.slo.prefills as f64).sum();
+    let violation_rate = if total_requests == 0.0 {
+        0.0
+    } else {
+        outcomes
+            .iter()
+            .map(|o| o.slo.violation_rate() * o.slo.prefills as f64)
+            .sum::<f64>()
+            / total_requests
+    };
+    ClusterOutcome {
+        policy: policy.to_string(),
+        per_server: outcomes,
+        weights,
+        efficiency: total_value / total_power.max(1e-9),
+        violation_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> ClusterConfig {
+        let mut cfg = ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
+        cfg.duration = SimDuration::from_secs(60);
+        cfg
+    }
+
+    #[test]
+    fn weights_normalize_for_every_policy() {
+        let cfg = small_cluster();
+        let models: Vec<AuvModel> =
+            cfg.servers.iter().map(|s| server_model(s, cfg.scenario)).collect();
+        for policy in [
+            RoutingPolicy::Uniform,
+            RoutingPolicy::BandwidthProportional,
+            RoutingPolicy::AuvWeighted,
+        ] {
+            let w = routing_weights(&cfg, policy, &models);
+            assert_eq!(w.len(), cfg.servers.len());
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{policy}");
+            assert!(w.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn bandwidth_policy_prefers_fast_memory() {
+        let cfg = small_cluster();
+        let models: Vec<AuvModel> =
+            cfg.servers.iter().map(|s| server_model(s, cfg.scenario)).collect();
+        let w = routing_weights(&cfg, RoutingPolicy::BandwidthProportional, &models);
+        // GenA (233.8 GB/s) < GenB (588) ≈ GenC (600).
+        assert!(w[0] < w[1]);
+        assert!(w[0] < w[2]);
+    }
+
+    #[test]
+    fn cluster_runs_and_aggregates() {
+        let cfg = small_cluster();
+        let out = run_cluster(&cfg, RoutingPolicy::AuvWeighted);
+        assert_eq!(out.per_server.len(), 3);
+        assert!(out.efficiency > 0.0);
+        assert!((0.0..=1.0).contains(&out.violation_rate));
+        for o in &out.per_server {
+            assert!(o.decode_tps > 0.0, "{}: server starved by routing", o.scheme);
+        }
+    }
+
+    #[test]
+    fn auv_weighted_beats_uniform_on_heterogeneous_fleet() {
+        // The §VIII claim: exploiting per-server AUV in load balancing
+        // improves cluster efficiency over AUV-blind routing.
+        let cfg = small_cluster();
+        let uniform = run_cluster(&cfg, RoutingPolicy::Uniform);
+        let auv = run_cluster(&cfg, RoutingPolicy::AuvWeighted);
+        assert!(
+            auv.efficiency > uniform.efficiency * 0.98,
+            "AUV-aware routing must not lose to uniform: {} vs {}",
+            auv.efficiency,
+            uniform.efficiency
+        );
+    }
+}

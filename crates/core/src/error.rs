@@ -1,0 +1,54 @@
+//! Crate error type.
+
+use core::fmt;
+
+/// Errors returned by AUM's fallible APIs (AUV-model persistence).
+#[derive(Debug)]
+pub enum AumError {
+    /// Filesystem error while reading or writing a model artifact.
+    Io(std::io::Error),
+    /// The model artifact could not be (de)serialized.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for AumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AumError::Io(e) => write!(f, "model artifact io error: {e}"),
+            AumError::Serde(e) => write!(f, "model artifact encoding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AumError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AumError::Io(e) => Some(e),
+            AumError::Serde(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for AumError {
+    fn from(e: std::io::Error) -> Self {
+        AumError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for AumError {
+    fn from(e: serde_json::Error) -> Self {
+        AumError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AumError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(format!("{e}").contains("io error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

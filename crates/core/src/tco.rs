@@ -1,0 +1,104 @@
+//! Total-cost-of-ownership analysis (paper §VII-E).
+//!
+//! Combines the Fig 5 GPU reference with the Fig 14 efficiency improvement:
+//! with GPU at ≈1.3× the performance-per-CapEx of GenA and AUM adding
+//! ≈15% on high-end platforms, an AUM-managed CPU reaches ≈88% of the
+//! GPU's performance-per-CapEx while retaining lower OpEx (cooling,
+//! maintenance) — close enough to cede scarce GPUs to critical scenarios.
+
+use serde::{Deserialize, Serialize};
+
+use aum_workloads::gpu::{CpuAnchor, GpuReference};
+
+/// Inputs of the TCO comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoInputs {
+    /// CPU serving throughput (tokens/s) under the manager.
+    pub cpu_tokens_per_sec: f64,
+    /// CPU package power, W.
+    pub cpu_power_w: f64,
+    /// CPU acquisition cost, USD.
+    pub cpu_cost_usd: f64,
+    /// Relative efficiency gain from the manager (e.g. 1.15 for +15%).
+    pub manager_gain: f64,
+}
+
+impl TcoInputs {
+    /// The paper's GenA anchor with a given manager gain.
+    #[must_use]
+    pub fn gen_a_with_gain(manager_gain: f64) -> Self {
+        let a = CpuAnchor::gen_a_paper();
+        TcoInputs {
+            cpu_tokens_per_sec: a.tokens_per_sec,
+            cpu_power_w: a.power_w,
+            cpu_cost_usd: a.cost_usd,
+            manager_gain,
+        }
+    }
+}
+
+/// TCO comparison output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoReport {
+    /// CPU performance-per-CapEx relative to the GPU reference (1.0 = parity).
+    pub perf_per_capex_vs_gpu: f64,
+    /// CPU performance-per-watt relative to the GPU reference.
+    pub perf_per_watt_vs_gpu: f64,
+    /// Effective CPU tokens/s after the manager gain.
+    pub effective_tokens_per_sec: f64,
+}
+
+/// Computes the §VII-E comparison against the A100/FlexGen reference.
+///
+/// # Examples
+///
+/// ```
+/// use aum::tco::{tco_report, TcoInputs};
+///
+/// let report = tco_report(&TcoInputs::gen_a_with_gain(1.15));
+/// // §VII-E: "CPU with AUM achieves 88% performance-per-CapEx compared
+/// // with GPU solutions."
+/// assert!((0.80..=0.95).contains(&report.perf_per_capex_vs_gpu));
+/// ```
+#[must_use]
+pub fn tco_report(inputs: &TcoInputs) -> TcoReport {
+    let gpu = GpuReference::a100_flexgen();
+    let effective = inputs.cpu_tokens_per_sec * inputs.manager_gain;
+    let cpu_ppc = effective / inputs.cpu_cost_usd;
+    let cpu_ppw = effective / inputs.cpu_power_w;
+    TcoReport {
+        perf_per_capex_vs_gpu: cpu_ppc / gpu.perf_per_cost(),
+        perf_per_watt_vs_gpu: cpu_ppw / gpu.perf_per_watt(),
+        effective_tokens_per_sec: effective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aum_reaches_about_88_percent_of_gpu_capex() {
+        let r = tco_report(&TcoInputs::gen_a_with_gain(1.15));
+        assert!(
+            (0.80..=0.95).contains(&r.perf_per_capex_vs_gpu),
+            "§VII-E: ≈88%, got {}",
+            r.perf_per_capex_vs_gpu
+        );
+    }
+
+    #[test]
+    fn without_manager_gpu_leads_by_1_3x() {
+        let r = tco_report(&TcoInputs::gen_a_with_gain(1.0));
+        let gpu_lead = 1.0 / r.perf_per_capex_vs_gpu;
+        assert!((1.1..=1.5).contains(&gpu_lead), "Fig 5: ≈1.3×, got {gpu_lead}");
+    }
+
+    #[test]
+    fn gain_scales_linearly() {
+        let base = tco_report(&TcoInputs::gen_a_with_gain(1.0));
+        let boosted = tco_report(&TcoInputs::gen_a_with_gain(1.2));
+        let ratio = boosted.perf_per_capex_vs_gpu / base.perf_per_capex_vs_gpu;
+        assert!((ratio - 1.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,347 @@
+//! Iteration cost evaluation.
+//!
+//! Folds an operator list ([`crate::ops::iteration_ops`]) through the
+//! roofline cost model under a concrete execution context, picking the best
+//! AU per operator and accumulating PMU counters — the serving-engine
+//! analogue of running one xFasterTransformer step under `perf`.
+
+use serde::{Deserialize, Serialize};
+
+use aum_au::counters::PmuCounters;
+use aum_au::gemm::{gemm_time, pick_unit, Bound, ExecContext};
+use aum_au::unit::{AuKind, AuSpec, Precision};
+use aum_sim::time::SimDuration;
+use aum_platform::spec::PlatformSpec;
+
+use crate::config::ModelConfig;
+use crate::ops::{iteration_ops, IterOp, Phase};
+
+/// Per-region AU kernel set for a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuKernels {
+    /// AMX spec of the platform.
+    pub amx: AuSpec,
+    /// AVX-512 spec of the platform.
+    pub avx: AuSpec,
+}
+
+impl AuKernels {
+    /// Derives both kernel specs from a platform.
+    #[must_use]
+    pub fn for_platform(spec: &PlatformSpec) -> Self {
+        AuKernels {
+            amx: AuSpec::for_platform(spec, AuKind::Amx),
+            avx: AuSpec::for_platform(spec, AuKind::Avx512),
+        }
+    }
+}
+
+/// Cost-model output for one serving iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationCost {
+    /// Wall time of the iteration.
+    pub time: SimDuration,
+    /// Total floating-point work.
+    pub flops: f64,
+    /// Total DRAM traffic.
+    pub bytes: f64,
+    /// Bandwidth the iteration *could* consume if the memory leg were free —
+    /// the demand reported to the platform's bandwidth pool.
+    pub bw_demand_gbs: f64,
+    /// Fraction of wall time spent on memory-bound operators.
+    pub memory_bound_frac: f64,
+    /// Fraction of flops executed on AMX.
+    pub amx_flop_frac: f64,
+}
+
+/// Evaluates one iteration of `model` in `phase` with `tokens`/`context`
+/// (see [`iteration_ops`]) under the execution context, and accumulates PMU
+/// counters into `pmu`.
+///
+/// # Examples
+///
+/// ```
+/// use aum_au::counters::PmuCounters;
+/// use aum_au::gemm::ExecContext;
+/// use aum_au::unit::Precision;
+/// use aum_llm::config::ModelConfig;
+/// use aum_llm::cost::{iteration_cost, AuKernels};
+/// use aum_llm::ops::Phase;
+/// use aum_platform::spec::PlatformSpec;
+///
+/// let spec = PlatformSpec::gen_a();
+/// let kernels = AuKernels::for_platform(&spec);
+/// let ctx = ExecContext::new(96, 3.1, spec.mem_bw);
+/// let mut pmu = PmuCounters::new();
+/// let cost = iteration_cost(
+///     &ModelConfig::llama2_7b(), Phase::Decode, 16, 855,
+///     Precision::Bf16, &kernels, &ctx, &mut pmu,
+/// );
+/// assert!(cost.time.as_millis_f64() > 10.0);
+/// ```
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn iteration_cost(
+    model: &ModelConfig,
+    phase: Phase,
+    tokens: usize,
+    context: usize,
+    prec: Precision,
+    kernels: &AuKernels,
+    ctx: &ExecContext,
+    pmu: &mut PmuCounters,
+) -> IterationCost {
+    let ops = iteration_ops(model, phase, tokens, context);
+    cost_of_ops(&ops, prec, kernels, ctx, pmu)
+}
+
+/// Evaluates an explicit operator list (used by the profiler's synthetic
+/// sweeps as well as the engine).
+#[must_use]
+pub fn cost_of_ops(
+    ops: &[IterOp],
+    prec: Precision,
+    kernels: &AuKernels,
+    ctx: &ExecContext,
+    pmu: &mut PmuCounters,
+) -> IterationCost {
+    let mut total = SimDuration::ZERO;
+    let mut flops = 0.0;
+    let mut bytes = 0.0;
+    let mut compute_secs = 0.0;
+    let mut memory_secs = 0.0;
+    let mut memory_bound_secs = 0.0;
+    let mut amx_flops = 0.0;
+    for op in ops {
+        let (unit, exec) = match op.unit {
+            Some(AuKind::Avx512) => {
+                (&kernels.avx, gemm_time(op.shape, prec, &kernels.avx, ctx))
+            }
+            Some(AuKind::Amx) => (&kernels.amx, gemm_time(op.shape, prec, &kernels.amx, ctx)),
+            Some(AuKind::Scalar) | None => {
+                pick_unit(op.shape, prec, &kernels.amx, &kernels.avx, ctx)
+            }
+        };
+        let repeat = op.repeat as f64;
+        // Repeats share one launch; scale the steady-state legs.
+        let op_time = SimDuration::from_secs_f64(exec.time.as_secs_f64() * repeat);
+        total += op_time;
+        let op_flops = op.shape.flops() * repeat;
+        flops += op_flops;
+        bytes += op.shape.bytes(prec) * repeat;
+        compute_secs += exec.compute_time.as_secs_f64() * repeat;
+        memory_secs += exec.memory_time.as_secs_f64() * repeat;
+        if exec.bound == Bound::Memory {
+            memory_bound_secs += op_time.as_secs_f64();
+        }
+        if unit.kind == AuKind::Amx {
+            amx_flops += op_flops;
+        }
+        // PMU: record one scaled execution.
+        let scaled = aum_au::gemm::GemmExecution {
+            time: op_time,
+            compute_time: SimDuration::from_secs_f64(compute_secs),
+            memory_time: SimDuration::from_secs_f64(memory_secs),
+            bound: exec.bound,
+            achieved_tflops: exec.achieved_tflops,
+            au_busy_cycles_per_core: exec.au_busy_cycles_per_core * repeat,
+        };
+        pmu.record_gemm(&scaled, unit.kind, ctx.cores, ctx.freq_ghz);
+    }
+    let wall = total.as_secs_f64().max(1e-12);
+    IterationCost {
+        time: total,
+        flops,
+        bytes,
+        bw_demand_gbs: bytes / compute_secs.max(1e-9) / 1e9,
+        memory_bound_frac: (memory_bound_secs / wall).clamp(0.0, 1.0),
+        amx_flop_frac: if flops > 0.0 { amx_flops / flops } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aum_platform::units::GbPerSec;
+
+    fn setup() -> (ModelConfig, AuKernels, PlatformSpec) {
+        let spec = PlatformSpec::gen_a();
+        (ModelConfig::llama2_7b(), AuKernels::for_platform(&spec), spec)
+    }
+
+    #[test]
+    fn decode_iteration_time_is_realistic() {
+        // §III-B: GenA serves ≈188 tokens/s at bs16 → iteration ≈85 ms.
+        let (model, kernels, spec) = setup();
+        let ctx = ExecContext::new(96, 3.1, spec.mem_bw);
+        let mut pmu = PmuCounters::new();
+        let cost =
+            iteration_cost(&model, Phase::Decode, 16, 855, Precision::Bf16, &kernels, &ctx, &mut pmu);
+        let ms = cost.time.as_millis_f64();
+        assert!((60.0..=140.0).contains(&ms), "decode iteration ≈85-100 ms, got {ms}");
+    }
+
+    #[test]
+    fn prefill_of_755_tokens_takes_fraction_of_second() {
+        // TTFT for the chatbot scenario: ≈0.25-0.4 s on the full machine.
+        let (model, kernels, spec) = setup();
+        let ctx = ExecContext::new(96, 2.5, spec.mem_bw);
+        let mut pmu = PmuCounters::new();
+        let cost =
+            iteration_cost(&model, Phase::Prefill, 755, 755, Precision::Bf16, &kernels, &ctx, &mut pmu);
+        let s = cost.time.as_secs_f64();
+        assert!((0.15..=0.6).contains(&s), "prefill of 755 tokens ≈0.25-0.4 s, got {s}");
+    }
+
+    #[test]
+    fn decode_is_memory_dominated_prefill_is_not() {
+        let (model, kernels, spec) = setup();
+        let mut pmu = PmuCounters::new();
+        let decode = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 3.1, spec.mem_bw),
+            &mut pmu,
+        );
+        let prefill = iteration_cost(
+            &model,
+            Phase::Prefill,
+            8192,
+            512,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 2.5, spec.mem_bw),
+            &mut pmu,
+        );
+        assert!(decode.memory_bound_frac > 0.8, "decode mem frac {}", decode.memory_bound_frac);
+        assert!(prefill.memory_bound_frac < 0.4, "prefill mem frac {}", prefill.memory_bound_frac);
+    }
+
+    #[test]
+    fn decode_demands_more_bandwidth_than_pool() {
+        let (model, kernels, spec) = setup();
+        let mut pmu = PmuCounters::new();
+        let cost = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 3.1, spec.mem_bw),
+            &mut pmu,
+        );
+        assert!(cost.bw_demand_gbs > spec.mem_bw.value(), "decode saturates the pool");
+    }
+
+    #[test]
+    fn prefill_flops_mostly_on_amx() {
+        let (model, kernels, spec) = setup();
+        let mut pmu = PmuCounters::new();
+        let cost = iteration_cost(
+            &model,
+            Phase::Prefill,
+            8192,
+            512,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 2.5, spec.mem_bw),
+            &mut pmu,
+        );
+        assert!(cost.amx_flop_frac > 0.9, "prefill amx flop frac {}", cost.amx_flop_frac);
+    }
+
+    #[test]
+    fn pmu_ratios_match_table2_shape() {
+        // llama2-7b Table II: prefill amx cycle ratio 14.4%, decode 1.5%.
+        let (model, kernels, spec) = setup();
+        let mut prefill_pmu = PmuCounters::new();
+        let _ = iteration_cost(
+            &model,
+            Phase::Prefill,
+            8192,
+            512,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 2.5, spec.mem_bw),
+            &mut prefill_pmu,
+        );
+        let mut decode_pmu = PmuCounters::new();
+        let _ = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 3.1, spec.mem_bw),
+            &mut decode_pmu,
+        );
+        let p = prefill_pmu.amx_cycle_ratio();
+        let d = decode_pmu.amx_cycle_ratio();
+        assert!((0.08..=0.25).contains(&p), "prefill cycle ratio {p}");
+        assert!((0.004..=0.04).contains(&d), "decode cycle ratio {d}");
+        assert!(p > 5.0 * d, "prefill uses AMX far more than decode");
+        assert!(
+            decode_pmu.avx_inst_ratio() > prefill_pmu.avx_inst_ratio(),
+            "decode leans on AVX more (§IV-A1)"
+        );
+    }
+
+    #[test]
+    fn throttled_bandwidth_slows_decode() {
+        let (model, kernels, spec) = setup();
+        let mut pmu = PmuCounters::new();
+        let full = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 3.1, spec.mem_bw),
+            &mut pmu,
+        );
+        let half = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ExecContext::new(96, 3.1, GbPerSec(spec.mem_bw.value() / 2.0)),
+            &mut pmu,
+        );
+        let ratio = half.time.as_secs_f64() / full.time.as_secs_f64();
+        assert!(ratio > 1.6, "halving bandwidth nearly doubles decode, got {ratio}");
+    }
+
+    #[test]
+    fn fewer_cores_barely_hurt_decode_but_hurt_prefill() {
+        let (model, kernels, spec) = setup();
+        let mut pmu = PmuCounters::new();
+        let run = |phase, tokens, ctx_len, cores| {
+            iteration_cost(
+                &model,
+                phase,
+                tokens,
+                ctx_len,
+                Precision::Bf16,
+                &kernels,
+                &ExecContext::new(cores, 2.8, spec.mem_bw),
+                &mut PmuCounters::new(),
+            )
+            .time
+            .as_secs_f64()
+        };
+        let _ = &mut pmu;
+        let decode_ratio = run(Phase::Decode, 16, 855, 24) / run(Phase::Decode, 16, 855, 96);
+        assert!(decode_ratio < 1.35, "decode is core-insensitive, got {decode_ratio}");
+        let prefill_ratio = run(Phase::Prefill, 755, 755, 24) / run(Phase::Prefill, 755, 755, 96);
+        assert!(prefill_ratio > 2.0, "prefill is core-hungry, got {prefill_ratio}");
+    }
+}

@@ -1,0 +1,903 @@
+//! Continuous-batching LLM serving engine.
+//!
+//! Simulates an xFasterTransformer-style server iteration by iteration. The
+//! engine supports both deployment shapes the evaluation needs:
+//!
+//! - **time-multiplexed** — one executor alternates between pending prefill
+//!   batches (FCFS priority) and decode iterations on the same cores; this
+//!   is how the exclusive ALL-AU baseline serves;
+//! - **partitioned** — prefill and decode run concurrently on the High-AU
+//!   and Low-AU core regions of AUM's processor division (§VI-B2).
+//!
+//! Each iteration's latency comes from the roofline cost model under the
+//! resources (cores, frequency, bandwidth grant, contention penalties) the
+//! experiment harness supplies per control interval, so every AUV channel
+//! reaches token latency mechanistically.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use aum_au::counters::PmuCounters;
+use aum_au::gemm::ExecContext;
+use aum_au::unit::Precision;
+use aum_sim::time::{SimDuration, SimTime};
+use aum_platform::spec::PlatformSpec;
+use aum_platform::units::GbPerSec;
+
+use crate::batching::{ActiveRequest, DecodePool, PrefillQueue};
+use crate::config::ModelConfig;
+use crate::cost::{iteration_cost, AuKernels};
+use crate::ops::Phase;
+use crate::request::{Request, TokenRecord, TtftRecord};
+use crate::slo::{SloReport, SloSpec};
+use crate::traces::Scenario;
+
+/// Resources granted to one executor (core region) for an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionResources {
+    /// Cores available (0 stalls the executor).
+    pub cores: usize,
+    /// Operating frequency, GHz.
+    pub freq_ghz: f64,
+    /// Granted DRAM bandwidth.
+    pub bandwidth: GbPerSec,
+    /// Memory-phase contention multiplier (≥ 1).
+    pub memory_penalty: f64,
+    /// Compute-phase contention multiplier (≥ 1, SMT port pressure).
+    pub compute_penalty: f64,
+}
+
+impl RegionResources {
+    /// Clean resources with no contention.
+    #[must_use]
+    pub fn new(cores: usize, freq_ghz: f64, bandwidth: GbPerSec) -> Self {
+        RegionResources { cores, freq_ghz, bandwidth, memory_penalty: 1.0, compute_penalty: 1.0 }
+    }
+
+    fn exec_context(&self) -> Option<ExecContext> {
+        if self.cores == 0 || self.freq_ghz <= 0.0 || self.bandwidth.value() <= 0.0 {
+            return None;
+        }
+        Some(
+            ExecContext::new(self.cores, self.freq_ghz, self.bandwidth)
+                .with_penalties(self.memory_penalty.max(1.0), self.compute_penalty.max(1.0)),
+        )
+    }
+}
+
+/// How the two phases share the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// One executor, prefill-priority FCFS (exclusive xft deployment).
+    TimeMultiplexed,
+    /// Separate prefill/decode executors on disjoint core regions (AUM).
+    Partitioned,
+}
+
+/// Per-interval resource grant for the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineResources {
+    /// Resources for prefill work (the High-AU region).
+    pub prefill: RegionResources,
+    /// Resources for decode work (the Low-AU region).
+    pub decode: RegionResources,
+    /// Sharing mode.
+    pub mode: EngineMode,
+}
+
+/// Static engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Model being served.
+    pub model: ModelConfig,
+    /// Serving precision (the paper serves BF16).
+    pub precision: Precision,
+    /// Decode batch cap (paper: 16).
+    pub max_batch: usize,
+    /// Prompts per prefill iteration.
+    pub prefill_batch: usize,
+    /// Scenario (SLOs and trace statistics).
+    pub scenario: Scenario,
+    /// KV-cache capacity budget; `None` means capacity never binds (the
+    /// 1 TB GenA case). See [`crate::kv::KvBudget`].
+    #[serde(default)]
+    pub kv_budget: Option<crate::kv::KvBudget>,
+    /// Chunked prefill (Sarathi/DistServe-style): process prompts in chunks
+    /// of at most this many tokens so decode iterations interleave between
+    /// chunks in the time-multiplexed mode, trading TTFT for TPOT
+    /// stability. `None` processes each prompt in one shot.
+    #[serde(default)]
+    pub prefill_chunk: Option<usize>,
+}
+
+impl EngineConfig {
+    /// The paper's default serving setup for a scenario: llama2-7b, BF16,
+    /// batch 16.
+    #[must_use]
+    pub fn paper_default(scenario: Scenario) -> Self {
+        EngineConfig {
+            model: ModelConfig::llama2_7b(),
+            precision: Precision::Bf16,
+            max_batch: 16,
+            prefill_batch: 1,
+            scenario,
+            kv_budget: None,
+            prefill_chunk: None,
+        }
+    }
+
+    /// Returns a copy with a KV budget derived from the platform's memory.
+    #[must_use]
+    pub fn with_platform_kv_budget(mut self, platform: &PlatformSpec) -> Self {
+        self.kv_budget =
+            Some(crate::kv::KvBudget::for_platform(platform, &self.model, self.precision));
+        self
+    }
+}
+
+/// Statistics of one `run_interval` call.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IntervalStats {
+    /// Fraction of the interval the prefill executor was busy.
+    pub prefill_busy: f64,
+    /// Fraction of the interval the decode executor was busy.
+    pub decode_busy: f64,
+    /// Prompt tokens prefilled during the interval.
+    pub prefill_tokens: u64,
+    /// Output tokens generated during the interval.
+    pub decode_tokens: u64,
+    /// Requests fully completed during the interval.
+    pub completed: u64,
+    /// Bandwidth demand of prefill while busy.
+    pub prefill_bw_demand: GbPerSec,
+    /// Bandwidth demand of decode while busy.
+    pub decode_bw_demand: GbPerSec,
+}
+
+/// The serving engine.
+#[derive(Debug, Clone)]
+pub struct LlmEngine {
+    cfg: EngineConfig,
+    kernels: AuKernels,
+    trace: VecDeque<Request>,
+    queue: PrefillQueue,
+    pool: DecodePool,
+    /// Prefilled requests waiting for a decode slot: `(ready_at, request)`.
+    ready: VecDeque<(SimTime, Request)>,
+    /// In-flight chunked prefill: the request and tokens already processed.
+    current_prefill: Option<(Request, usize)>,
+    prefill_clock: SimTime,
+    decode_clock: SimTime,
+    ttfts: Vec<TtftRecord>,
+    tokens: Vec<TokenRecord>,
+    /// Per finished request: average *wall-clock* time per generated token,
+    /// seconds — the TPOT a user experiences, including stalls behind
+    /// prefill bursts (unlike [`TokenRecord::exec`], which is pure
+    /// iteration time).
+    wall_tpots: Vec<f64>,
+    pmu: PmuCounters,
+    completed: u64,
+}
+
+impl LlmEngine {
+    /// Creates an engine for `cfg` on `platform`, fed by `trace` (must be
+    /// sorted by arrival time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is unsorted.
+    #[must_use]
+    pub fn new(cfg: EngineConfig, platform: &PlatformSpec, trace: Vec<Request>) -> Self {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace must be sorted by arrival"
+        );
+        let max_batch = cfg.max_batch;
+        LlmEngine {
+            cfg,
+            kernels: AuKernels::for_platform(platform),
+            trace: trace.into(),
+            queue: PrefillQueue::new(),
+            pool: DecodePool::new(max_batch),
+            ready: VecDeque::new(),
+            current_prefill: None,
+            prefill_clock: SimTime::ZERO,
+            decode_clock: SimTime::ZERO,
+            ttfts: Vec::new(),
+            tokens: Vec::new(),
+            wall_tpots: Vec::new(),
+            pmu: PmuCounters::new(),
+            completed: 0,
+        }
+    }
+
+    /// Engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// SLO spec of the configured scenario.
+    #[must_use]
+    pub fn slo(&self) -> SloSpec {
+        self.cfg.scenario.slo()
+    }
+
+    fn admit_arrivals(&mut self, upto: SimTime) {
+        while let Some(front) = self.trace.front() {
+            if front.arrival <= upto {
+                let r = *front;
+                self.trace.pop_front();
+                self.queue.push(r);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Peak-reservation KV bytes of the currently admitted requests.
+    fn kv_reserved_bytes(&self) -> f64 {
+        let per_token = self.cfg.model.kv_bytes_per_token(self.cfg.precision);
+        self.pool
+            .active()
+            .iter()
+            .map(|r| (r.context + r.remaining) as f64 * per_token)
+            .sum()
+    }
+
+    fn admit_ready(&mut self, upto: SimTime) {
+        while self.pool.free_slots() > 0 {
+            match self.ready.front() {
+                Some(&(at, req)) if at <= upto => {
+                    if let Some(budget) = self.cfg.kv_budget {
+                        let peak = crate::kv::KvBudget::request_peak_bytes(
+                            &self.cfg.model,
+                            self.cfg.precision,
+                            req.input_len,
+                            req.output_len,
+                        );
+                        if !budget.admits(self.kv_reserved_bytes(), peak) {
+                            break; // capacity-bound: wait for retirements
+                        }
+                    }
+                    self.ready.pop_front();
+                    self.pool.admit(
+                        ActiveRequest::start(&req).admitted_at(upto.as_secs_f64()),
+                    );
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_arrival(&self) -> Option<SimTime> {
+        self.trace.front().map(|r| r.arrival)
+    }
+
+    /// Runs one prefill *step*: either a whole batch (unchunked) or one
+    /// chunk of the in-flight prompt (chunked mode).
+    fn run_prefill_step(&mut self, res: &ExecContext, stats: &mut IntervalStats) {
+        match self.cfg.prefill_chunk {
+            None => {
+                let batch = self.queue.pop_batch(self.cfg.prefill_batch);
+                debug_assert!(!batch.is_empty());
+                let tokens: usize = batch.iter().map(|r| r.input_len).sum();
+                let ctx = (tokens / batch.len()).max(1);
+                let cost = iteration_cost(
+                    &self.cfg.model,
+                    Phase::Prefill,
+                    tokens,
+                    ctx,
+                    self.cfg.precision,
+                    &self.kernels,
+                    res,
+                    &mut self.pmu,
+                );
+                self.prefill_clock += cost.time;
+                stats.prefill_tokens += tokens as u64;
+                stats.prefill_bw_demand =
+                    GbPerSec(stats.prefill_bw_demand.value().max(cost.bw_demand_gbs));
+                for r in batch {
+                    self.finish_prefill(r, stats);
+                }
+            }
+            Some(chunk) => {
+                let chunk = chunk.max(16);
+                let (req, done) = match self.current_prefill.take() {
+                    Some(inflight) => inflight,
+                    None => {
+                        let mut batch = self.queue.pop_batch(1);
+                        debug_assert!(!batch.is_empty());
+                        (batch.remove(0), 0)
+                    }
+                };
+                let step = chunk.min(req.input_len - done);
+                // The chunk attends over the already-processed prefix.
+                let cost = iteration_cost(
+                    &self.cfg.model,
+                    Phase::Prefill,
+                    step,
+                    (done + step).max(1),
+                    self.cfg.precision,
+                    &self.kernels,
+                    res,
+                    &mut self.pmu,
+                );
+                self.prefill_clock += cost.time;
+                stats.prefill_tokens += step as u64;
+                stats.prefill_bw_demand =
+                    GbPerSec(stats.prefill_bw_demand.value().max(cost.bw_demand_gbs));
+                let done = done + step;
+                if done >= req.input_len {
+                    self.finish_prefill(req, stats);
+                } else {
+                    self.current_prefill = Some((req, done));
+                }
+            }
+        }
+    }
+
+    fn finish_prefill(&mut self, r: Request, stats: &mut IntervalStats) {
+        self.ttfts.push(TtftRecord {
+            id: r.id,
+            arrival: r.arrival,
+            ttft: self.prefill_clock.saturating_since(r.arrival),
+        });
+        if r.output_len > 1 {
+            self.ready.push_back((self.prefill_clock, r));
+        } else {
+            self.completed += 1;
+            stats.completed += 1;
+        }
+    }
+
+    /// Whether prefill has pending or in-flight work.
+    fn has_prefill_work(&self) -> bool {
+        !self.queue.is_empty() || self.current_prefill.is_some()
+    }
+
+    fn run_decode_iteration(&mut self, res: &ExecContext, stats: &mut IntervalStats) {
+        let batch = self.pool.batch();
+        debug_assert!(batch > 0);
+        let ctx = self.pool.mean_context();
+        let cost = iteration_cost(
+            &self.cfg.model,
+            Phase::Decode,
+            batch,
+            ctx,
+            self.cfg.precision,
+            &self.kernels,
+            res,
+            &mut self.pmu,
+        );
+        self.decode_clock += cost.time;
+        stats.decode_tokens += batch as u64;
+        stats.decode_bw_demand = GbPerSec(stats.decode_bw_demand.value().max(cost.bw_demand_gbs));
+        for r in self.pool.active() {
+            self.tokens.push(TokenRecord { id: r.id, emitted: self.decode_clock, exec: cost.time });
+        }
+        let finished = self.pool.step(cost.time);
+        for f in &finished {
+            if f.generated > 0 {
+                let wall = self.decode_clock.as_secs_f64() - f.admitted_secs;
+                self.wall_tpots.push((wall / f.generated as f64).max(0.0));
+            }
+        }
+        let n = finished.len() as u64;
+        self.completed += n;
+        stats.completed += n;
+    }
+
+    /// Advances the engine to `until` under the given resources, returning
+    /// interval statistics. Iterations in flight at the boundary complete
+    /// with the current resources (clocks may overshoot slightly; the next
+    /// interval starts from the overshoot).
+    pub fn run_interval(&mut self, until: SimTime, res: &EngineResources) -> IntervalStats {
+        let start_p = self.prefill_clock;
+        let start_d = self.decode_clock;
+        let interval_start = start_p.min(start_d);
+        let mut stats = IntervalStats::default();
+        let mut prefill_busy = SimDuration::ZERO;
+        let mut decode_busy = SimDuration::ZERO;
+        let prefill_ctx = res.prefill.exec_context();
+        let decode_ctx = res.decode.exec_context();
+
+        match res.mode {
+            EngineMode::TimeMultiplexed => {
+                // One executor: keep both clocks identical. Unchunked
+                // prefill has strict priority (xft FCFS); chunked prefill
+                // alternates with decode so generation never stalls behind
+                // a long prompt.
+                let chunked = self.cfg.prefill_chunk.is_some();
+                let mut decode_turn = false;
+                let mut clock = self.prefill_clock.max(self.decode_clock);
+                while clock < until {
+                    self.admit_arrivals(clock);
+                    self.admit_ready(clock);
+                    let prefill_now = self.has_prefill_work()
+                        && prefill_ctx.is_some()
+                        && !(chunked && decode_turn && !self.pool.is_empty() && decode_ctx.is_some());
+                    if prefill_now {
+                        let ctx = prefill_ctx.expect("prefill_now implies context");
+                        self.prefill_clock = clock;
+                        let before = self.prefill_clock;
+                        self.run_prefill_step(&ctx, &mut stats);
+                        prefill_busy += self.prefill_clock - before;
+                        clock = self.prefill_clock;
+                        decode_turn = true;
+                    } else if let (false, Some(ctx)) = (self.pool.is_empty(), decode_ctx) {
+                        self.decode_clock = clock;
+                        let before = self.decode_clock;
+                        self.run_decode_iteration(&ctx, &mut stats);
+                        decode_busy += self.decode_clock - before;
+                        clock = self.decode_clock;
+                        decode_turn = false;
+                    } else {
+                        // Idle: jump to the next event.
+                        let next = self
+                            .next_arrival()
+                            .into_iter()
+                            .chain(self.ready.front().map(|&(t, _)| t))
+                            .min()
+                            .unwrap_or(until)
+                            .max(clock + SimDuration::from_micros(1));
+                        clock = next.min(until);
+                    }
+                }
+                self.prefill_clock = clock;
+                self.decode_clock = clock;
+            }
+            EngineMode::Partitioned => {
+                loop {
+                    let p = self.prefill_clock;
+                    let d = self.decode_clock;
+                    if p >= until && d >= until {
+                        break;
+                    }
+                    if p <= d && p < until {
+                        self.admit_arrivals(p);
+                        if let (true, Some(ctx)) = (self.has_prefill_work(), prefill_ctx) {
+                            let before = self.prefill_clock;
+                            self.run_prefill_step(&ctx, &mut stats);
+                            prefill_busy += self.prefill_clock - before;
+                        } else {
+                            let next = self
+                                .next_arrival()
+                                .unwrap_or(until)
+                                .max(p + SimDuration::from_micros(1));
+                            self.prefill_clock = next.min(until);
+                        }
+                    } else if d < until {
+                        self.admit_ready(d);
+                        if let (false, Some(ctx)) = (self.pool.is_empty(), decode_ctx) {
+                            let before = self.decode_clock;
+                            self.run_decode_iteration(&ctx, &mut stats);
+                            decode_busy += self.decode_clock - before;
+                        } else {
+                            let next = self
+                                .ready
+                                .front()
+                                .map(|&(t, _)| t)
+                                .unwrap_or(until)
+                                .max(d + SimDuration::from_micros(1));
+                            self.decode_clock = next.min(until);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let span = until.saturating_since(interval_start).as_secs_f64().max(1e-9);
+        stats.prefill_busy = (prefill_busy.as_secs_f64() / span).min(1.0);
+        stats.decode_busy = (decode_busy.as_secs_f64() / span).min(1.0);
+        stats
+    }
+
+    /// TTFT records so far.
+    #[must_use]
+    pub fn ttft_records(&self) -> &[TtftRecord] {
+        &self.ttfts
+    }
+
+    /// Decode token records so far.
+    #[must_use]
+    pub fn token_records(&self) -> &[TokenRecord] {
+        &self.tokens
+    }
+
+    /// SLO report over everything recorded so far.
+    #[must_use]
+    pub fn slo_report(&self) -> SloReport {
+        SloReport::from_records(self.slo(), &self.ttfts, &self.tokens)
+    }
+
+    /// Quantile of per-request *wall-clock* TPOT (stall-inclusive), over
+    /// finished requests; 0 when none finished.
+    #[must_use]
+    pub fn wall_tpot_quantile(&self, q: f64) -> f64 {
+        let s: aum_sim::stats::Samples = self.wall_tpots.iter().copied().collect();
+        s.quantile(q)
+    }
+
+    /// Fraction of finished requests whose wall-clock TPOT met the deadline.
+    #[must_use]
+    pub fn wall_tpot_guarantee(&self, d_tpot: SimDuration) -> f64 {
+        if self.wall_tpots.is_empty() {
+            return 1.0;
+        }
+        let met = self.wall_tpots.iter().filter(|&&w| w <= d_tpot.as_secs_f64()).count();
+        met as f64 / self.wall_tpots.len() as f64
+    }
+
+    /// Accumulated synthetic PMU counters.
+    #[must_use]
+    pub fn pmu(&self) -> &PmuCounters {
+        &self.pmu
+    }
+
+    /// Requests fully completed.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests waiting for prefill.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Waiting time of the oldest queued request (the paper's `t_wait`).
+    #[must_use]
+    pub fn head_wait(&self) -> SimDuration {
+        self.queue.head_wait(self.prefill_clock)
+    }
+
+    /// Current decode batch size.
+    #[must_use]
+    pub fn decode_batch(&self) -> usize {
+        self.pool.batch()
+    }
+
+    /// Worst LAG across active decode requests in seconds (`+∞` if idle).
+    #[must_use]
+    pub fn worst_lag_secs(&self) -> f64 {
+        self.pool.worst_lag_secs(self.slo().tpot)
+    }
+
+    /// True once the trace is exhausted and all work has drained.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.trace.is_empty()
+            && self.queue.is_empty()
+            && self.current_prefill.is_none()
+            && self.pool.is_empty()
+            && self.ready.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::TraceGenerator;
+    use aum_sim::rng::DetRng;
+
+    fn gen_a() -> PlatformSpec {
+        PlatformSpec::gen_a()
+    }
+
+    fn exclusive_resources(spec: &PlatformSpec) -> EngineResources {
+        EngineResources {
+            prefill: RegionResources::new(spec.total_cores(), 2.5, spec.mem_bw),
+            decode: RegionResources::new(spec.total_cores(), 3.1, spec.mem_bw),
+            mode: EngineMode::TimeMultiplexed,
+        }
+    }
+
+    fn run_scenario(scenario: Scenario, secs: u64) -> (LlmEngine, IntervalStats) {
+        let spec = gen_a();
+        let trace = TraceGenerator::new(scenario, scenario.default_rate())
+            .generate(&DetRng::from_seed(42), SimDuration::from_secs(secs));
+        let mut engine = LlmEngine::new(EngineConfig::paper_default(scenario), &spec, trace);
+        let res = exclusive_resources(&spec);
+        let mut total = IntervalStats::default();
+        for step in 1..=secs {
+            let s = engine.run_interval(SimTime::from_secs(step), &res);
+            total.prefill_tokens += s.prefill_tokens;
+            total.decode_tokens += s.decode_tokens;
+            total.completed += s.completed;
+        }
+        (engine, total)
+    }
+
+    #[test]
+    fn chatbot_throughput_matches_paper_scale() {
+        // §III-B: GenA serves ≈188 tokens/s exclusively. At the default
+        // 0.4 req/s × 200 tokens ≈ 80 tokens/s offered load (and a ramp-up
+        // window), the engine should track the offered rate with headroom.
+        let (engine, total) = run_scenario(Scenario::Chatbot, 120);
+        let tput = total.decode_tokens as f64 / 120.0;
+        assert!((50.0..=120.0).contains(&tput), "decode throughput {tput} tokens/s");
+        assert!(engine.completed() > 25);
+    }
+
+    #[test]
+    fn exclusive_serving_meets_most_tpot_slos() {
+        let (engine, _) = run_scenario(Scenario::Chatbot, 120);
+        let report = engine.slo_report();
+        assert!(
+            report.tpot_guarantee > 0.7,
+            "exclusive TPOT guarantee should be high, got {}",
+            report.tpot_guarantee
+        );
+    }
+
+    #[test]
+    fn code_completion_ttft_is_hard_even_exclusively() {
+        // §VII-C: "for cc with strict TTFT SLOs, even using AU exclusively
+        // for prefill cannot meet the SLO".
+        let (engine, _) = run_scenario(Scenario::CodeCompletion, 120);
+        let report = engine.slo_report();
+        assert!(
+            report.ttft_guarantee < 0.9,
+            "cc TTFT should violate often, got {}",
+            report.ttft_guarantee
+        );
+    }
+
+    #[test]
+    fn summarization_ttft_is_loose() {
+        let (engine, _) = run_scenario(Scenario::Summarization, 120);
+        let report = engine.slo_report();
+        assert!(
+            report.ttft_guarantee > 0.85,
+            "sm TTFT (1.5s) should mostly hold, got {}",
+            report.ttft_guarantee
+        );
+    }
+
+    #[test]
+    fn partitioned_mode_runs_phases_concurrently() {
+        let spec = gen_a();
+        let trace = TraceGenerator::new(Scenario::Chatbot, 0.7)
+            .generate(&DetRng::from_seed(7), SimDuration::from_secs(60));
+        let mut engine =
+            LlmEngine::new(EngineConfig::paper_default(Scenario::Chatbot), &spec, trace);
+        let res = EngineResources {
+            prefill: RegionResources::new(48, 2.5, GbPerSec(60.0)),
+            decode: RegionResources::new(32, 3.1, GbPerSec(170.0)),
+            mode: EngineMode::Partitioned,
+        };
+        let mut tokens = 0;
+        for step in 1..=60 {
+            tokens += engine.run_interval(SimTime::from_secs(step), &res).decode_tokens;
+        }
+        assert!(tokens > 1000, "partitioned decode generated {tokens}");
+        assert!(engine.slo_report().prefills > 20);
+    }
+
+    #[test]
+    fn starved_decode_region_stalls_decode_only() {
+        let spec = gen_a();
+        let trace = TraceGenerator::new(Scenario::Chatbot, 0.7)
+            .generate(&DetRng::from_seed(8), SimDuration::from_secs(30));
+        let mut engine =
+            LlmEngine::new(EngineConfig::paper_default(Scenario::Chatbot), &spec, trace);
+        let res = EngineResources {
+            prefill: RegionResources::new(96, 2.5, spec.mem_bw),
+            decode: RegionResources::new(0, 3.1, spec.mem_bw),
+            mode: EngineMode::Partitioned,
+        };
+        let mut stats = IntervalStats::default();
+        for step in 1..=30 {
+            let s = engine.run_interval(SimTime::from_secs(step), &res);
+            stats.prefill_tokens += s.prefill_tokens;
+            stats.decode_tokens += s.decode_tokens;
+        }
+        assert!(stats.prefill_tokens > 0);
+        assert_eq!(stats.decode_tokens, 0);
+    }
+
+    #[test]
+    fn throttled_bandwidth_raises_tpot_violations() {
+        let spec = gen_a();
+        let make = |bw: f64| {
+            let trace = TraceGenerator::new(Scenario::Chatbot, 0.7)
+                .generate(&DetRng::from_seed(9), SimDuration::from_secs(90));
+            let mut engine =
+                LlmEngine::new(EngineConfig::paper_default(Scenario::Chatbot), &spec, trace);
+            let res = EngineResources {
+                prefill: RegionResources::new(64, 2.5, GbPerSec(bw)),
+                decode: RegionResources::new(32, 3.1, GbPerSec(bw)),
+                mode: EngineMode::Partitioned,
+            };
+            for step in 1..=90 {
+                let _ = engine.run_interval(SimTime::from_secs(step), &res);
+            }
+            engine.slo_report().tpot_guarantee
+        };
+        let full = make(233.8);
+        let starved = make(90.0);
+        assert!(
+            starved < full - 0.2,
+            "bandwidth starvation must hurt TPOT: full={full}, starved={starved}"
+        );
+    }
+
+    #[test]
+    fn interval_stats_report_busy_fractions() {
+        let spec = gen_a();
+        let trace = TraceGenerator::new(Scenario::Chatbot, 0.7)
+            .generate(&DetRng::from_seed(10), SimDuration::from_secs(20));
+        let mut engine =
+            LlmEngine::new(EngineConfig::paper_default(Scenario::Chatbot), &spec, trace);
+        let res = exclusive_resources(&spec);
+        let mut any_busy = false;
+        for step in 1..=20 {
+            let s = engine.run_interval(SimTime::from_secs(step), &res);
+            assert!(s.prefill_busy <= 1.0 && s.decode_busy <= 1.0);
+            if s.decode_busy > 0.0 {
+                any_busy = true;
+            }
+        }
+        assert!(any_busy);
+    }
+
+    #[test]
+    fn drained_after_trace_completes() {
+        let spec = gen_a();
+        let trace = TraceGenerator::new(Scenario::CodeCompletion, 0.5)
+            .generate(&DetRng::from_seed(11), SimDuration::from_secs(10));
+        let n = trace.len() as u64;
+        let mut engine =
+            LlmEngine::new(EngineConfig::paper_default(Scenario::CodeCompletion), &spec, trace);
+        let res = exclusive_resources(&spec);
+        let mut t = 0;
+        while !engine.drained() && t < 200 {
+            t += 1;
+            let _ = engine.run_interval(SimTime::from_secs(t), &res);
+        }
+        assert!(engine.drained(), "engine should drain");
+        assert_eq!(engine.completed(), n);
+    }
+
+    #[test]
+    fn worst_lag_reflects_decode_health() {
+        let spec = gen_a();
+        let trace = TraceGenerator::new(Scenario::Chatbot, 0.7)
+            .generate(&DetRng::from_seed(12), SimDuration::from_secs(60));
+        let mut engine =
+            LlmEngine::new(EngineConfig::paper_default(Scenario::Chatbot), &spec, trace);
+        // Healthy run: LAG should not be catastrophically negative.
+        let res = exclusive_resources(&spec);
+        for step in 1..=60 {
+            let _ = engine.run_interval(SimTime::from_secs(step), &res);
+        }
+        let lag = engine.worst_lag_secs();
+        assert!(lag > -10.0, "healthy serving should not fall far behind, lag={lag}");
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_inter_token_stalls() {
+        // Chunking cannot reduce total prefill work (per-request average
+        // TPOT is unchanged), but it bounds the *longest* inter-token gap
+        // to roughly one chunk instead of one whole prompt — the jitter a
+        // user of a streaming chatbot actually notices.
+        let spec = gen_a();
+        let run = |chunk: Option<usize>| {
+            let trace = TraceGenerator::new(Scenario::Summarization, 0.6)
+                .generate(&DetRng::from_seed(23), SimDuration::from_secs(120));
+            let mut cfg = EngineConfig::paper_default(Scenario::Summarization);
+            cfg.prefill_chunk = chunk;
+            let mut engine = LlmEngine::new(cfg, &spec, trace);
+            let res = exclusive_resources(&spec);
+            for step in 1..=120 {
+                let _ = engine.run_interval(SimTime::from_secs(step), &res);
+            }
+            // Largest inter-token wall gap across requests.
+            let mut last: std::collections::BTreeMap<crate::request::RequestId, SimTime> =
+                std::collections::BTreeMap::new();
+            let mut max_gap = 0.0f64;
+            for t in engine.token_records() {
+                if let Some(prev) = last.insert(t.id, t.emitted) {
+                    max_gap = max_gap.max(t.emitted.saturating_since(prev).as_secs_f64());
+                }
+            }
+            (max_gap, engine.slo_report().prefills)
+        };
+        let (whole_gap, whole_prefills) = run(None);
+        let (chunked_gap, chunked_prefills) = run(Some(512));
+        assert!(
+            chunked_gap < whole_gap * 0.8,
+            "chunked max stall {chunked_gap} must beat whole-prompt {whole_gap}"
+        );
+        assert!(chunked_prefills >= whole_prefills * 9 / 10, "work still completes");
+    }
+
+    #[test]
+    fn chunked_prefill_preserves_request_accounting() {
+        let spec = gen_a();
+        let trace = TraceGenerator::new(Scenario::Chatbot, 0.5)
+            .generate(&DetRng::from_seed(24), SimDuration::from_secs(20));
+        let n = trace.len() as u64;
+        let mut cfg = EngineConfig::paper_default(Scenario::Chatbot);
+        cfg.prefill_chunk = Some(256);
+        let mut engine = LlmEngine::new(cfg, &spec, trace);
+        let res = exclusive_resources(&spec);
+        let mut t = 0;
+        while !engine.drained() && t < 400 {
+            t += 1;
+            let _ = engine.run_interval(SimTime::from_secs(t), &res);
+        }
+        assert!(engine.drained());
+        assert_eq!(engine.completed(), n);
+        assert_eq!(engine.ttft_records().len() as u64, n);
+    }
+
+    #[test]
+    fn kv_budget_caps_the_decode_batch() {
+        let spec = gen_a();
+        let model = ModelConfig::llama2_7b();
+        let trace = TraceGenerator::new(Scenario::Chatbot, 2.0)
+            .generate(&DetRng::from_seed(21), SimDuration::from_secs(30));
+        // Budget for roughly two resident chatbot requests.
+        let per_req =
+            crate::kv::KvBudget::request_peak_bytes(&model, Precision::Bf16, 755 * 4, 200 * 4);
+        let mut cfg = EngineConfig::paper_default(Scenario::Chatbot);
+        cfg.kv_budget = Some(crate::kv::KvBudget::from_bytes(per_req * 2.0));
+        let mut engine = LlmEngine::new(cfg, &spec, trace);
+        let res = exclusive_resources(&spec);
+        for step in 1..=60 {
+            let _ = engine.run_interval(SimTime::from_secs(step), &res);
+            assert!(
+                engine.decode_batch() <= 8,
+                "tiny KV budget must cap the batch, got {}",
+                engine.decode_batch()
+            );
+        }
+        assert!(engine.completed() > 0, "capacity-bound serving still progresses");
+    }
+
+    #[test]
+    fn platform_kv_budget_never_binds_on_gen_a() {
+        // 1 TB of DDR5 swallows any chatbot batch; behaviour must match the
+        // unbudgeted engine exactly.
+        let spec = gen_a();
+        let trace = || {
+            TraceGenerator::new(Scenario::Chatbot, 0.4)
+                .generate(&DetRng::from_seed(22), SimDuration::from_secs(60))
+        };
+        let unbounded = {
+            let mut e = LlmEngine::new(
+                EngineConfig::paper_default(Scenario::Chatbot), &spec, trace());
+            for step in 1..=60 {
+                let _ = e.run_interval(SimTime::from_secs(step), &exclusive_resources(&spec));
+            }
+            e.slo_report()
+        };
+        let budgeted = {
+            let cfg = EngineConfig::paper_default(Scenario::Chatbot)
+                .with_platform_kv_budget(&spec);
+            let mut e = LlmEngine::new(cfg, &spec, trace());
+            for step in 1..=60 {
+                let _ = e.run_interval(SimTime::from_secs(step), &exclusive_resources(&spec));
+            }
+            e.slo_report()
+        };
+        assert_eq!(unbounded, budgeted);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_rejected() {
+        let spec = gen_a();
+        let trace = vec![
+            Request::new(0, SimTime::from_secs(5), 10, 10),
+            Request::new(1, SimTime::from_secs(1), 10, 10),
+        ];
+        let _ = LlmEngine::new(EngineConfig::paper_default(Scenario::Chatbot), &spec, trace);
+    }
+}

@@ -1,0 +1,178 @@
+//! Service-level objectives and guarantee accounting.
+//!
+//! The paper measures TTFT (time-to-first-token) for prefill and TPOT
+//! (time-per-output-token) for decode (§III-A2), and reports *SLO guarantee
+//! ratios* — the fraction of requests/tokens meeting their deadline
+//! (Fig 17) — plus throughput "with performance guarantees".
+
+use serde::{Deserialize, Serialize};
+
+use aum_sim::stats::Samples;
+use aum_sim::time::SimDuration;
+
+use crate::request::{TokenRecord, TtftRecord};
+
+/// The two serving deadlines of a scenario (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// TTFT deadline (`d_TTFT`).
+    pub ttft: SimDuration,
+    /// TPOT deadline (`d_TPOT`).
+    pub tpot: SimDuration,
+}
+
+impl SloSpec {
+    /// Creates a spec.
+    #[must_use]
+    pub const fn new(ttft: SimDuration, tpot: SimDuration) -> Self {
+        SloSpec { ttft, tpot }
+    }
+}
+
+/// Aggregated SLO outcome of a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Fraction of requests whose TTFT met `d_TTFT`.
+    pub ttft_guarantee: f64,
+    /// Fraction of requests whose *average* token time met `d_TPOT` — TPOT
+    /// is a per-request average (§III-A2), which is precisely the slack the
+    /// LAG analysis exploits: individual tokens may run late as long as the
+    /// request's schedule catches up.
+    pub tpot_guarantee: f64,
+    /// Median TTFT in seconds.
+    pub ttft_p50: f64,
+    /// 90th-percentile TTFT in seconds.
+    pub ttft_p90: f64,
+    /// Median token execution time in seconds.
+    pub tpot_p50: f64,
+    /// 90th-percentile token execution time in seconds.
+    pub tpot_p90: f64,
+    /// Median of per-request *average* token times, seconds — the
+    /// distribution the TPOT SLO is actually judged on.
+    pub tpot_req_p50: f64,
+    /// 90th percentile of per-request average token times, seconds.
+    pub tpot_req_p90: f64,
+    /// Requests with a completed prefill.
+    pub prefills: usize,
+    /// Decode tokens generated.
+    pub tokens: usize,
+}
+
+impl SloReport {
+    /// Builds a report from raw records.
+    #[must_use]
+    pub fn from_records(slo: SloSpec, ttfts: &[TtftRecord], tokens: &[TokenRecord]) -> Self {
+        let ttft_samples: Samples = ttfts.iter().map(|r| r.ttft.as_secs_f64()).collect();
+        let token_samples: Samples = tokens.iter().map(|r| r.exec.as_secs_f64()).collect();
+        let ttft_ok = if ttfts.is_empty() {
+            1.0
+        } else {
+            ttfts.iter().filter(|r| r.ttft <= slo.ttft).count() as f64 / ttfts.len() as f64
+        };
+        // Per-request average token times — the quantity the TPOT SLO
+        // constrains, and the slack the LAG analysis exploits.
+        let mut per_request: std::collections::BTreeMap<crate::request::RequestId, (f64, u32)> =
+            std::collections::BTreeMap::new();
+        for t in tokens {
+            let e = per_request.entry(t.id).or_insert((0.0, 0));
+            e.0 += t.exec.as_secs_f64();
+            e.1 += 1;
+        }
+        let req_avgs: Samples =
+            per_request.values().map(|(sum, n)| sum / f64::from(*n)).collect();
+        let tpot_ok = if per_request.is_empty() {
+            1.0
+        } else {
+            let met = per_request
+                .values()
+                .filter(|(sum, n)| sum / f64::from(*n) <= slo.tpot.as_secs_f64())
+                .count();
+            met as f64 / per_request.len() as f64
+        };
+        SloReport {
+            ttft_guarantee: ttft_ok,
+            tpot_guarantee: tpot_ok,
+            ttft_p50: ttft_samples.quantile(0.5),
+            ttft_p90: ttft_samples.quantile(0.9),
+            tpot_p50: token_samples.quantile(0.5),
+            tpot_p90: token_samples.quantile(0.9),
+            tpot_req_p50: req_avgs.quantile(0.5),
+            tpot_req_p90: req_avgs.quantile(0.9),
+            prefills: ttfts.len(),
+            tokens: tokens.len(),
+        }
+    }
+
+    /// Combined violation rate (1 − mean of the two guarantees).
+    #[must_use]
+    pub fn violation_rate(&self) -> f64 {
+        1.0 - (self.ttft_guarantee + self.tpot_guarantee) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use aum_sim::time::SimTime;
+
+    fn slo() -> SloSpec {
+        SloSpec::new(SimDuration::from_millis(250), SimDuration::from_millis(100))
+    }
+
+    fn ttft(id: u64, ms: u64) -> TtftRecord {
+        TtftRecord { id: RequestId(id), arrival: SimTime::ZERO, ttft: SimDuration::from_millis(ms) }
+    }
+
+    fn token(id: u64, ms: u64) -> TokenRecord {
+        TokenRecord {
+            id: RequestId(id),
+            emitted: SimTime::ZERO,
+            exec: SimDuration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn guarantee_ratios_count_deadline_hits() {
+        let r = SloReport::from_records(
+            slo(),
+            &[ttft(0, 100), ttft(1, 200), ttft(2, 300), ttft(3, 400)],
+            // Request 0 averages exactly 100 ms (meets); request 1 averages
+            // 150 ms (violates) even though one of its tokens was fast.
+            &[token(0, 50), token(0, 150), token(1, 50), token(1, 250)],
+        );
+        assert!((r.ttft_guarantee - 0.5).abs() < 1e-12);
+        assert!((r.tpot_guarantee - 0.5).abs() < 1e-12);
+        assert_eq!(r.prefills, 4);
+        assert_eq!(r.tokens, 4);
+    }
+
+    #[test]
+    fn empty_records_are_vacuously_guaranteed() {
+        let r = SloReport::from_records(slo(), &[], &[]);
+        assert_eq!(r.ttft_guarantee, 1.0);
+        assert_eq!(r.tpot_guarantee, 1.0);
+        assert_eq!(r.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_come_from_samples() {
+        let records: Vec<TtftRecord> = (1..=100).map(|i| ttft(i, i * 10)).collect();
+        let r = SloReport::from_records(slo(), &records, &[]);
+        assert!((r.ttft_p50 - 0.505).abs() < 0.01, "p50 {}", r.ttft_p50);
+        assert!((r.ttft_p90 - 0.901).abs() < 0.01, "p90 {}", r.ttft_p90);
+    }
+
+    #[test]
+    fn violation_rate_blends_both() {
+        let r = SloReport::from_records(slo(), &[ttft(0, 300)], &[token(0, 50)]);
+        assert!((r.violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_boundary_counts_as_met() {
+        let r = SloReport::from_records(slo(), &[ttft(0, 250)], &[token(0, 100)]);
+        assert_eq!(r.ttft_guarantee, 1.0);
+        assert_eq!(r.tpot_guarantee, 1.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Way-partitioned cache model.
+//!
+//! CAT allocates cache *ways*; a workload's response to capacity is captured
+//! by a miss-rate curve (MRC). We use the classic exponential-decay form
+//! `miss(ways) = floor + (ceil - floor) * exp(-capacity/half_set)`, which
+//! matches the paper's observation (Fig 13) that AU applications differ
+//! strongly in LLC affinity: decode barely benefits beyond a few ways on
+//! GenA while shared applications like SPECjbb keep improving.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::PlatformSpec;
+
+/// A workload's miss ratio as a function of allocated cache capacity.
+///
+/// # Examples
+///
+/// ```
+/// use aum_platform::cache::MissRateCurve;
+///
+/// let mrc = MissRateCurve::new(0.05, 0.60, 20.0);
+/// let few = mrc.miss_ratio(2.0);
+/// let many = mrc.miss_ratio(100.0);
+/// assert!(few > many);
+/// assert!(many >= 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissRateCurve {
+    /// Compulsory/streaming miss ratio with unbounded capacity.
+    floor: f64,
+    /// Miss ratio with (near) zero capacity.
+    ceil: f64,
+    /// Capacity in MiB at which ~63% of the capturable reuse is captured.
+    knee_mb: f64,
+}
+
+impl MissRateCurve {
+    /// Creates a curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ratios are outside `[0, 1]`, `floor > ceil`, or the knee is
+    /// not positive.
+    #[must_use]
+    pub fn new(floor: f64, ceil: f64, knee_mb: f64) -> Self {
+        assert!((0.0..=1.0).contains(&floor), "floor out of range: {floor}");
+        assert!((0.0..=1.0).contains(&ceil), "ceil out of range: {ceil}");
+        assert!(floor <= ceil, "floor {floor} must not exceed ceil {ceil}");
+        assert!(knee_mb > 0.0, "knee capacity must be positive, got {knee_mb}");
+        MissRateCurve { floor, ceil, knee_mb }
+    }
+
+    /// A flat curve for streaming workloads that get no cache benefit.
+    #[must_use]
+    pub fn streaming(miss_ratio: f64) -> Self {
+        MissRateCurve::new(miss_ratio, miss_ratio, 1.0)
+    }
+
+    /// Miss ratio at the given allocated capacity (MiB). Capacity below zero
+    /// is treated as zero.
+    #[must_use]
+    pub fn miss_ratio(&self, capacity_mb: f64) -> f64 {
+        let c = capacity_mb.max(0.0);
+        self.floor + (self.ceil - self.floor) * (-c / self.knee_mb).exp()
+    }
+
+    /// Ratio of DRAM traffic at `capacity_mb` relative to traffic with the
+    /// full `reference_mb` capacity — the traffic *amplification* caused by
+    /// shrinking the partition. Always ≥ 1 when capacity ≤ reference.
+    #[must_use]
+    pub fn traffic_amplification(&self, capacity_mb: f64, reference_mb: f64) -> f64 {
+        let reference = self.miss_ratio(reference_mb);
+        if reference <= 0.0 {
+            return 1.0;
+        }
+        self.miss_ratio(capacity_mb) / reference
+    }
+
+    /// Asymptotic miss ratio (unbounded capacity).
+    #[must_use]
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Zero-capacity miss ratio.
+    #[must_use]
+    pub fn ceil(&self) -> f64 {
+        self.ceil
+    }
+}
+
+/// Cache sensitivity description of one workload: its miss-rate curves for
+/// L2 and LLC plus the fraction of its performance governed by cache
+/// residency (vs. raw compute).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheProfile {
+    /// LLC miss-rate curve.
+    pub llc: MissRateCurve,
+    /// L2 miss-rate curve (per-core capacity).
+    pub l2: MissRateCurve,
+    /// Weight in `[0,1]` of cache behaviour in end-to-end performance.
+    pub cache_sensitivity: f64,
+}
+
+impl CacheProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_sensitivity` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(llc: MissRateCurve, l2: MissRateCurve, cache_sensitivity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cache_sensitivity),
+            "cache sensitivity out of range: {cache_sensitivity}"
+        );
+        CacheProfile { llc, l2, cache_sensitivity }
+    }
+
+    /// Performance multiplier (≤ 1) for running with `llc_ways`/`l2_ways`
+    /// instead of the full cache on `spec`.
+    ///
+    /// The multiplier blends the cache-insensitive fraction (unaffected)
+    /// with the cache-sensitive fraction slowed by the miss-ratio increase.
+    #[must_use]
+    pub fn performance_factor(&self, spec: &PlatformSpec, llc_ways: u32, l2_ways: u32) -> f64 {
+        let llc_full = f64::from(spec.llc_ways) * spec.llc_mb_per_way();
+        let llc_now = f64::from(llc_ways.min(spec.llc_ways)) * spec.llc_mb_per_way();
+        let l2_way_mb = spec.l2_mb_per_core / f64::from(spec.l2_ways);
+        let l2_full = spec.l2_mb_per_core;
+        let l2_now = f64::from(l2_ways.min(spec.l2_ways)) * l2_way_mb;
+
+        let llc_amp = self.llc.traffic_amplification(llc_now, llc_full);
+        let l2_amp = self.l2.traffic_amplification(l2_now, l2_full);
+        // Misses at L2 that hit in LLC are cheaper than LLC misses; weight
+        // the LLC curve 3x the L2 curve in the slowdown blend.
+        let amp = (3.0 * llc_amp + l2_amp) / 4.0;
+        let sensitive_slowdown = 1.0 / amp.max(1e-9);
+        (1.0 - self.cache_sensitivity) + self.cache_sensitivity * sensitive_slowdown
+    }
+
+    /// DRAM-traffic amplification for the LLC allocation alone, used to
+    /// scale a workload's bandwidth demand when its partition shrinks.
+    #[must_use]
+    pub fn bandwidth_amplification(&self, spec: &PlatformSpec, llc_ways: u32) -> f64 {
+        let llc_full = f64::from(spec.llc_ways) * spec.llc_mb_per_way();
+        let llc_now = f64::from(llc_ways.min(spec.llc_ways)) * spec.llc_mb_per_way();
+        self.llc.traffic_amplification(llc_now, llc_full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> MissRateCurve {
+        MissRateCurve::new(0.1, 0.8, 30.0)
+    }
+
+    #[test]
+    fn miss_ratio_decreases_with_capacity() {
+        let c = curve();
+        let mut last = c.miss_ratio(0.0);
+        assert!((last - 0.8).abs() < 1e-12);
+        for mb in [5.0, 10.0, 50.0, 100.0, 500.0] {
+            let m = c.miss_ratio(mb);
+            assert!(m < last, "miss ratio must strictly decrease");
+            last = m;
+        }
+        assert!(last > 0.1, "never goes below floor");
+    }
+
+    #[test]
+    fn negative_capacity_clamps() {
+        let c = curve();
+        assert_eq!(c.miss_ratio(-5.0), c.miss_ratio(0.0));
+    }
+
+    #[test]
+    fn streaming_curve_is_flat() {
+        let c = MissRateCurve::streaming(0.4);
+        assert_eq!(c.miss_ratio(0.0), c.miss_ratio(1000.0));
+        assert_eq!(c.traffic_amplification(1.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn amplification_at_reference_is_one() {
+        let c = curve();
+        assert!((c.traffic_amplification(100.0, 100.0) - 1.0).abs() < 1e-12);
+        assert!(c.traffic_amplification(5.0, 100.0) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed ceil")]
+    fn inverted_curve_rejected() {
+        let _ = MissRateCurve::new(0.9, 0.1, 10.0);
+    }
+
+    #[test]
+    fn performance_factor_monotone_in_ways() {
+        let spec = PlatformSpec::gen_a();
+        let p = CacheProfile::new(curve(), MissRateCurve::new(0.2, 0.7, 1.0), 0.6);
+        let mut last = 0.0;
+        for ways in 1..=16 {
+            let f = p.performance_factor(&spec, ways, 16);
+            assert!(f > last, "more ways must not hurt");
+            assert!(f <= 1.0 + 1e-12);
+            last = f;
+        }
+        assert!((p.performance_factor(&spec, 16, 16) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insensitive_workload_ignores_cache() {
+        let spec = PlatformSpec::gen_a();
+        let p = CacheProfile::new(curve(), curve(), 0.0);
+        assert!((p.performance_factor(&spec, 1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_amplification_grows_as_ways_shrink() {
+        let spec = PlatformSpec::gen_a();
+        let p = CacheProfile::new(curve(), MissRateCurve::streaming(0.1), 0.5);
+        let small = p.bandwidth_amplification(&spec, 2);
+        let large = p.bandwidth_amplification(&spec, 16);
+        assert!(small > large);
+        assert!((large - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_ways_clamp_to_spec() {
+        let spec = PlatformSpec::gen_a();
+        let p = CacheProfile::new(curve(), curve(), 0.5);
+        assert_eq!(
+            p.performance_factor(&spec, 99, 99),
+            p.performance_factor(&spec, 16, 16)
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! License-based frequency governor with power-stress coupling.
+//!
+//! Modern Xeons run wide-vector and matrix units under *license classes*:
+//! cores executing AMX tiles draw so much current that the package drops
+//! their frequency regardless of thermal headroom, and the drop deepens as
+//! package power rises. The paper measures on GenA (§IV-B, Fig 6):
+//!
+//! - None-AU cores hold the 3.2 GHz all-core turbo and see **no cascaded
+//!   reduction** from AU activity elsewhere (Fig 6a gray squares);
+//! - decode (low AU, AVX-dominated) cores run ≈3.1 GHz alone but sink
+//!   toward 2.8 GHz when power stressors co-run (blue squares, Table III);
+//! - prefill (high AU, AMX-dominated) cores run ≈2.5 GHz nearly
+//!   independent of AU core count (green circles), bottoming at 2.1 GHz
+//!   under maximal sharing pressure (Table III).
+//!
+//! The governor reproduces exactly those responses; the abrupt drops of
+//! Fig 6b come from the separate [`crate::thermal`] model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::PlatformSpec;
+use crate::topology::AuUsageLevel;
+use crate::units::{Ghz, Watts};
+
+/// Offset below all-core turbo for the AVX license class.
+const AVX_LICENSE_OFFSET: f64 = 0.1;
+/// Offset below all-core turbo used to derive the AMX license class.
+const AMX_LICENSE_OFFSET: f64 = 0.7;
+/// How far below the AMX license the stress floor sits.
+const STRESS_HEADROOM: f64 = 0.4;
+/// Mild dependence of the AMX license on how many cores hold it.
+const AMX_CROWDING_GHZ: f64 = 0.08;
+
+/// Per-platform frequency governor.
+///
+/// # Examples
+///
+/// ```
+/// use aum_platform::freq::FrequencyGovernor;
+/// use aum_platform::spec::PlatformSpec;
+/// use aum_platform::topology::AuUsageLevel;
+///
+/// let gov = FrequencyGovernor::for_spec(&PlatformSpec::gen_a());
+/// let prefill = gov.license_frequency(AuUsageLevel::High);
+/// let idle = gov.license_frequency(AuUsageLevel::None);
+/// assert!(prefill < idle);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyGovernor {
+    turbo: Ghz,
+    avx_license: Ghz,
+    amx_license: Ghz,
+    stress_floor_avx: Ghz,
+    stress_floor_amx: Ghz,
+    tdp: Watts,
+}
+
+/// Runtime conditions a region's frequency depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FreqConditions {
+    /// Fraction of platform cores holding an AU license, in `[0, 1]`.
+    pub au_core_frac: f64,
+    /// Package power pressure from co-runners, in `[0, 1]`: the ratio of
+    /// non-AU dynamic power to the power the package could absorb before
+    /// the voltage regulator tightens AU licenses.
+    pub power_stress: f64,
+    /// Additional frequency reduction requested by the thermal model.
+    pub thermal_drop: Ghz,
+}
+
+impl FrequencyGovernor {
+    /// Derives the governor for a platform from its spec frequencies.
+    #[must_use]
+    pub fn for_spec(spec: &PlatformSpec) -> Self {
+        let turbo = spec.allcore_turbo;
+        let avx_license = Ghz(turbo.value() - AVX_LICENSE_OFFSET);
+        let amx_license = Ghz(spec.base_freq.value().min(turbo.value() - AMX_LICENSE_OFFSET));
+        FrequencyGovernor {
+            turbo,
+            avx_license,
+            amx_license,
+            stress_floor_avx: Ghz(avx_license.value() - 0.3),
+            stress_floor_amx: Ghz(amx_license.value() - STRESS_HEADROOM),
+            tdp: spec.tdp,
+        }
+    }
+
+    /// Static license frequency of a usage level with no sharing pressure.
+    #[must_use]
+    pub fn license_frequency(&self, level: AuUsageLevel) -> Ghz {
+        match level {
+            AuUsageLevel::None => self.turbo,
+            AuUsageLevel::Low => self.avx_license,
+            AuUsageLevel::High => self.amx_license,
+        }
+    }
+
+    /// All-core turbo (None-AU ceiling).
+    #[must_use]
+    pub fn turbo(&self) -> Ghz {
+        self.turbo
+    }
+
+    /// Frequency of a region under the given runtime conditions.
+    ///
+    /// None-AU regions are immune to AU-induced reductions (Fig 6a) and
+    /// only respond to the thermal drop. AU regions sink from their license
+    /// frequency toward the stress floor as `power_stress` rises, with a
+    /// mild crowding term for High-AU regions.
+    #[must_use]
+    pub fn region_frequency(&self, level: AuUsageLevel, cond: FreqConditions) -> Ghz {
+        let stress = cond.power_stress.clamp(0.0, 1.0);
+        let base = match level {
+            AuUsageLevel::None => self.turbo.value(),
+            AuUsageLevel::Low => {
+                let span = self.avx_license.value() - self.stress_floor_avx.value();
+                self.avx_license.value() - span * stress
+            }
+            AuUsageLevel::High => {
+                let crowding = AMX_CROWDING_GHZ * cond.au_core_frac.clamp(0.0, 1.0);
+                let span = self.amx_license.value() - self.stress_floor_amx.value();
+                (self.amx_license.value() - crowding - span * stress)
+                    .max(self.stress_floor_amx.value())
+            }
+        };
+        Ghz((base - cond.thermal_drop.value()).max(0.4))
+    }
+
+    /// The lowest frequency a level can be pushed to by power stress alone.
+    #[must_use]
+    pub fn stress_floor(&self, level: AuUsageLevel) -> Ghz {
+        match level {
+            AuUsageLevel::None => self.turbo,
+            AuUsageLevel::Low => self.stress_floor_avx,
+            AuUsageLevel::High => self.stress_floor_amx,
+        }
+    }
+
+    /// Package TDP the governor protects.
+    #[must_use]
+    pub fn tdp(&self) -> Watts {
+        self.tdp
+    }
+
+    /// Applies a package-level TDP cap: if `power` exceeds the budget, all
+    /// AU-region frequencies are scaled down by the cube-root power ratio
+    /// (dynamic power ∝ f³ to first order at fixed voltage steps).
+    #[must_use]
+    pub fn tdp_scale(&self, power: Watts) -> f64 {
+        if power.value() <= self.tdp.value() || power.value() <= 0.0 {
+            1.0
+        } else {
+            (self.tdp.value() / power.value()).cbrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov() -> FrequencyGovernor {
+        FrequencyGovernor::for_spec(&PlatformSpec::gen_a())
+    }
+
+    #[test]
+    fn gen_a_license_frequencies_match_fig6() {
+        let g = gov();
+        assert!((g.license_frequency(AuUsageLevel::None).value() - 3.2).abs() < 1e-9);
+        assert!((g.license_frequency(AuUsageLevel::Low).value() - 3.1).abs() < 1e-9);
+        assert!((g.license_frequency(AuUsageLevel::High).value() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_floors_match_table3() {
+        let g = gov();
+        // Table III: High bucket at 2.1 GHz under max pressure.
+        assert!((g.stress_floor(AuUsageLevel::High).value() - 2.1).abs() < 1e-9);
+        assert!((g.stress_floor(AuUsageLevel::Low).value() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_region_is_immune_to_stress() {
+        let g = gov();
+        let f = g.region_frequency(
+            AuUsageLevel::None,
+            FreqConditions { au_core_frac: 1.0, power_stress: 1.0, thermal_drop: Ghz(0.0) },
+        );
+        assert!((f.value() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stress_pushes_toward_floor() {
+        let g = gov();
+        let relaxed = g.region_frequency(AuUsageLevel::Low, FreqConditions::default());
+        let stressed = g.region_frequency(
+            AuUsageLevel::Low,
+            FreqConditions { power_stress: 1.0, ..Default::default() },
+        );
+        assert!((relaxed.value() - 3.1).abs() < 1e-9);
+        assert!((stressed.value() - 2.8).abs() < 1e-9);
+        for s in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let f = g.region_frequency(
+                AuUsageLevel::Low,
+                FreqConditions { power_stress: s, ..Default::default() },
+            );
+            assert!(f.value() <= relaxed.value() + 1e-9);
+            assert!(f.value() >= stressed.value() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn amx_crowding_is_mild() {
+        let g = gov();
+        let few = g.region_frequency(
+            AuUsageLevel::High,
+            FreqConditions { au_core_frac: 0.1, ..Default::default() },
+        );
+        let many = g.region_frequency(
+            AuUsageLevel::High,
+            FreqConditions { au_core_frac: 1.0, ..Default::default() },
+        );
+        assert!(few > many);
+        assert!(few.value() - many.value() < 0.1, "Fig 6a: little dependence on AU core count");
+    }
+
+    #[test]
+    fn thermal_drop_subtracts() {
+        let g = gov();
+        let f = g.region_frequency(
+            AuUsageLevel::None,
+            FreqConditions { thermal_drop: Ghz(0.4), ..Default::default() },
+        );
+        assert!((f.value() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_never_collapses() {
+        let g = gov();
+        let f = g.region_frequency(
+            AuUsageLevel::High,
+            FreqConditions { power_stress: 1.0, thermal_drop: Ghz(10.0), au_core_frac: 1.0 },
+        );
+        assert!(f.value() >= 0.4);
+    }
+
+    #[test]
+    fn tdp_scale_only_bites_over_budget() {
+        let g = gov();
+        assert_eq!(g.tdp_scale(Watts(100.0)), 1.0);
+        assert_eq!(g.tdp_scale(Watts(0.0)), 1.0);
+        let s = g.tdp_scale(Watts(g.tdp().value() * 2.0));
+        assert!(s < 1.0 && s > 0.5);
+    }
+
+    #[test]
+    fn other_platforms_have_consistent_ordering() {
+        for spec in PlatformSpec::presets() {
+            let g = FrequencyGovernor::for_spec(&spec);
+            assert!(g.license_frequency(AuUsageLevel::High) < g.license_frequency(AuUsageLevel::Low));
+            assert!(g.license_frequency(AuUsageLevel::Low) < g.license_frequency(AuUsageLevel::None));
+            assert!(g.stress_floor(AuUsageLevel::High).value() > 0.5);
+        }
+    }
+}

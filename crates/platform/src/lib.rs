@@ -1,0 +1,60 @@
+//! # aum-platform — simulated AU-enabled CPU platform
+//!
+//! Mechanistic model of the three production Xeon platforms the AUM paper
+//! evaluates (Table I). The crate substitutes for the real hardware the
+//! paper measured with `turbostat`, `perf` and Intel RDT:
+//!
+//! - [`spec`]: Table I hardware presets (`GenA`, `GenB`, `GenC`);
+//! - [`topology`]: core regions and the High/Low/None processor division;
+//! - [`freq`]: license-based frequency governor (Variation-2, Fig 6a);
+//! - [`thermal`]: hotspot heat accumulation (abrupt drops of Fig 6b);
+//! - [`power`]: package power model calibrated to §III-B (≈270 W GenA);
+//! - [`cache`]: way-partitioned caches with miss-rate curves (Fig 13);
+//! - [`membw`]: shared bandwidth pool with MBA throttling;
+//! - [`numa`]: two-socket NUMA effects and division placement;
+//! - [`rdt`]: CAT/MBA allocation knobs and validation;
+//! - [`smt`]: hyperthread contention model (Fig 9);
+//! - [`state`]: [`state::PlatformSim`], the steppable composition of all of
+//!   the above.
+//!
+//! ## Example
+//!
+//! ```
+//! use aum_platform::power::ActivityClass;
+//! use aum_platform::spec::PlatformSpec;
+//! use aum_platform::state::{PlatformSim, RegionLoad};
+//! use aum_platform::topology::AuUsageLevel;
+//! use aum_platform::units::GbPerSec;
+//! use aum_sim::time::SimDuration;
+//!
+//! // Reproduce the Fig 6a observation: AMX cores downclock, idle cores don't.
+//! let mut sim = PlatformSim::new(PlatformSpec::gen_a());
+//! let snap = sim.step(
+//!     SimDuration::from_millis(100),
+//!     &[
+//!         RegionLoad::new(AuUsageLevel::High, 32, ActivityClass::Amx, 1.0, GbPerSec(60.0)),
+//!         RegionLoad::idle(AuUsageLevel::None, 64),
+//!     ],
+//! );
+//! assert!(snap.freqs[0] < snap.freqs[1]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod freq;
+pub mod membw;
+pub mod numa;
+pub mod power;
+pub mod rdt;
+pub mod smt;
+pub mod spec;
+pub mod state;
+pub mod thermal;
+pub mod topology;
+pub mod units;
+
+pub use spec::PlatformSpec;
+pub use state::{PlatformSim, PlatformSnapshot, RegionLoad};
+pub use topology::{AuUsageLevel, ProcessorDivision};

@@ -1,0 +1,214 @@
+//! NUMA topology model for the two-socket platforms.
+//!
+//! GenA and GenB are 2-socket machines (Table I); their 233.8/588 GB/s
+//! bandwidth figures aggregate two per-socket memory domains joined by a
+//! UPI-class interconnect. Core regions that span sockets, or that read
+//! data homed on the other socket, pay a remote-access tax. The paper
+//! manages a single machine and does not model NUMA explicitly; this
+//! module quantifies what its processor divisions cost or save when
+//! placement is NUMA-aware versus naive — a placement dimension a
+//! production deployment of AUM must get right.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::PlatformSpec;
+use crate::topology::ProcessorDivision;
+use crate::units::GbPerSec;
+
+/// NUMA description of a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumaConfig {
+    /// Memory domains (= sockets).
+    pub domains: usize,
+    /// Local bandwidth of one domain.
+    pub local_bw: GbPerSec,
+    /// Cross-socket interconnect bandwidth (per direction).
+    pub interconnect_bw: GbPerSec,
+    /// Latency-driven efficiency multiplier on remote accesses, `(0, 1]`.
+    pub remote_efficiency: f64,
+}
+
+impl NumaConfig {
+    /// Derives the NUMA shape of a platform: each socket owns an equal
+    /// share of the aggregate bandwidth; the interconnect carries roughly
+    /// half of one domain's bandwidth (UPI-class links), and remote
+    /// accesses run at ≈70% efficiency.
+    #[must_use]
+    pub fn for_spec(spec: &PlatformSpec) -> Self {
+        let domains = spec.sockets.max(1);
+        let local = spec.mem_bw.value() / domains as f64;
+        NumaConfig {
+            domains,
+            local_bw: GbPerSec(local),
+            interconnect_bw: GbPerSec(local * 0.5),
+            remote_efficiency: 0.7,
+        }
+    }
+
+    /// True when the platform has a single memory domain (no NUMA effects).
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.domains <= 1
+    }
+
+    /// Effective bandwidth available to a workload that spreads its
+    /// accesses with `remote_frac` of traffic hitting the other domain.
+    ///
+    /// Remote traffic is limited by both the interconnect and the remote
+    /// efficiency; local traffic uses the local domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remote_frac` is outside `[0, 1]`.
+    #[must_use]
+    pub fn effective_bandwidth(&self, remote_frac: f64) -> GbPerSec {
+        assert!((0.0..=1.0).contains(&remote_frac), "remote fraction out of range");
+        if self.is_uniform() || remote_frac == 0.0 {
+            // All domains usable locally.
+            return GbPerSec(self.local_bw.value() * self.domains as f64);
+        }
+        let local = self.local_bw.value() * (1.0 - remote_frac) * self.domains as f64;
+        let remote_raw = self.local_bw.value() * remote_frac * self.domains as f64;
+        let remote =
+            remote_raw.min(self.interconnect_bw.value() * self.domains as f64) * self.remote_efficiency;
+        GbPerSec(local + remote)
+    }
+
+    /// Remote-access fraction of a processor division placed naively
+    /// (regions laid out contiguously over core ids, data interleaved
+    /// across domains): every access is 1/domains-local, so
+    /// `(domains-1)/domains` of traffic is remote.
+    #[must_use]
+    pub fn naive_remote_frac(&self) -> f64 {
+        if self.is_uniform() {
+            0.0
+        } else {
+            (self.domains as f64 - 1.0) / self.domains as f64
+        }
+    }
+
+    /// Remote-access fraction under NUMA-aware placement of a division:
+    /// each region is packed within sockets and its data homed locally;
+    /// only regions that *straddle* a socket boundary pay remote accesses
+    /// for their minority share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the division does not cover a whole number of cores per
+    /// domain layout (division total must equal platform cores).
+    #[must_use]
+    pub fn aware_remote_frac(&self, division: &ProcessorDivision, total_cores: usize) -> f64 {
+        assert_eq!(division.total_cores(), total_cores, "division must cover the platform");
+        if self.is_uniform() {
+            return 0.0;
+        }
+        let per_socket = total_cores / self.domains;
+        // Count, over region boundaries laid out contiguously, the cores
+        // that sit on the "wrong" socket relative to their region's
+        // majority socket.
+        let mut remote_cores = 0usize;
+        for level in aum_region_levels() {
+            let (start, end) = division.region_range(level);
+            if end == start {
+                continue;
+            }
+            // Cores of this region per socket.
+            let mut per_domain = vec![0usize; self.domains];
+            for core in start..end {
+                per_domain[(core / per_socket).min(self.domains - 1)] += 1;
+            }
+            let majority = per_domain.iter().copied().max().unwrap_or(0);
+            remote_cores += (end - start) - majority;
+        }
+        remote_cores as f64 / total_cores as f64
+    }
+}
+
+fn aum_region_levels() -> [crate::topology::AuUsageLevel; 3] {
+    crate::topology::AuUsageLevel::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ProcessorDivision;
+
+    #[test]
+    fn gen_a_has_two_domains() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_a());
+        assert_eq!(n.domains, 2);
+        assert!((n.local_bw.value() - 116.9).abs() < 0.1);
+        assert!(!n.is_uniform());
+    }
+
+    #[test]
+    fn gen_c_is_uniform() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_c());
+        assert!(n.is_uniform());
+        assert_eq!(n.naive_remote_frac(), 0.0);
+        assert_eq!(
+            n.effective_bandwidth(0.5).value(),
+            PlatformSpec::gen_c().mem_bw.value()
+        );
+    }
+
+    #[test]
+    fn remote_traffic_costs_bandwidth() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_a());
+        let all_local = n.effective_bandwidth(0.0);
+        let half_remote = n.effective_bandwidth(0.5);
+        let all_remote = n.effective_bandwidth(1.0);
+        assert!((all_local.value() - 233.8).abs() < 0.1);
+        assert!(half_remote < all_local);
+        assert!(all_remote < half_remote);
+        // Fully remote: bounded by interconnect × efficiency.
+        assert!(all_remote.value() <= 116.9 * 0.7 + 1e-9);
+    }
+
+    #[test]
+    fn naive_placement_is_half_remote_on_two_sockets() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_a());
+        assert!((n.naive_remote_frac() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn socket_aligned_divisions_have_no_remote_traffic() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_a());
+        // H48 fills socket 0; L24+N24 fill socket 1... L straddles? H=48
+        // exactly covers socket 0, L covers cores 48-71, N covers 72-95 —
+        // both within socket 1, each region wholly on one socket.
+        let d = ProcessorDivision::new(48, 24, 24);
+        assert_eq!(n.aware_remote_frac(&d, 96), 0.0);
+    }
+
+    #[test]
+    fn straddling_regions_pay_for_their_minority_share() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_a());
+        // H64 spans sockets (48 + 16): 16 cores are on the minority socket.
+        let d = ProcessorDivision::new(64, 16, 16);
+        let frac = n.aware_remote_frac(&d, 96);
+        assert!((frac - 16.0 / 96.0).abs() < 1e-12, "got {frac}");
+        // Aware placement always beats naive.
+        assert!(frac < n.naive_remote_frac());
+    }
+
+    #[test]
+    fn aware_beats_naive_for_every_profiled_division() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_a());
+        for (h, l) in [(64, 16), (56, 24), (48, 32), (48, 24), (40, 32), (32, 24)] {
+            let d = ProcessorDivision::new(h, l, 96 - h - l);
+            let aware = n.aware_remote_frac(&d, 96);
+            assert!(
+                aware <= n.naive_remote_frac() + 1e-12,
+                "aware {aware} must not exceed naive for {d}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "remote fraction")]
+    fn bad_remote_fraction_rejected() {
+        let n = NumaConfig::for_spec(&PlatformSpec::gen_a());
+        let _ = n.effective_bandwidth(1.5);
+    }
+}

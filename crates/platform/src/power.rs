@@ -1,0 +1,234 @@
+//! Package power model.
+//!
+//! Per-core dynamic power follows the classic `P ∝ C·V²·f` with voltage
+//! tracking frequency across license steps, giving an effective cubic
+//! frequency dependence. Different instruction mixes load the core
+//! differently: sustained AMX tiles switch far more transistors per cycle
+//! than scalar code. Constants are calibrated so
+//! that exclusive llama2-7b serving on GenA draws ≈270 W — the absolute
+//! power the paper reports in §III-B.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::PlatformSpec;
+use crate::units::{Ghz, Watts};
+
+/// Instruction-mix classes with distinct switching activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityClass {
+    /// Core is idle / parked.
+    Idle,
+    /// Pointer-chasing, memory-latency-bound scalar code (mcf, OLTP).
+    MemoryBound,
+    /// General mixed integer code (SPECjbb, ads).
+    Mixed,
+    /// Dense scalar/vector compute (sysbench prime loops).
+    ScalarCompute,
+    /// AVX-512-dominated execution (decode phase).
+    Avx,
+    /// AMX-tile-dominated execution (prefill phase, dense GEMM).
+    Amx,
+}
+
+impl ActivityClass {
+    /// Relative switching-activity factor of the class (scalar compute = 1).
+    #[must_use]
+    pub fn activity_factor(self) -> f64 {
+        match self {
+            ActivityClass::Idle => 0.0,
+            ActivityClass::MemoryBound => 0.55,
+            ActivityClass::Mixed => 0.8,
+            ActivityClass::ScalarCompute => 1.0,
+            ActivityClass::Avx => 1.35,
+            ActivityClass::Amx => 2.1,
+        }
+    }
+}
+
+/// One homogeneous group of cores for power accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreGroupPower {
+    /// Number of cores in the group.
+    pub cores: usize,
+    /// Operating frequency of the group.
+    pub freq: Ghz,
+    /// Dominant instruction mix.
+    pub class: ActivityClass,
+    /// Duty cycle in `[0, 1]` (fraction of time the cores are active).
+    pub duty: f64,
+}
+
+/// Calibrated power model of a platform.
+///
+/// # Examples
+///
+/// ```
+/// use aum_platform::power::{ActivityClass, CoreGroupPower, PowerModel};
+/// use aum_platform::spec::PlatformSpec;
+/// use aum_platform::units::Ghz;
+///
+/// let spec = PlatformSpec::gen_a();
+/// let model = PowerModel::for_spec(&spec);
+/// let idle = model.platform_power(&[], 0.0);
+/// assert!(idle.value() > 0.0, "uncore power is always drawn");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static power per core (leakage + clocks), W.
+    idle_per_core: f64,
+    /// Dynamic power of one core at reference frequency and activity 1.0, W.
+    dyn_coeff: f64,
+    /// Reference frequency for the dynamic coefficient.
+    ref_freq: Ghz,
+    /// Constant uncore power (mesh, IO, memory PHY idle), W.
+    uncore_base: f64,
+    /// Extra uncore power at full memory-bandwidth utilization, W.
+    uncore_bw: f64,
+    cores: usize,
+}
+
+impl PowerModel {
+    /// Calibrated model for a platform spec.
+    #[must_use]
+    pub fn for_spec(spec: &PlatformSpec) -> Self {
+        // Uncore scales with socket count and memory build-out; the dynamic
+        // coefficient is shared across generations (same core family class).
+        let sockets = spec.sockets as f64;
+        PowerModel {
+            idle_per_core: 0.85,
+            dyn_coeff: 0.95,
+            ref_freq: spec.allcore_turbo,
+            uncore_base: 28.0 * sockets,
+            uncore_bw: 14.0 * sockets,
+            cores: spec.total_cores(),
+        }
+    }
+
+    /// Power of one core at `freq` with the given class and duty cycle.
+    #[must_use]
+    pub fn core_power(&self, freq: Ghz, class: ActivityClass, duty: f64) -> Watts {
+        let ratio = (freq.value() / self.ref_freq.value()).max(0.0);
+        let dynamic = self.dyn_coeff * class.activity_factor() * ratio.powi(3);
+        Watts(self.idle_per_core + dynamic * duty.clamp(0.0, 1.0))
+    }
+
+    /// Total package power for the given core groups plus uncore power at
+    /// `bw_utilization` (fraction of sustainable memory bandwidth in use).
+    /// Cores not covered by any group are accounted as idle.
+    #[must_use]
+    pub fn platform_power(&self, groups: &[CoreGroupPower], bw_utilization: f64) -> Watts {
+        let mut total = 0.0;
+        let mut covered = 0usize;
+        for g in groups {
+            covered += g.cores;
+            total += self.core_power(g.freq, g.class, g.duty).value() * g.cores as f64;
+        }
+        let idle_cores = self.cores.saturating_sub(covered);
+        total += self.idle_per_core * idle_cores as f64;
+        total += self.uncore_base + self.uncore_bw * bw_utilization.clamp(0.0, 1.0);
+        Watts(total)
+    }
+
+    /// The package power that would be drawn if every core ran the most
+    /// power-hungry mix at turbo — a normalizer for "power stress" terms.
+    #[must_use]
+    pub fn max_power(&self) -> Watts {
+        let per_core = self.core_power(self.ref_freq, ActivityClass::Amx, 1.0).value();
+        Watts(per_core * self.cores as f64 + self.uncore_base + self.uncore_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::for_spec(&PlatformSpec::gen_a())
+    }
+
+    #[test]
+    fn activity_factors_are_ordered() {
+        let mut last = -1.0;
+        for class in [
+            ActivityClass::Idle,
+            ActivityClass::MemoryBound,
+            ActivityClass::Mixed,
+            ActivityClass::ScalarCompute,
+            ActivityClass::Avx,
+            ActivityClass::Amx,
+        ] {
+            let f = class.activity_factor();
+            assert!(f > last, "activity factors must increase with intensity");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn core_power_scales_cubically_with_freq() {
+        let m = model();
+        let lo = m.core_power(Ghz(1.6), ActivityClass::Amx, 1.0).value() - 0.85;
+        let hi = m.core_power(Ghz(3.2), ActivityClass::Amx, 1.0).value() - 0.85;
+        assert!((hi / lo - 8.0).abs() < 1e-6, "halving frequency cuts dynamic power 8x");
+    }
+
+    #[test]
+    fn duty_cycle_scales_dynamic_only() {
+        let m = model();
+        let idle = m.core_power(Ghz(3.2), ActivityClass::Amx, 0.0).value();
+        assert!((idle - 0.85).abs() < 1e-12);
+        let half = m.core_power(Ghz(3.2), ActivityClass::Amx, 0.5).value();
+        let full = m.core_power(Ghz(3.2), ActivityClass::Amx, 1.0).value();
+        assert!((full - 0.85 - 2.0 * (half - 0.85)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncovered_cores_idle() {
+        let m = model();
+        let none = m.platform_power(&[], 0.0).value();
+        // 96 idle cores + uncore base (2 sockets).
+        assert!((none - (96.0 * 0.85 + 56.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusive_llm_serving_power_near_270w() {
+        // Calibration target from §III-B: GenA exclusive serving ≈ 270 W.
+        // Typical division: 32 prefill cores at 2.5 GHz AMX, 64 decode cores
+        // at 3.1 GHz AVX, heavy bandwidth use.
+        let m = model();
+        let p = m
+            .platform_power(
+                &[
+                    CoreGroupPower { cores: 32, freq: Ghz(2.5), class: ActivityClass::Amx, duty: 0.95 },
+                    CoreGroupPower { cores: 64, freq: Ghz(3.1), class: ActivityClass::Avx, duty: 0.9 },
+                ],
+                0.85,
+            )
+            .value();
+        assert!((240.0..=300.0).contains(&p), "expected ≈270 W, got {p}");
+    }
+
+    #[test]
+    fn platform_power_monotone_in_bw() {
+        let m = model();
+        let lo = m.platform_power(&[], 0.1);
+        let hi = m.platform_power(&[], 0.9);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn max_power_bounds_everything() {
+        let m = model();
+        let anything = m.platform_power(
+            &[CoreGroupPower { cores: 96, freq: Ghz(3.2), class: ActivityClass::Avx, duty: 1.0 }],
+            1.0,
+        );
+        assert!(m.max_power() > anything);
+    }
+
+    #[test]
+    fn gen_c_uncore_is_single_socket() {
+        let c = PowerModel::for_spec(&PlatformSpec::gen_c());
+        let idle = c.platform_power(&[], 0.0).value();
+        assert!((idle - (120.0 * 0.85 + 28.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Resource-partitioning knobs modeled after Intel Resource Director
+//! Technology: Cache Allocation Technology (CAT) for L2/LLC ways and Memory
+//! Bandwidth Allocation (MBA) throttling (paper §VI-B3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::PlatformSpec;
+
+/// The three partitionable backend resources the paper profiles as the
+/// tuple `R_AU = (R_L2C, R_LLC, R_BW)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Private mid-level cache ways.
+    L2Cache,
+    /// Shared last-level cache ways.
+    Llc,
+    /// Memory bandwidth share.
+    MemBandwidth,
+}
+
+impl ResourceKind {
+    /// All partitionable resources.
+    pub const ALL: [ResourceKind; 3] =
+        [ResourceKind::L2Cache, ResourceKind::Llc, ResourceKind::MemBandwidth];
+}
+
+impl core::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ResourceKind::L2Cache => write!(f, "L2"),
+            ResourceKind::Llc => write!(f, "LLC"),
+            ResourceKind::MemBandwidth => write!(f, "MemBW"),
+        }
+    }
+}
+
+/// Resource assignment for one class of service: the paper's three-tuple of
+/// L2 ways, LLC ways and an MBA bandwidth percentage.
+///
+/// # Examples
+///
+/// ```
+/// use aum_platform::rdt::ResourceVector;
+///
+/// // Table III "High" bucket row: L2 ways 0-2, LLC ways 0-1, 50% bandwidth.
+/// let r = ResourceVector::new(3, 2, 0.5);
+/// assert_eq!(r.llc_ways, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// L2 cache ways granted.
+    pub l2_ways: u32,
+    /// LLC ways granted.
+    pub llc_ways: u32,
+    /// Memory-bandwidth share in `(0, 1]` (MBA throttle level).
+    pub mem_bw_frac: f64,
+}
+
+impl ResourceVector {
+    /// Creates a resource vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bw_frac` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(l2_ways: u32, llc_ways: u32, mem_bw_frac: f64) -> Self {
+        assert!(
+            mem_bw_frac > 0.0 && mem_bw_frac <= 1.0,
+            "memory bandwidth fraction must be in (0,1], got {mem_bw_frac}"
+        );
+        ResourceVector { l2_ways, llc_ways, mem_bw_frac }
+    }
+
+    /// The "everything" vector for a platform: all ways, full bandwidth.
+    #[must_use]
+    pub fn full(spec: &PlatformSpec) -> Self {
+        ResourceVector::new(spec.l2_ways, spec.llc_ways, 1.0)
+    }
+
+    /// Reads the allocation level of one resource dimension as a plain
+    /// number (ways, or fraction×100 for bandwidth) — used for CDF reports.
+    #[must_use]
+    pub fn level(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::L2Cache => f64::from(self.l2_ways),
+            ResourceKind::Llc => f64::from(self.llc_ways),
+            ResourceKind::MemBandwidth => self.mem_bw_frac * 100.0,
+        }
+    }
+}
+
+/// Error produced when an [`RdtAllocation`] violates platform constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateAllocationError {
+    /// Combined LLC ways exceed the platform's way count.
+    LlcOversubscribed {
+        /// Ways requested by both classes together.
+        requested: u32,
+        /// Ways the platform offers.
+        available: u32,
+    },
+    /// Combined L2 ways exceed the platform's way count.
+    L2Oversubscribed {
+        /// Ways requested by both classes together.
+        requested: u32,
+        /// Ways the platform offers.
+        available: u32,
+    },
+    /// A class was granted zero LLC ways, which CAT does not permit.
+    EmptyWayMask,
+}
+
+impl core::fmt::Display for ValidateAllocationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidateAllocationError::LlcOversubscribed { requested, available } => {
+                write!(f, "llc ways oversubscribed: {requested} requested, {available} available")
+            }
+            ValidateAllocationError::L2Oversubscribed { requested, available } => {
+                write!(f, "l2 ways oversubscribed: {requested} requested, {available} available")
+            }
+            ValidateAllocationError::EmptyWayMask => {
+                write!(f, "a class of service must hold at least one llc way")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateAllocationError {}
+
+/// A full partitioning decision: one resource vector for the AU (LLM
+/// serving) class and one for the shared best-effort class.
+///
+/// # Examples
+///
+/// ```
+/// use aum_platform::rdt::{RdtAllocation, ResourceVector};
+/// use aum_platform::spec::PlatformSpec;
+///
+/// let spec = PlatformSpec::gen_a();
+/// let alloc = RdtAllocation::new(
+///     ResourceVector::new(12, 10, 0.8),
+///     ResourceVector::new(4, 6, 0.2),
+/// );
+/// assert!(alloc.validate(&spec).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RdtAllocation {
+    /// Resources granted to the AU application (latency-critical class).
+    pub au: ResourceVector,
+    /// Resources granted to co-located shared applications.
+    pub shared: ResourceVector,
+}
+
+impl RdtAllocation {
+    /// Creates an allocation from the two class vectors.
+    #[must_use]
+    pub const fn new(au: ResourceVector, shared: ResourceVector) -> Self {
+        RdtAllocation { au, shared }
+    }
+
+    /// The unmanaged default: both classes see the full machine (no
+    /// partitioning), which is what AUV-oblivious SMT sharing does.
+    #[must_use]
+    pub fn unpartitioned(spec: &PlatformSpec) -> Self {
+        RdtAllocation::new(ResourceVector::full(spec), ResourceVector::full(spec))
+    }
+
+    /// Checks the allocation against platform way counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateAllocationError`] if way masks oversubscribe the
+    /// cache or a class holds no LLC ways.
+    pub fn validate(&self, spec: &PlatformSpec) -> Result<(), ValidateAllocationError> {
+        if self.au.llc_ways == 0 || self.shared.llc_ways == 0 {
+            return Err(ValidateAllocationError::EmptyWayMask);
+        }
+        let llc = self.au.llc_ways + self.shared.llc_ways;
+        if llc > spec.llc_ways {
+            return Err(ValidateAllocationError::LlcOversubscribed {
+                requested: llc,
+                available: spec.llc_ways,
+            });
+        }
+        let l2 = self.au.l2_ways + self.shared.l2_ways;
+        if l2 > spec.l2_ways {
+            return Err(ValidateAllocationError::L2Oversubscribed {
+                requested: l2,
+                available: spec.l2_ways,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_allocation_passes() {
+        let spec = PlatformSpec::gen_a();
+        let alloc =
+            RdtAllocation::new(ResourceVector::new(8, 8, 0.5), ResourceVector::new(8, 8, 0.5));
+        assert!(alloc.validate(&spec).is_ok());
+    }
+
+    #[test]
+    fn oversubscribed_llc_fails() {
+        let spec = PlatformSpec::gen_a();
+        let alloc =
+            RdtAllocation::new(ResourceVector::new(8, 12, 0.5), ResourceVector::new(8, 12, 0.5));
+        assert_eq!(
+            alloc.validate(&spec),
+            Err(ValidateAllocationError::LlcOversubscribed { requested: 24, available: 16 })
+        );
+    }
+
+    #[test]
+    fn oversubscribed_l2_fails() {
+        let spec = PlatformSpec::gen_a();
+        let alloc =
+            RdtAllocation::new(ResourceVector::new(12, 8, 0.5), ResourceVector::new(12, 8, 0.5));
+        assert!(matches!(
+            alloc.validate(&spec),
+            Err(ValidateAllocationError::L2Oversubscribed { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_mask_fails() {
+        let spec = PlatformSpec::gen_a();
+        let alloc =
+            RdtAllocation::new(ResourceVector::new(8, 0, 0.5), ResourceVector::new(8, 8, 0.5));
+        assert_eq!(alloc.validate(&spec), Err(ValidateAllocationError::EmptyWayMask));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory bandwidth fraction")]
+    fn zero_bandwidth_rejected() {
+        let _ = ResourceVector::new(1, 1, 0.0);
+    }
+
+    #[test]
+    fn unpartitioned_validates_as_overlap() {
+        // Unpartitioned masks overlap fully; validate() models *partitioned*
+        // setups, so the overlap is reported as oversubscription.
+        let spec = PlatformSpec::gen_a();
+        let alloc = RdtAllocation::unpartitioned(&spec);
+        assert!(alloc.validate(&spec).is_err());
+        assert_eq!(alloc.au.llc_ways, spec.llc_ways);
+    }
+
+    #[test]
+    fn levels_read_back() {
+        let r = ResourceVector::new(3, 2, 0.4);
+        assert_eq!(r.level(ResourceKind::L2Cache), 3.0);
+        assert_eq!(r.level(ResourceKind::Llc), 2.0);
+        assert!((r.level(ResourceKind::MemBandwidth) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ValidateAllocationError::LlcOversubscribed { requested: 20, available: 16 };
+        assert!(format!("{e}").contains("oversubscribed"));
+    }
+}

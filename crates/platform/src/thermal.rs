@@ -1,0 +1,241 @@
+//! Heat-accumulation model for the abrupt mid-pressure frequency drops.
+//!
+//! Fig 6b of the paper shows that when a *limited* number of cores (12-24 of
+//! 96) run compute-intensive shared work next to AU cores, their frequency
+//! drops abruptly — the authors attribute this to heat accumulation on
+//! densely packed busy cores, and observed it across repeated runs. At
+//! higher sharing pressure the work spreads out across the package and the
+//! hotspot dissolves.
+//!
+//! We model a per-region thermal reservoir: heat integrates the product of
+//! per-core power density and a *clustering factor* that peaks when roughly
+//! a quarter of the package is busy with the shared work. Above a soft
+//! threshold the reservoir requests a frequency drop with hysteresis.
+
+use serde::{Deserialize, Serialize};
+
+use aum_sim::time::SimDuration;
+
+use crate::topology::AuUsageLevel;
+use crate::units::{Ghz, Watts};
+
+/// Share of package cores at which hotspot clustering is worst.
+pub const HOTSPOT_PEAK_FRAC: f64 = 0.22;
+/// Width of the hotspot bell around [`HOTSPOT_PEAK_FRAC`].
+pub const HOTSPOT_WIDTH: f64 = 0.15;
+/// Heat units above which throttling engages.
+const THROTTLE_ON: f64 = 55.0;
+/// Heat units below which throttling releases (hysteresis).
+const THROTTLE_OFF: f64 = 40.0;
+/// Frequency drop applied while throttled.
+const THROTTLE_DROP_GHZ: f64 = 0.35;
+/// Reservoir relaxation time constant, seconds.
+const TAU_SECS: f64 = 2.0;
+/// Power density (W/core) that holds the reservoir exactly at THROTTLE_ON
+/// when fully clustered.
+const DENSITY_REF: f64 = 1.4;
+
+/// Clustering factor in `[0, 1]`: how much the shared work concentrates
+/// heat, as a function of the fraction of package cores it occupies.
+#[must_use]
+pub fn hotspot_factor(busy_core_frac: f64) -> f64 {
+    let x = busy_core_frac.clamp(0.0, 1.0) - HOTSPOT_PEAK_FRAC;
+    (-0.5 * (x / HOTSPOT_WIDTH).powi(2)).exp()
+}
+
+/// Per-region thermal reservoir state.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct Reservoir {
+    heat: f64,
+    throttled: bool,
+}
+
+impl Reservoir {
+    fn advance(&mut self, dt_secs: f64, influx: f64) {
+        // First-order relaxation toward `influx * TAU` (steady state).
+        let target = influx * TAU_SECS;
+        let alpha = 1.0 - (-dt_secs / TAU_SECS).exp();
+        self.heat += (target - self.heat) * alpha;
+        if self.throttled {
+            if self.heat < THROTTLE_OFF {
+                self.throttled = false;
+            }
+        } else if self.heat > THROTTLE_ON {
+            self.throttled = true;
+        }
+    }
+
+    fn drop_ghz(&self) -> f64 {
+        if self.throttled {
+            THROTTLE_DROP_GHZ
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Thermal state of the three processor regions.
+///
+/// # Examples
+///
+/// ```
+/// use aum_platform::thermal::{RegionHeat, ThermalState};
+/// use aum_platform::topology::AuUsageLevel;
+/// use aum_sim::time::SimDuration;
+///
+/// let mut t = ThermalState::new();
+/// // A cool region requests no frequency drop.
+/// assert_eq!(t.drop_for(AuUsageLevel::None).value(), 0.0);
+/// t.advance(
+///     SimDuration::from_secs(30),
+///     &[RegionHeat { level: AuUsageLevel::None, per_core_power: aum_platform::units::Watts(8.0), busy_core_frac: 0.25 }],
+/// );
+/// assert!(t.drop_for(AuUsageLevel::None).value() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThermalState {
+    regions: [Reservoir; 3],
+}
+
+/// Heat influx description for one region during a time step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionHeat {
+    /// Which region the heat applies to.
+    pub level: AuUsageLevel,
+    /// Average power per active core in the region.
+    pub per_core_power: Watts,
+    /// Fraction of the whole package occupied by this region's busy cores.
+    pub busy_core_frac: f64,
+}
+
+fn idx(level: AuUsageLevel) -> usize {
+    match level {
+        AuUsageLevel::High => 0,
+        AuUsageLevel::Low => 1,
+        AuUsageLevel::None => 2,
+    }
+}
+
+impl ThermalState {
+    /// A cold package.
+    #[must_use]
+    pub fn new() -> Self {
+        ThermalState::default()
+    }
+
+    /// Integrates heat over `dt` for the described regions; regions not
+    /// mentioned cool down.
+    pub fn advance(&mut self, dt: SimDuration, heats: &[RegionHeat]) {
+        let dt_secs = dt.as_secs_f64();
+        let mut influx = [0.0f64; 3];
+        for h in heats {
+            let cluster = hotspot_factor(h.busy_core_frac);
+            influx[idx(h.level)] +=
+                (h.per_core_power.value() / DENSITY_REF) * cluster * (THROTTLE_ON / TAU_SECS);
+        }
+        for (r, &f) in self.regions.iter_mut().zip(influx.iter()) {
+            r.advance(dt_secs, f);
+        }
+    }
+
+    /// Frequency drop currently requested for a region.
+    ///
+    /// Only None-AU regions throttle: AU license classes already cap the
+    /// voltage/frequency point of High/Low regions, keeping them below the
+    /// hotspot threshold — which matches the paper's observation that the
+    /// abrupt drops appear on compute-intensive *shared* cores (Fig 6b)
+    /// while AU cores follow their license frequencies (Fig 6a).
+    #[must_use]
+    pub fn drop_for(&self, level: AuUsageLevel) -> Ghz {
+        if level != AuUsageLevel::None {
+            return Ghz(0.0);
+        }
+        Ghz(self.regions[idx(level)].drop_ghz())
+    }
+
+    /// Raw heat level of a region (test/diagnostic use).
+    #[must_use]
+    pub fn heat(&self, level: AuUsageLevel) -> f64 {
+        self.regions[idx(level)].heat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_peaks_at_limited_occupancy() {
+        assert!((hotspot_factor(HOTSPOT_PEAK_FRAC) - 1.0).abs() < 1e-12);
+        assert!(hotspot_factor(0.02) < 0.5);
+        assert!(hotspot_factor(0.6) < 0.1);
+        assert!(hotspot_factor(HOTSPOT_PEAK_FRAC) > hotspot_factor(0.1));
+        assert!(hotspot_factor(HOTSPOT_PEAK_FRAC) > hotspot_factor(0.40));
+    }
+
+    fn hot(level: AuUsageLevel) -> RegionHeat {
+        RegionHeat { level, per_core_power: Watts(9.0), busy_core_frac: 0.25 }
+    }
+
+    #[test]
+    fn sustained_hot_cluster_throttles() {
+        let mut t = ThermalState::new();
+        for _ in 0..100 {
+            t.advance(
+                SimDuration::from_millis(500),
+                &[hot(AuUsageLevel::None), hot(AuUsageLevel::High)],
+            );
+        }
+        assert!(t.drop_for(AuUsageLevel::None).value() > 0.0);
+        // AU regions never throttle: license classes already cap voltage.
+        assert_eq!(t.drop_for(AuUsageLevel::High).value(), 0.0);
+    }
+
+    #[test]
+    fn spread_out_work_does_not_throttle() {
+        let mut t = ThermalState::new();
+        let spread =
+            RegionHeat { level: AuUsageLevel::None, per_core_power: Watts(9.0), busy_core_frac: 0.9 };
+        for _ in 0..100 {
+            t.advance(SimDuration::from_millis(500), &[spread]);
+        }
+        assert_eq!(t.drop_for(AuUsageLevel::None).value(), 0.0);
+    }
+
+    #[test]
+    fn cool_down_releases_with_hysteresis() {
+        let mut t = ThermalState::new();
+        for _ in 0..100 {
+            t.advance(SimDuration::from_millis(500), &[hot(AuUsageLevel::None)]);
+        }
+        assert!(t.drop_for(AuUsageLevel::None).value() > 0.0);
+        let heat_when_hot = t.heat(AuUsageLevel::None);
+        // Idle for a while: heat decays, throttle releases.
+        for _ in 0..100 {
+            t.advance(SimDuration::from_millis(500), &[]);
+        }
+        assert!(t.heat(AuUsageLevel::None) < heat_when_hot);
+        assert_eq!(t.drop_for(AuUsageLevel::None).value(), 0.0);
+    }
+
+    #[test]
+    fn mild_power_never_throttles() {
+        let mut t = ThermalState::new();
+        let mild =
+            RegionHeat { level: AuUsageLevel::None, per_core_power: Watts(1.0), busy_core_frac: 0.25 };
+        for _ in 0..200 {
+            t.advance(SimDuration::from_millis(500), &[mild]);
+        }
+        assert_eq!(t.drop_for(AuUsageLevel::None).value(), 0.0);
+    }
+
+    #[test]
+    fn heat_accumulates_toward_steady_state() {
+        let mut t = ThermalState::new();
+        t.advance(SimDuration::from_millis(100), &[hot(AuUsageLevel::High)]);
+        let h1 = t.heat(AuUsageLevel::High);
+        t.advance(SimDuration::from_millis(100), &[hot(AuUsageLevel::High)]);
+        let h2 = t.heat(AuUsageLevel::High);
+        assert!(h2 > h1 && h1 > 0.0);
+    }
+}

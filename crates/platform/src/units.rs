@@ -1,0 +1,175 @@
+//! Physical unit newtypes.
+//!
+//! Thin wrappers that keep frequencies, powers and bandwidths from being
+//! accidentally mixed. Inner values are public: these are measurement
+//! carriers, not invariant-bearing abstractions.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Raw value.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Element-wise minimum.
+            #[must_use]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Element-wise maximum.
+            #[must_use]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.3}", $suffix), self.0)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Clock frequency in gigahertz.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aum_platform::units::Ghz;
+    /// let f = Ghz(2.7);
+    /// assert_eq!(f.value(), 2.7);
+    /// assert_eq!(format!("{f}"), "2.700GHz");
+    /// ```
+    Ghz,
+    "GHz"
+);
+
+unit!(
+    /// Electrical power in watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aum_platform::units::Watts;
+    /// assert_eq!((Watts(100.0) + Watts(70.0)).value(), 170.0);
+    /// ```
+    Watts,
+    "W"
+);
+
+unit!(
+    /// Memory bandwidth in gigabytes per second.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aum_platform::units::GbPerSec;
+    /// assert_eq!(GbPerSec(233.8).min(GbPerSec(100.0)).value(), 100.0);
+    /// ```
+    GbPerSec,
+    "GB/s"
+);
+
+unit!(
+    /// Compute throughput in teraFLOPS.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aum_platform::units::Tflops;
+    /// assert_eq!((Tflops(206.4) * 0.5).value(), 103.2);
+    /// ```
+    Tflops,
+    "TFLOPS"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_works() {
+        assert_eq!((Ghz(2.0) + Ghz(1.0)).value(), 3.0);
+        assert_eq!((Ghz(2.0) - Ghz(0.5)).value(), 1.5);
+        assert_eq!((Ghz(2.0) * 2.0).value(), 4.0);
+        let mut w = Watts(5.0);
+        w += Watts(1.0);
+        assert_eq!(w.value(), 6.0);
+    }
+
+    #[test]
+    fn sum_collects() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.0)].into_iter().sum();
+        assert_eq!(total.value(), 6.0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Ghz(2.0).min(Ghz(3.0)), Ghz(2.0));
+        assert_eq!(Ghz(2.0).max(Ghz(3.0)), Ghz(3.0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ghz(2.1) < Ghz(2.5));
+        assert!(GbPerSec(600.0) > GbPerSec(233.8));
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(format!("{}", Watts(270.0)), "270.000W");
+        assert_eq!(format!("{}", GbPerSec(233.8)), "233.800GB/s");
+        assert_eq!(format!("{}", Tflops(206.4)), "206.400TFLOPS");
+    }
+}

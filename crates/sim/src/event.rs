@@ -1,0 +1,238 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)` so that two events scheduled for
+//! the same instant fire in insertion order, independent of payload type or
+//! hash state. This total order is what makes whole-experiment runs
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Monotonically increasing identifier assigned to each scheduled event.
+///
+/// Besides tie-breaking, it allows O(log n) *logical* cancellation: cancelled
+/// ids are remembered and skipped on pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw sequence number.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Examples
+///
+/// ```
+/// use aum_sim::event::EventQueue;
+/// use aum_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "late");
+/// q.schedule(SimTime::from_millis(1), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_millis(1), "early"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_id: u64,
+    cancelled: std::collections::BTreeSet<EventId>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_id: 0,
+            cancelled: std::collections::BTreeSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event, or
+    /// zero before any event has fired.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`, returning a handle that can
+    /// later be passed to [`EventQueue::cancel`].
+    ///
+    /// Scheduling in the past is allowed (the event fires "immediately", i.e.
+    /// at its recorded time which may be earlier than `now`); model code that
+    /// cares should assert on its side.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Scheduled { time: at, id, payload });
+        id
+    }
+
+    /// Logically removes a scheduled event. Returns `true` if the id was
+    /// still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.now = ev.time;
+            return Some((ev.time, ev.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest pending event without popping it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let ev = self.heap.pop().expect("peeked event exists");
+                self.cancelled.remove(&ev.id);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_popped_event() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(4), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(5), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the simulation kernel.
+
+use proptest::prelude::*;
+
+use aum_sim::event::EventQueue;
+use aum_sim::rng::DetRng;
+use aum_sim::stats::{Histogram, Samples, Summary};
+use aum_sim::time::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn quantiles_are_bounded_and_monotone(
+        values in prop::collection::vec(-1e9f64..1e9, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let s: Samples = values.iter().copied().collect();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sorted_qs = qs.clone();
+        sorted_qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for q in sorted_qs {
+            let v = s.quantile(q);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+            prop_assert!(v >= last - 1e-9, "quantiles must be monotone in q");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential(values in prop::collection::vec(-1e6f64..1e6, 2..100), split in 1usize..99) {
+        let split = split.min(values.len() - 1);
+        let mut all = Summary::new();
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for (i, &v) in values.iter().enumerate() {
+            all.record(v);
+            if i < split { left.record(v) } else { right.record(v) }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!((left.variance() - all.variance()).abs() <= 1e-4 * (1.0 + all.variance().abs()));
+        prop_assert_eq!(left.min().to_bits(), all.min().to_bits());
+        prop_assert_eq!(left.max().to_bits(), all.max().to_bits());
+    }
+
+    #[test]
+    fn cdf_is_a_distribution_function(values in prop::collection::vec(0.0f64..1e6, 1..300), points in 1usize..40) {
+        let s: Samples = values.iter().copied().collect();
+        let cdf = s.cdf(points);
+        prop_assert_eq!(cdf.len(), points);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // Every CDF point is consistent with fraction_at_most.
+        for &(v, p) in &cdf {
+            prop_assert!(s.fraction_at_most(v) >= p - 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_observations(
+        values in prop::collection::vec(-100.0f64..200.0, 0..300),
+        buckets in 1usize..50,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, buckets);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let in_range = values.iter().filter(|&&v| (0.0..100.0).contains(&v)).count() as u64;
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), in_range);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted_stable(events in prop::collection::vec((0u64..1_000_000, 0u32..1000), 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &(t, tag)) in events.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (tag, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, (_, i))) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "time order");
+                if t == lt {
+                    prop_assert!(i > li, "insertion order on ties");
+                }
+            }
+            last = Some((t, i));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire(n in 1usize..100, cancel_mask in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..n).map(|i| q.schedule(SimTime::from_micros(i as u64 % 7), i)).collect();
+        let mut expected = n;
+        for (id, &cancel) in ids.iter().zip(cancel_mask.iter().cycle()) {
+            if cancel {
+                prop_assert!(q.cancel(*id));
+                expected -= 1;
+            }
+        }
+        let mut fired = 0;
+        while q.pop().is_some() {
+            fired += 1;
+        }
+        prop_assert_eq!(fired, expected);
+    }
+
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        let later = t + d;
+        prop_assert_eq!(later - t, d);
+        prop_assert_eq!(later.saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(later), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exponential_draws_are_positive(seed in any::<u64>(), mean in 1e-6f64..1e6) {
+        let mut rng = DetRng::from_seed(seed);
+        for _ in 0..50 {
+            let v = rng.exponential(mean);
+            prop_assert!(v >= 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_finite(seed in any::<u64>(), mean in 0.1f64..1e5, cv in 0.0f64..3.0) {
+        let mut rng = DetRng::from_seed(seed);
+        for _ in 0..50 {
+            let v = rng.lognormal_mean_cv(mean, cv);
+            prop_assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn labelled_streams_are_reproducible(seed in any::<u64>(), label in "[a-z]{1,16}") {
+        let mut a = DetRng::from_seed(seed).stream(&label);
+        let mut b = DetRng::from_seed(seed).stream(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_f64().to_bits(), b.next_f64().to_bits());
+        }
+    }
+}

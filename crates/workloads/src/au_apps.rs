@@ -1,0 +1,139 @@
+//! AU-accelerated datacenter applications beyond LLM serving (Fig 4).
+//!
+//! The paper demonstrates AU gains on three AI workloads: Faiss vector
+//! search, a singing-voice vocoder, and DeepFM recommendation, swept over
+//! dimension `d`, cores `c` and batch size `bs`, normalized to AU-disabled
+//! GenC performance. Each app is modeled by its dominant kernel shape; the
+//! AU speedup is the cost-model ratio between an AU-disabled run (scalar
+//! pipes only) and the best-AU run.
+
+use serde::{Deserialize, Serialize};
+
+use aum_au::gemm::{gemm_time, pick_unit, ExecContext, GemmShape};
+use aum_au::unit::{AuKind, AuSpec, Precision};
+use aum_platform::spec::PlatformSpec;
+
+/// The Fig 4 applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuApp {
+    /// Faiss inner-product vector search over a quantizer list.
+    Faiss,
+    /// Neural vocoder (frame-level dense layers).
+    Vocoder,
+    /// DeepFM CTR recommendation (embedding + FM + deep layers).
+    DeepFm,
+}
+
+impl AuApp {
+    /// All Fig 4 applications.
+    pub const ALL: [AuApp; 3] = [AuApp::Faiss, AuApp::Vocoder, AuApp::DeepFm];
+
+    /// Dominant kernel of the app for dimension `d` and batch `bs`.
+    #[must_use]
+    pub fn kernel(self, d: usize, bs: usize) -> GemmShape {
+        match self {
+            // Queries (bs) against a coarse quantizer / PQ codebook of 4096
+            // centroids of dimensionality d.
+            AuApp::Faiss => GemmShape::new(bs, d, 4096),
+            // Frame-parallel dense layer: 64 frames per utterance, d→d.
+            AuApp::Vocoder => GemmShape::new(bs * 64, d, d),
+            // Deep tower: concatenated field embeddings (26 fields) to a
+            // hidden layer of width d.
+            AuApp::DeepFm => GemmShape::new(bs, 26 * d, d),
+        }
+    }
+}
+
+impl core::fmt::Display for AuApp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AuApp::Faiss => write!(f, "Faiss"),
+            AuApp::Vocoder => write!(f, "Vocoder"),
+            AuApp::DeepFm => write!(f, "DeepFM"),
+        }
+    }
+}
+
+/// Speedup of the AU-enabled run over the AU-disabled (scalar) run of one
+/// app on `spec` — the quantity Fig 4 plots.
+///
+/// # Examples
+///
+/// ```
+/// use aum_platform::spec::PlatformSpec;
+/// use aum_workloads::au_apps::{au_acceleration, AuApp};
+///
+/// let speedup = au_acceleration(&PlatformSpec::gen_c(), AuApp::Faiss, 512, 8, 64);
+/// assert!(speedup > 1.0);
+/// ```
+#[must_use]
+pub fn au_acceleration(spec: &PlatformSpec, app: AuApp, d: usize, cores: usize, bs: usize) -> f64 {
+    let shape = app.kernel(d, bs);
+    let scalar = AuSpec::for_platform(spec, AuKind::Scalar);
+    let amx = AuSpec::for_platform(spec, AuKind::Amx);
+    let avx = AuSpec::for_platform(spec, AuKind::Avx512);
+    let freq = spec.allcore_turbo.value();
+    let ctx = ExecContext::new(cores.max(1), freq, spec.mem_bw);
+    let baseline = gemm_time(shape, Precision::Bf16, &scalar, &ctx);
+    // AU run benefits from the AU license frequency instead of turbo.
+    let au_ctx = ExecContext::new(cores.max(1), spec.base_freq.value(), spec.mem_bw);
+    let (_, accelerated) = pick_unit(shape, Precision::Bf16, &amx, &avx, &au_ctx);
+    baseline.time.as_secs_f64() / accelerated.time.as_secs_f64().max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_c() -> PlatformSpec {
+        PlatformSpec::gen_c()
+    }
+
+    #[test]
+    fn all_apps_accelerate() {
+        for app in AuApp::ALL {
+            let s = au_acceleration(&gen_c(), app, 512, 8, 64);
+            assert!(s > 1.5, "{app}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_batch_for_faiss() {
+        // Bigger batches fill AMX tiles: Fig 4 shows larger gains at larger
+        // batch sizes.
+        let small = au_acceleration(&gen_c(), AuApp::Faiss, 512, 8, 1);
+        let large = au_acceleration(&gen_c(), AuApp::Faiss, 512, 8, 64);
+        assert!(large > small, "batch 64 ({large}) should beat batch 1 ({small})");
+    }
+
+    #[test]
+    fn speedups_are_bounded_by_unit_ratio() {
+        // AMX ops/cycle ≈ 1024 vs scalar 4, but memory bounds and fill
+        // efficiency keep realistic speedups within ~100x.
+        for app in AuApp::ALL {
+            for bs in [1, 16, 64] {
+                let s = au_acceleration(&gen_c(), app, 256, 8, bs);
+                assert!(s < 150.0, "{app} bs={bs}: speedup {s} too good to be true");
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_sweep_is_monotone_for_vocoder() {
+        let small = au_acceleration(&gen_c(), AuApp::Vocoder, 128, 8, 8);
+        let large = au_acceleration(&gen_c(), AuApp::Vocoder, 1024, 8, 8);
+        assert!(large >= small * 0.8, "speedup should not collapse with dimension");
+    }
+
+    #[test]
+    fn kernels_have_sane_shapes() {
+        assert_eq!(AuApp::Faiss.kernel(512, 8), GemmShape::new(8, 512, 4096));
+        assert_eq!(AuApp::Vocoder.kernel(256, 2), GemmShape::new(128, 256, 256));
+        assert_eq!(AuApp::DeepFm.kernel(128, 4), GemmShape::new(4, 26 * 128, 128));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", AuApp::DeepFm), "DeepFM");
+    }
+}

@@ -1,0 +1,34 @@
+//! # aum-workloads — co-located workload models
+//!
+//! Everything that shares the machine with (or is compared against) the
+//! AU-accelerated LLM serving application:
+//!
+//! - [`be`]: best-effort co-runners — Compute (sysbench), OLAP (TPC-H),
+//!   SPECjbb — with calibrated interference fingerprints, throughput
+//!   models and §VII-A1 unit prices;
+//! - [`au_apps`]: the Fig 4 AU-accelerated apps (Faiss, Vocoder, DeepFM);
+//! - [`gpu`]: the A100/FlexGen reference point of Fig 5.
+//!
+//! ## Example
+//!
+//! ```
+//! use aum_platform::spec::PlatformSpec;
+//! use aum_workloads::be::{BeKind, BeProfile};
+//!
+//! let spec = PlatformSpec::gen_a();
+//! let olap = BeProfile::of(BeKind::Olap);
+//! let full = olap.throughput(&spec, 24, 3.2, 16, 16, 1.0, 1.0);
+//! let starved = olap.throughput(&spec, 24, 3.2, 2, 16, 2.0, 1.0);
+//! assert!(starved < full);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod au_apps;
+pub mod be;
+pub mod gpu;
+
+pub use au_apps::{au_acceleration, AuApp};
+pub use be::{BeKind, BeProfile};
+pub use gpu::{CpuAnchor, GpuReference};

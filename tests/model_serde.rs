@@ -1,0 +1,70 @@
+//! Persistence of profiling artifacts and configuration types: the AUV
+//! model must survive the save/load cycle a fleet deployment implies
+//! (profile once on a dedicated node, ship to thousands of servers,
+//! §VII-D).
+
+use aum::experiment::ExperimentConfig;
+use aum::profiler::{build_model, AuvModel, ProfilerConfig};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_workloads::be::BeKind;
+
+#[test]
+fn auv_model_survives_fleet_distribution() {
+    let model = build_model(&ProfilerConfig::smoke(
+        PlatformSpec::gen_a(),
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+    ));
+    let path = std::env::temp_dir().join("aum_integration_model.json");
+    model.save(&path).expect("save model");
+    let loaded = AuvModel::load(&path).expect("load model");
+    assert_eq!(loaded.div_count, model.div_count);
+    assert_eq!(loaded.cfg_count, model.cfg_count);
+    assert_eq!(loaded.platform, model.platform);
+    assert_eq!(loaded.scenario, model.scenario);
+    for (a, b) in model.buckets.iter().zip(&loaded.buckets) {
+        assert_eq!(a.division, b.division);
+        assert!((a.efficiency - b.efficiency).abs() < 1e-9);
+        assert!((a.power_w - b.power_w).abs() < 1e-9);
+        assert!((a.tpot_p90 - b.tpot_p90).abs() < 1e-9);
+    }
+    // A loaded model must drive a controller identically to the original.
+    let from_original = aum::controller::AumController::new(model).current_bucket();
+    let from_loaded = aum::controller::AumController::new(loaded).current_bucket();
+    assert_eq!(from_original, from_loaded);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn model_footprint_is_negligible() {
+    // §VII-D: ≈15 MB for model + runtime info on a 256 GB machine; our
+    // bucket table alone is a few KB.
+    let model = build_model(&ProfilerConfig::smoke(
+        PlatformSpec::gen_a(),
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+    ));
+    assert!(model.approx_size_bytes() < 15 * 1024 * 1024);
+}
+
+#[test]
+fn experiment_config_round_trips_as_json() {
+    let cfg = ExperimentConfig::paper_default(
+        PlatformSpec::gen_c(),
+        Scenario::Summarization,
+        Some(BeKind::Olap),
+    );
+    let json = serde_json::to_string(&cfg).expect("encode");
+    let back: ExperimentConfig = serde_json::from_str(&json).expect("decode");
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn corrupted_model_is_rejected() {
+    let path = std::env::temp_dir().join("aum_corrupt_model.json");
+    std::fs::write(&path, "{ not valid json").expect("write");
+    let err = AuvModel::load(&path).unwrap_err();
+    assert!(format!("{err}").contains("encoding"), "got: {err}");
+    let _ = std::fs::remove_file(path);
+}

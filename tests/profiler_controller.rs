@@ -1,0 +1,132 @@
+//! Integration of the Background AU Profiler and the Runtime AU Controller:
+//! the model must expose the structure the controller's three stages need,
+//! and the controller must behave sensibly over the model.
+
+use aum::controller::AumController;
+use aum::manager::{ResourceManager, SystemState};
+use aum::profiler::{build_model, default_allocations, default_divisions, ProfilerConfig};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_platform::topology::AuUsageLevel;
+use aum_sim::time::{SimDuration, SimTime};
+use aum_workloads::be::BeKind;
+
+fn state(scenario: Scenario, ttft_p90: f64, tpot: f64, lag: f64) -> SystemState {
+    SystemState {
+        now: SimTime::from_secs(30),
+        scenario,
+        be: Some(BeKind::SpecJbb),
+        queue_len: 0,
+        head_wait: SimDuration::ZERO,
+        decode_batch: 10,
+        worst_lag_secs: lag,
+        recent_ttft_p50: ttft_p90 * 0.7,
+        recent_ttft_p90: ttft_p90,
+        recent_tpot_p50: tpot,
+        recent_tpot_p90: tpot * 1.1,
+        power_w: 210.0,
+        bw_utilization: 0.9,
+    }
+}
+
+#[test]
+fn model_grid_covers_divisions_and_configs() {
+    let cfg = ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    let model = build_model(&cfg);
+    assert_eq!(model.div_count, default_divisions(&cfg.platform).len());
+    assert_eq!(model.cfg_count, default_allocations(&cfg.platform).len());
+    assert_eq!(model.buckets.len(), model.div_count * model.cfg_count);
+    assert_eq!(model.profiling_runs, model.buckets.len() * cfg.repetitions);
+}
+
+#[test]
+fn harvesting_ladder_trades_au_latency_for_sharing() {
+    // Within one division, later configurations must hand the shared class
+    // more throughput while AU tail latency is monotonically non-improving.
+    let cfg = ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    let model = build_model(&cfg);
+    for d in 0..model.div_count {
+        let first = model.bucket(d, 0);
+        let last = model.bucket(d, model.cfg_count - 1);
+        assert!(
+            last.be_rate > first.be_rate * 1.5,
+            "div {d}: harvesting must grow BE throughput ({} -> {})",
+            first.be_rate,
+            last.be_rate
+        );
+        assert!(
+            last.tpot_p90 >= first.tpot_p90 * 0.95,
+            "div {d}: AU tail cannot improve while losing resources"
+        );
+    }
+}
+
+#[test]
+fn bigger_high_regions_cut_ttft() {
+    let cfg = ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    let model = build_model(&cfg);
+    // Find the divisions with the largest and smallest High regions.
+    let mut by_high: Vec<usize> = (0..model.div_count).collect();
+    by_high.sort_by_key(|&d| model.bucket(d, 0).division.cores(AuUsageLevel::High));
+    let small = model.bucket(by_high[0], 0);
+    let big = model.bucket(*by_high.last().expect("non-empty"), 0);
+    assert!(
+        big.ttft_p90 < small.ttft_p90,
+        "prefill is core-hungry: H{} ttft {} must beat H{} ttft {}",
+        big.division.cores(AuUsageLevel::High),
+        big.ttft_p90,
+        small.division.cores(AuUsageLevel::High),
+        small.ttft_p90
+    );
+}
+
+#[test]
+fn controller_tracks_slo_state_machine() {
+    let model = build_model(&ProfilerConfig::paper_default(
+        PlatformSpec::gen_a(),
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+    ));
+    let mut c = AumController::new(model);
+    // Comfortable phase: positive LAG, low latencies.
+    for _ in 0..30 {
+        let d = c.decide(&state(Scenario::Chatbot, 0.3, 0.07, 0.08));
+        assert_eq!(d.division.total_cores(), 96);
+    }
+    let after_calm = c.current_bucket();
+    // The settled bucket should be harvesting (not the most conservative).
+    assert!(after_calm.1 > 0, "comfort should lead to harvesting, got {after_calm:?}");
+    // Violation phase: decode behind schedule.
+    for _ in 0..30 {
+        let _ = c.decide(&state(Scenario::Chatbot, 0.4, 0.13, -0.04));
+    }
+    let after_pressure = c.current_bucket();
+    let calm_bucket = {
+        let m = c.model();
+        m.bucket(after_calm.0, after_calm.1).clone()
+    };
+    let pressure_bucket = c.model().bucket(after_pressure.0, after_pressure.1).clone();
+    assert!(
+        pressure_bucket.tpot_p90 <= calm_bucket.tpot_p90 + 1e-9
+            || pressure_bucket.allocation.au.mem_bw_frac >= calm_bucket.allocation.au.mem_bw_frac,
+        "pressure must move toward AU-protecting configurations"
+    );
+}
+
+#[test]
+fn controller_works_for_every_scenario() {
+    for scenario in Scenario::ALL {
+        let model = build_model(&ProfilerConfig::smoke(
+            PlatformSpec::gen_a(),
+            scenario,
+            BeKind::Olap,
+        ));
+        let mut c = AumController::new(model);
+        for (ttft, tpot, lag) in [(0.1, 0.05, 0.1), (2.0, 0.2, -0.05), (0.0, 0.0, 0.0)] {
+            let d = c.decide(&state(scenario, ttft, tpot, lag));
+            assert_eq!(d.division.total_cores(), 96, "{scenario}: invalid division");
+            assert!(d.allocation.au.llc_ways >= 1);
+            assert!(d.allocation.shared.llc_ways >= 1);
+        }
+    }
+}
