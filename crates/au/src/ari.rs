@@ -17,7 +17,10 @@ use aum_platform::topology::AuUsageLevel;
 /// Panics if any argument is zero.
 #[must_use]
 pub fn qkv_ari_prefill(d: usize, batch: usize, input_len: usize) -> f64 {
-    assert!(d > 0 && batch > 0 && input_len > 0, "dimensions must be positive");
+    assert!(
+        d > 0 && batch > 0 && input_len > 0,
+        "dimensions must be positive"
+    );
     6.0 / (1.0 / d as f64 + 3.0 / (batch as f64 * input_len as f64))
 }
 
@@ -62,7 +65,10 @@ impl Default for UsageClassifier {
     fn default() -> Self {
         // Calibrated so llama-class decode (ARI ≈ 10-20) lands in Low and
         // prefill (ARI ≈ thousands) in High.
-        UsageClassifier { low_threshold: 0.01, high_threshold: 0.55 }
+        UsageClassifier {
+            low_threshold: 0.01,
+            high_threshold: 0.55,
+        }
     }
 }
 
@@ -80,7 +86,10 @@ impl UsageClassifier {
                 && low_threshold < high_threshold,
             "thresholds must satisfy 0 <= low < high <= 1"
         );
-        UsageClassifier { low_threshold, high_threshold }
+        UsageClassifier {
+            low_threshold,
+            high_threshold,
+        }
     }
 
     /// Classifies a normalized usage value.

@@ -10,8 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use aum_sim::time::SimDuration;
 use aum_platform::units::GbPerSec;
+use aum_sim::time::SimDuration;
 
 use crate::unit::{AuSpec, Precision};
 
@@ -116,7 +116,13 @@ impl ExecContext {
         assert!(cores > 0, "kernel needs at least one core");
         assert!(freq_ghz > 0.0, "frequency must be positive");
         assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
-        ExecContext { cores, freq_ghz, bandwidth, memory_penalty: 1.0, compute_penalty: 1.0 }
+        ExecContext {
+            cores,
+            freq_ghz,
+            bandwidth,
+            memory_penalty: 1.0,
+            compute_penalty: 1.0,
+        }
     }
 
     /// Returns a copy with the given contention penalties.
@@ -126,7 +132,10 @@ impl ExecContext {
     /// Panics if a penalty is below 1.
     #[must_use]
     pub fn with_penalties(mut self, memory: f64, compute: f64) -> Self {
-        assert!(memory >= 1.0 && compute >= 1.0, "penalties are multipliers ≥ 1");
+        assert!(
+            memory >= 1.0 && compute >= 1.0,
+            "penalties are multipliers ≥ 1"
+        );
         self.memory_penalty = memory;
         self.compute_penalty = compute;
         self
@@ -189,7 +198,10 @@ pub fn gemm_time(
     let startup = unit.startup_cycles / (ctx.freq_ghz * 1e9);
     let compute_secs =
         (flops / (per_core * ctx.cores as f64).max(1.0)) * ctx.compute_penalty + startup;
-    let reachable_bw = ctx.bandwidth.value().min(ctx.cores as f64 * PER_CORE_BW_GBS);
+    let reachable_bw = ctx
+        .bandwidth
+        .value()
+        .min(ctx.cores as f64 * PER_CORE_BW_GBS);
     let memory_secs = shape.bytes(prec) / (reachable_bw * 1e9) * ctx.memory_penalty;
     let (wall, bound) = if compute_secs >= memory_secs {
         (compute_secs, Bound::Compute)
@@ -250,7 +262,12 @@ mod tests {
     #[test]
     fn prefill_gemm_matches_paper_tflops() {
         // §IV-A3: 8192×4096×22016 achieves ≈40.57 TFLOPS on GenA.
-        let e = gemm_time(GemmShape::new(8192, 4096, 22016), Precision::Bf16, &amx(), &gen_a_ctx());
+        let e = gemm_time(
+            GemmShape::new(8192, 4096, 22016),
+            Precision::Bf16,
+            &amx(),
+            &gen_a_ctx(),
+        );
         assert_eq!(e.bound, Bound::Compute);
         assert!(
             (34.0..=48.0).contains(&e.achieved_tflops),
@@ -262,7 +279,12 @@ mod tests {
     #[test]
     fn decode_gemm_matches_paper_tflops() {
         // §IV-A3: 16×4096×22016 achieves ≈3.87 TFLOPS, memory bound.
-        let e = gemm_time(GemmShape::new(16, 4096, 22016), Precision::Bf16, &amx(), &gen_a_ctx());
+        let e = gemm_time(
+            GemmShape::new(16, 4096, 22016),
+            Precision::Bf16,
+            &amx(),
+            &gen_a_ctx(),
+        );
         assert_eq!(e.bound, Bound::Memory);
         assert!(
             (2.5..=5.5).contains(&e.achieved_tflops),
@@ -284,7 +306,12 @@ mod tests {
 
     #[test]
     fn empty_shape_is_free() {
-        let e = gemm_time(GemmShape::new(0, 4096, 4096), Precision::Bf16, &amx(), &gen_a_ctx());
+        let e = gemm_time(
+            GemmShape::new(0, 4096, 4096),
+            Precision::Bf16,
+            &amx(),
+            &gen_a_ctx(),
+        );
         assert_eq!(e.time, SimDuration::ZERO);
         assert_eq!(e.achieved_tflops, 0.0);
     }
@@ -300,7 +327,10 @@ mod tests {
             &gen_a_ctx().with_penalties(2.0, 1.0),
         );
         let ratio = penalized.time.as_secs_f64() / clean.time.as_secs_f64();
-        assert!((ratio - 2.0).abs() < 0.05, "memory-bound kernel slows ≈2x, got {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.05,
+            "memory-bound kernel slows ≈2x, got {ratio}"
+        );
     }
 
     #[test]
@@ -319,18 +349,34 @@ mod tests {
     #[test]
     fn more_cores_speed_up_compute_bound_only() {
         let shape = GemmShape::new(8192, 4096, 22016);
-        let few = gemm_time(shape, Precision::Bf16, &amx(), &ExecContext::new(24, 2.5, GbPerSec(233.8)));
+        let few = gemm_time(
+            shape,
+            Precision::Bf16,
+            &amx(),
+            &ExecContext::new(24, 2.5, GbPerSec(233.8)),
+        );
         let many = gemm_time(shape, Precision::Bf16, &amx(), &gen_a_ctx());
         assert!(many.time < few.time);
 
         let mem_shape = GemmShape::new(16, 4096, 22016);
-        let few = gemm_time(mem_shape, Precision::Bf16, &amx(), &ExecContext::new(24, 2.5, GbPerSec(233.8)));
+        let few = gemm_time(
+            mem_shape,
+            Precision::Bf16,
+            &amx(),
+            &ExecContext::new(24, 2.5, GbPerSec(233.8)),
+        );
         let many = gemm_time(mem_shape, Precision::Bf16, &amx(), &gen_a_ctx());
         let ratio = few.time.as_secs_f64() / many.time.as_secs_f64();
         // 24 cores reach 24 × PER_CORE_BW = 192 GB/s of the 233.8 GB/s pool,
         // so the penalty is the bandwidth-ceiling ratio, not a compute one.
-        assert!(ratio < 1.35, "memory-bound kernel barely benefits from cores, got {ratio}");
-        assert!(ratio > 1.1, "the per-core bandwidth ceiling must bite at 24 cores, got {ratio}");
+        assert!(
+            ratio < 1.35,
+            "memory-bound kernel barely benefits from cores, got {ratio}"
+        );
+        assert!(
+            ratio > 1.1,
+            "the per-core bandwidth ceiling must bite at 24 cores, got {ratio}"
+        );
     }
 
     #[test]
@@ -339,18 +385,39 @@ mod tests {
         // and the tile-fill penalty decides the winner.
         let ctx = ExecContext::new(4, 2.5, GbPerSec(233.8));
         let (amx, avx) = (amx(), avx());
-        let (unit, _) = pick_unit(GemmShape::new(1, 4096, 4096), Precision::Bf16, &amx, &avx, &ctx);
+        let (unit, _) = pick_unit(
+            GemmShape::new(1, 4096, 4096),
+            Precision::Bf16,
+            &amx,
+            &avx,
+            &ctx,
+        );
         assert_eq!(unit.kind, AuKind::Avx512, "m=1 vector op favors AVX");
-        let (unit, _) =
-            pick_unit(GemmShape::new(512, 4096, 4096), Precision::Bf16, &amx, &avx, &ctx);
+        let (unit, _) = pick_unit(
+            GemmShape::new(512, 4096, 4096),
+            Precision::Bf16,
+            &amx,
+            &avx,
+            &ctx,
+        );
         assert_eq!(unit.kind, AuKind::Amx, "large GEMM favors AMX");
     }
 
     #[test]
     fn frequency_scales_compute_leg() {
         let shape = GemmShape::new(8192, 4096, 22016);
-        let slow = gemm_time(shape, Precision::Bf16, &amx(), &ExecContext::new(96, 2.1, GbPerSec(233.8)));
-        let fast = gemm_time(shape, Precision::Bf16, &amx(), &ExecContext::new(96, 2.5, GbPerSec(233.8)));
+        let slow = gemm_time(
+            shape,
+            Precision::Bf16,
+            &amx(),
+            &ExecContext::new(96, 2.1, GbPerSec(233.8)),
+        );
+        let fast = gemm_time(
+            shape,
+            Precision::Bf16,
+            &amx(),
+            &ExecContext::new(96, 2.5, GbPerSec(233.8)),
+        );
         let ratio = slow.time.as_secs_f64() / fast.time.as_secs_f64();
         assert!((ratio - 2.5 / 2.1).abs() < 0.02);
     }
@@ -372,8 +439,18 @@ mod tests {
     #[test]
     fn higher_bandwidth_platform_accelerates_decode_shape() {
         let shape = GemmShape::new(16, 4096, 22016);
-        let ddr = gemm_time(shape, Precision::Bf16, &amx(), &ExecContext::new(96, 2.5, GbPerSec(233.8)));
-        let hbm = gemm_time(shape, Precision::Bf16, &amx(), &ExecContext::new(96, 2.5, GbPerSec(588.0)));
+        let ddr = gemm_time(
+            shape,
+            Precision::Bf16,
+            &amx(),
+            &ExecContext::new(96, 2.5, GbPerSec(233.8)),
+        );
+        let hbm = gemm_time(
+            shape,
+            Precision::Bf16,
+            &amx(),
+            &ExecContext::new(96, 2.5, GbPerSec(588.0)),
+        );
         assert!(hbm.time.as_secs_f64() < ddr.time.as_secs_f64() * 0.6);
     }
 }

@@ -39,7 +39,10 @@ impl AuTopology {
     #[must_use]
     pub fn contention_factor(&self, active_cores: usize, total_cores: usize) -> f64 {
         assert!(total_cores > 0, "platform needs cores");
-        assert!(active_cores <= total_cores, "more active cores than the platform has");
+        assert!(
+            active_cores <= total_cores,
+            "more active cores than the platform has"
+        );
         match *self {
             AuTopology::PerCore => 1.0,
             AuTopology::SharedCluster { cores_per_au } => {
@@ -61,7 +64,10 @@ impl AuTopology {
     #[must_use]
     pub fn derate(&self, unit: &AuSpec, active_cores: usize, total_cores: usize) -> AuSpec {
         let factor = self.contention_factor(active_cores, total_cores);
-        AuSpec { sustained_frac: unit.sustained_frac * factor, ..*unit }
+        AuSpec {
+            sustained_frac: unit.sustained_frac * factor,
+            ..*unit
+        }
     }
 }
 
@@ -96,7 +102,10 @@ mod tests {
         let mut last = f64::INFINITY;
         for active in (0..=96).step_by(8) {
             let f = t.contention_factor(active, 96);
-            assert!(f <= last + 1e-12, "more active cores cannot raise throughput");
+            assert!(
+                f <= last + 1e-12,
+                "more active cores cannot raise throughput"
+            );
             assert!((0.0..=1.0).contains(&f));
             last = f;
         }

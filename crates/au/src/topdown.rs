@@ -35,7 +35,12 @@ impl CycleBreakdown {
     ///
     /// Panics if any component is negative or all are zero.
     #[must_use]
-    pub fn new(retiring: f64, bad_speculation: f64, frontend_bound: f64, backend_bound: f64) -> Self {
+    pub fn new(
+        retiring: f64,
+        bad_speculation: f64,
+        frontend_bound: f64,
+        backend_bound: f64,
+    ) -> Self {
         for v in [retiring, bad_speculation, frontend_bound, backend_bound] {
             assert!(v >= 0.0, "cycle components must be non-negative");
         }
@@ -155,7 +160,12 @@ impl TopDown {
         let old_mem_abs = self.memory_bound();
         let new_mem_abs = old_mem_abs + extra_dram + extra_llc;
         let core_frac = (1.0 - new_mem_abs / new_backend).clamp(0.0, 1.0);
-        TopDown { cycles, core_frac, core: self.core, memory }
+        TopDown {
+            cycles,
+            core_frac,
+            core: self.core,
+            memory,
+        }
     }
 }
 
@@ -214,8 +224,17 @@ pub fn signature(kind: SignatureKind, spec: &PlatformSpec) -> TopDown {
             0.010,
             0.935,
             0.40,
-            CoreBoundBreakdown { serializing: 0.55, ports: 0.30, other: 0.15 },
-            MemoryBoundBreakdown { l1: 0.26, l2: 0.24, llc: 0.22, dram: 0.28 },
+            CoreBoundBreakdown {
+                serializing: 0.55,
+                ports: 0.30,
+                other: 0.15,
+            },
+            MemoryBoundBreakdown {
+                l1: 0.26,
+                l2: 0.24,
+                llc: 0.22,
+                dram: 0.28,
+            },
         ),
         // Table II llama2-7b prefill: BB 92%, DB 24%; hierarchy levels
         // matter similarly (Fig 8b).
@@ -225,8 +244,17 @@ pub fn signature(kind: SignatureKind, spec: &PlatformSpec) -> TopDown {
             0.010,
             0.920,
             0.35,
-            CoreBoundBreakdown { serializing: 0.55, ports: 0.30, other: 0.15 },
-            MemoryBoundBreakdown { l1: 0.22, l2: 0.20, llc: 0.18, dram: 0.40 },
+            CoreBoundBreakdown {
+                serializing: 0.55,
+                ports: 0.30,
+                other: 0.15,
+            },
+            MemoryBoundBreakdown {
+                l1: 0.22,
+                l2: 0.20,
+                llc: 0.18,
+                dram: 0.40,
+            },
         ),
         // Table II llama2-7b decode: BB 96%, DB 59%; DRAM bandwidth
         // dominates (Fig 8b), serializing ratio higher (Fig 8a).
@@ -236,8 +264,17 @@ pub fn signature(kind: SignatureKind, spec: &PlatformSpec) -> TopDown {
             0.005,
             0.960,
             0.19,
-            CoreBoundBreakdown { serializing: 0.70, ports: 0.18, other: 0.12 },
-            MemoryBoundBreakdown { l1: 0.09, l2: 0.08, llc: 0.07, dram: 0.76 },
+            CoreBoundBreakdown {
+                serializing: 0.70,
+                ports: 0.18,
+                other: 0.12,
+            },
+            MemoryBoundBreakdown {
+                l1: 0.09,
+                l2: 0.08,
+                llc: 0.07,
+                dram: 0.76,
+            },
         ),
         SignatureKind::Mcf => (
             0.200,
@@ -245,8 +282,17 @@ pub fn signature(kind: SignatureKind, spec: &PlatformSpec) -> TopDown {
             0.050,
             0.700,
             0.15,
-            CoreBoundBreakdown { serializing: 0.25, ports: 0.45, other: 0.30 },
-            MemoryBoundBreakdown { l1: 0.10, l2: 0.15, llc: 0.20, dram: 0.55 },
+            CoreBoundBreakdown {
+                serializing: 0.25,
+                ports: 0.45,
+                other: 0.30,
+            },
+            MemoryBoundBreakdown {
+                l1: 0.10,
+                l2: 0.15,
+                llc: 0.20,
+                dram: 0.55,
+            },
         ),
         SignatureKind::Ads => (
             0.300,
@@ -254,8 +300,17 @@ pub fn signature(kind: SignatureKind, spec: &PlatformSpec) -> TopDown {
             0.200,
             0.440,
             0.45,
-            CoreBoundBreakdown { serializing: 0.20, ports: 0.55, other: 0.25 },
-            MemoryBoundBreakdown { l1: 0.25, l2: 0.25, llc: 0.25, dram: 0.25 },
+            CoreBoundBreakdown {
+                serializing: 0.20,
+                ports: 0.55,
+                other: 0.25,
+            },
+            MemoryBoundBreakdown {
+                l1: 0.25,
+                l2: 0.25,
+                llc: 0.25,
+                dram: 0.25,
+            },
         ),
     };
     // Frontend grows ~∛ with bandwidth relative to GenA.
@@ -294,22 +349,42 @@ mod tests {
     #[test]
     fn prefill_matches_table2() {
         let t = signature(SignatureKind::Prefill, &gen_a());
-        assert!((t.backend_bound() - 0.92).abs() < 0.01, "BB {}", t.backend_bound());
-        assert!((t.dram_bound() - 0.24).abs() < 0.03, "DB {}", t.dram_bound());
+        assert!(
+            (t.backend_bound() - 0.92).abs() < 0.01,
+            "BB {}",
+            t.backend_bound()
+        );
+        assert!(
+            (t.dram_bound() - 0.24).abs() < 0.03,
+            "DB {}",
+            t.dram_bound()
+        );
     }
 
     #[test]
     fn decode_matches_table2() {
         let t = signature(SignatureKind::Decode, &gen_a());
-        assert!((t.backend_bound() - 0.96).abs() < 0.01, "BB {}", t.backend_bound());
-        assert!((t.dram_bound() - 0.59).abs() < 0.03, "DB {}", t.dram_bound());
+        assert!(
+            (t.backend_bound() - 0.96).abs() < 0.01,
+            "BB {}",
+            t.backend_bound()
+        );
+        assert!(
+            (t.dram_bound() - 0.59).abs() < 0.03,
+            "DB {}",
+            t.dram_bound()
+        );
     }
 
     #[test]
     fn au_frontend_is_oversupplied() {
         // §IV-C1 observation (1): AU frontend bound ≈1% vs ≈5%+ for scalar.
         let spec = gen_a();
-        for kind in [SignatureKind::Gemm, SignatureKind::Prefill, SignatureKind::Decode] {
+        for kind in [
+            SignatureKind::Gemm,
+            SignatureKind::Prefill,
+            SignatureKind::Decode,
+        ] {
             assert!(signature(kind, &spec).cycles.frontend_bound < 0.02);
         }
         assert!(signature(SignatureKind::Mcf, &spec).cycles.frontend_bound >= 0.05);
@@ -365,8 +440,10 @@ mod tests {
         let t = signature(SignatureKind::Prefill, &gen_a());
         let pressured = t.under_pressure(1.0, 2.5);
         assert!(pressured.memory.llc > t.memory.llc);
-        let msum =
-            pressured.memory.l1 + pressured.memory.l2 + pressured.memory.llc + pressured.memory.dram;
+        let msum = pressured.memory.l1
+            + pressured.memory.l2
+            + pressured.memory.llc
+            + pressured.memory.dram;
         assert!((msum - 1.0).abs() < 1e-9);
     }
 

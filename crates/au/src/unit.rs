@@ -197,9 +197,17 @@ mod tests {
         let spec = PlatformSpec::gen_a();
         let amx = AuSpec::for_platform(&spec, AuKind::Amx);
         // 206.4e12 / (96 cores * 2.7e9 Hz) ≈ 796 ops/cycle.
-        assert!((amx.ops_per_cycle - 796.3).abs() < 1.0, "got {}", amx.ops_per_cycle);
+        assert!(
+            (amx.ops_per_cycle - 796.3).abs() < 1.0,
+            "got {}",
+            amx.ops_per_cycle
+        );
         let avx = AuSpec::for_platform(&spec, AuKind::Avx512);
-        assert!((avx.ops_per_cycle - 98.8).abs() < 1.0, "got {}", avx.ops_per_cycle);
+        assert!(
+            (avx.ops_per_cycle - 98.8).abs() < 1.0,
+            "got {}",
+            avx.ops_per_cycle
+        );
     }
 
     #[test]

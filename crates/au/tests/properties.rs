@@ -15,7 +15,11 @@ fn any_shape() -> impl Strategy<Value = GemmShape> {
 }
 
 fn any_kind() -> impl Strategy<Value = AuKind> {
-    prop_oneof![Just(AuKind::Amx), Just(AuKind::Avx512), Just(AuKind::Scalar)]
+    prop_oneof![
+        Just(AuKind::Amx),
+        Just(AuKind::Avx512),
+        Just(AuKind::Scalar)
+    ]
 }
 
 proptest! {

@@ -21,8 +21,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut pmu = PmuCounters::new();
             iteration_cost(
-                black_box(&model), Phase::Decode, 16, 855, Precision::Bf16, &kernels,
-                &decode_ctx, &mut pmu,
+                black_box(&model),
+                Phase::Decode,
+                16,
+                855,
+                Precision::Bf16,
+                &kernels,
+                &decode_ctx,
+                &mut pmu,
             )
         })
     });
@@ -30,8 +36,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut pmu = PmuCounters::new();
             iteration_cost(
-                black_box(&model), Phase::Prefill, 755, 755, Precision::Bf16, &kernels,
-                &prefill_ctx, &mut pmu,
+                black_box(&model),
+                Phase::Prefill,
+                755,
+                755,
+                Precision::Bf16,
+                &kernels,
+                &prefill_ctx,
+                &mut pmu,
             )
         })
     });

@@ -13,9 +13,27 @@ use aum_sim::time::SimDuration;
 fn bench(c: &mut Criterion) {
     let mut sim = PlatformSim::new(PlatformSpec::gen_a());
     let loads = [
-        RegionLoad::new(AuUsageLevel::High, 48, ActivityClass::Amx, 0.4, GbPerSec(40.0)),
-        RegionLoad::new(AuUsageLevel::Low, 24, ActivityClass::Avx, 0.9, GbPerSec(190.0)),
-        RegionLoad::new(AuUsageLevel::None, 24, ActivityClass::Mixed, 1.0, GbPerSec(28.0)),
+        RegionLoad::new(
+            AuUsageLevel::High,
+            48,
+            ActivityClass::Amx,
+            0.4,
+            GbPerSec(40.0),
+        ),
+        RegionLoad::new(
+            AuUsageLevel::Low,
+            24,
+            ActivityClass::Avx,
+            0.9,
+            GbPerSec(190.0),
+        ),
+        RegionLoad::new(
+            AuUsageLevel::None,
+            24,
+            ActivityClass::Mixed,
+            1.0,
+            GbPerSec(28.0),
+        ),
     ];
     c.bench_function("platform/step", |b| {
         b.iter(|| sim.step(SimDuration::from_millis(500), &loads))

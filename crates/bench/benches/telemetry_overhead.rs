@@ -1,0 +1,52 @@
+//! Telemetry overhead on the serving hot loop: the same short experiment
+//! (engine + platform + manager, no tracing-specific code paths) under a
+//! disabled tracer, `NullSink`, `MemorySink`, and a `JsonlSink` writing to
+//! `/dev/null`. The disabled and `NullSink` rows must be indistinguishable
+//! from each other — `Tracer::emit` short-circuits before constructing the
+//! event — while the sink-backed rows price construction, cloning, and
+//! serialization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aum::baselines::AllAu;
+use aum::experiment::{run_experiment_traced, ExperimentConfig};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_sim::telemetry::{JsonlSink, MemorySink, NullSink, Tracer};
+use aum_sim::SimDuration;
+
+fn short_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, None);
+    cfg.duration = SimDuration::from_secs(20);
+    cfg
+}
+
+fn run_once(cfg: &ExperimentConfig, tracer: Tracer) -> f64 {
+    let mut mgr = AllAu::new(&cfg.platform);
+    run_experiment_traced(cfg, &mut mgr, tracer).efficiency
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = short_config();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| run_once(black_box(&cfg), Tracer::disabled()))
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| run_once(black_box(&cfg), Tracer::new(NullSink)))
+    });
+    group.bench_function("memory_sink", |b| {
+        b.iter(|| run_once(black_box(&cfg), Tracer::new(MemorySink::new())))
+    });
+    group.bench_function("jsonl_devnull", |b| {
+        b.iter(|| {
+            let sink = JsonlSink::create("/dev/null").expect("open /dev/null");
+            run_once(black_box(&cfg), Tracer::new(sink))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

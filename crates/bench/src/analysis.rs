@@ -121,12 +121,27 @@ pub fn overhead() -> String {
 pub fn tco() -> String {
     let spec = PlatformSpec::gen_a();
     let mut cache = ModelCache::new();
-    let excl =
-        scheme_outcome(Scheme::AllAu, &spec, Scenario::Chatbot, BeKind::SpecJbb, &mut cache);
-    let aum = scheme_outcome(Scheme::Aum, &spec, Scenario::Chatbot, BeKind::SpecJbb, &mut cache);
+    let excl = scheme_outcome(
+        Scheme::AllAu,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+        &mut cache,
+    );
+    let aum = scheme_outcome(
+        Scheme::Aum,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+        &mut cache,
+    );
     let gain = aum.efficiency / excl.efficiency;
     let mut t = TextTable::new(["configuration", "perf/CapEx vs GPU", "perf/W vs GPU"]);
-    for (name, g) in [("CPU exclusive", 1.0), ("CPU + AUM (measured gain)", gain), ("CPU + AUM (paper's 15%)", 1.15)] {
+    for (name, g) in [
+        ("CPU exclusive", 1.0),
+        ("CPU + AUM (measured gain)", gain),
+        ("CPU + AUM (paper's 15%)", 1.15),
+    ] {
         let r = tco_report(&TcoInputs::gen_a_with_gain(g));
         t.row([
             name.to_string(),

@@ -1,48 +1,149 @@
 //! Reproduction driver: regenerates the paper's tables and figures.
 //!
 //! Usage:
-//!   repro `<id>`             run one experiment (e.g. `fig14`, `table2`)
-//!   repro all                run everything in paper order
-//!   repro all --out <dir>    additionally write one .txt artifact per
-//!                            experiment into <dir>
-//!   repro list               list experiment ids
+//!   repro `<id>`                     run one experiment (e.g. `fig14`)
+//!   repro all                        run everything in paper order
+//!   repro list                       list experiment ids
+//!   repro trace-summary <file>       explain a telemetry trace
+//!
+//! Flags (only valid when running experiments):
+//!   --out <dir>     additionally write one .txt artifact per experiment
+//!   --trace <file>  stream telemetry from AUM-scheme runs and profiler
+//!                   sweeps to <file> as JSON lines
+//!
+//! Unknown or malformed arguments are rejected with exit code 2.
 
+use std::path::PathBuf;
 use std::time::Instant;
+
+use aum_sim::telemetry::{parse_jsonl, JsonlSink, OrderingSink, TraceSink, Tracer};
+
+enum Command {
+    List,
+    All,
+    One(String),
+    TraceSummary(PathBuf),
+}
+
+struct Cli {
+    command: Command,
+    out_dir: Option<PathBuf>,
+    trace: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut positionals: Vec<&str> = Vec::new();
+    let mut out_dir = None;
+    let mut trace = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let v = args.get(i + 1).ok_or("--out requires a directory")?;
+                if out_dir.replace(PathBuf::from(v)).is_some() {
+                    return Err("--out given twice".into());
+                }
+                i += 2;
+            }
+            "--trace" => {
+                let v = args.get(i + 1).ok_or("--trace requires a file path")?;
+                if trace.replace(PathBuf::from(v)).is_some() {
+                    return Err("--trace given twice".into());
+                }
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            positional => {
+                positionals.push(positional);
+                i += 1;
+            }
+        }
+    }
+    let command = match positionals.as_slice() {
+        [] => return Err("missing command".into()),
+        ["list"] => Command::List,
+        ["all"] => Command::All,
+        ["trace-summary", file] => Command::TraceSummary(PathBuf::from(file)),
+        ["trace-summary"] => return Err("trace-summary requires a file".into()),
+        [id] => Command::One((*id).to_owned()),
+        [_, extra, ..] => return Err(format!("unexpected argument `{extra}`")),
+    };
+    match command {
+        Command::List | Command::TraceSummary(_) if out_dir.is_some() || trace.is_some() => {
+            Err("--out/--trace are only valid when running experiments".into())
+        }
+        command => Ok(Cli {
+            command,
+            out_dir,
+            trace,
+        }),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = aum_bench::experiments();
     let usage = || {
-        eprintln!("usage: repro <id>|all|list [--out <dir>]");
-        eprintln!("ids: {}", experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+        eprintln!("usage: repro <id>|all|list [--out <dir>] [--trace <file.jsonl>]");
+        eprintln!("       repro trace-summary <file.jsonl>");
+        eprintln!(
+            "ids: {}",
+            experiments
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
     };
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
-    if let Some(dir) = &out_dir {
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = &cli.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             std::process::exit(1);
         }
     }
+    // When tracing, install a shared JSONL sink consulted by AUM-scheme
+    // runs and profiler sweeps inside the harness.
+    let trace_handle = cli.trace.as_ref().map(|path| {
+        let sink = match JsonlSink::create(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("cannot create {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        // OrderingSink re-sorts each run's records by sim time: components
+        // are simulated sequentially over overlapping interval windows, so
+        // raw emission order is not globally monotonic.
+        let (tracer, handle) = Tracer::shared(OrderingSink::new(sink));
+        aum_bench::common::install_tracer(tracer);
+        handle
+    });
     let emit = |name: &str, out: &str, elapsed: std::time::Duration| {
         println!("==== {name} ({elapsed:?}) ====\n{out}");
-        if let Some(dir) = &out_dir {
+        if let Some(dir) = &cli.out_dir {
             let path = dir.join(format!("{name}.txt"));
             if let Err(e) = std::fs::write(&path, out) {
                 eprintln!("cannot write {}: {e}", path.display());
             }
         }
     };
-    match args.first().map(String::as_str) {
-        Some("list") => {
+    match &cli.command {
+        Command::List => {
             for (name, _) in &experiments {
                 println!("{name}");
             }
         }
-        Some("all") => {
+        Command::All => {
             let t0 = Instant::now();
             for (name, run) in &experiments {
                 let t = Instant::now();
@@ -51,20 +152,41 @@ fn main() {
             }
             eprintln!("total: {:?}", t0.elapsed());
         }
-        Some(id) => match experiments.iter().find(|(n, _)| *n == id) {
+        Command::One(id) => match experiments.iter().find(|(n, _)| n == id) {
             Some((name, run)) => {
                 let t = Instant::now();
                 let out = run();
                 emit(name, &out, t.elapsed());
             }
             None => {
+                eprintln!("error: unknown experiment `{id}`");
                 usage();
                 std::process::exit(2);
             }
         },
-        None => {
-            usage();
-            std::process::exit(2);
+        Command::TraceSummary(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            match parse_jsonl(&text) {
+                Ok(records) => print!("{}", aum_bench::tracereport::summarize(&records)),
+                Err(e) => {
+                    eprintln!("malformed trace {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
         }
+    }
+    if let (Some(handle), Some(path)) = (trace_handle, &cli.trace) {
+        handle.lock().expect("sink lock").flush_sink();
+        eprintln!(
+            "trace: {} events \u{2192} {}",
+            handle.lock().expect("sink lock").inner().lines_written(),
+            path.display()
+        );
     }
 }

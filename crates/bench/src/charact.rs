@@ -12,13 +12,22 @@ use aum_sim::report::{fmt3, TextTable};
 use aum_workloads::au_apps::{au_acceleration, AuApp};
 use aum_workloads::gpu::GpuReference;
 
-
 /// Table I: hardware specifications of the evaluated platforms.
 #[must_use]
 pub fn table1() -> String {
     let mut t = TextTable::new([
-        "Platform", "Generation", "CPU", "cores/sockets", "AVX/AMX TFLOPS", "Base", "L1I",
-        "L1D", "L2/core", "LLC/socket", "Memory", "BW",
+        "Platform",
+        "Generation",
+        "CPU",
+        "cores/sockets",
+        "AVX/AMX TFLOPS",
+        "Base",
+        "L1I",
+        "L1D",
+        "L2/core",
+        "LLC/socket",
+        "Memory",
+        "BW",
     ]);
     for s in PlatformSpec::presets() {
         t.row([
@@ -36,7 +45,10 @@ pub fn table1() -> String {
             format!("{:.1} GB/s", s.mem_bw.value()),
         ]);
     }
-    format!("Table I: hardware specifications of evaluated CPUs\n{}", t.render())
+    format!(
+        "Table I: hardware specifications of evaluated CPUs\n{}",
+        t.render()
+    )
 }
 
 /// Fig 4: AU acceleration of Faiss/Vocoder/DeepFM on GenC under different
@@ -44,19 +56,30 @@ pub fn table1() -> String {
 #[must_use]
 pub fn fig4() -> String {
     let spec = PlatformSpec::gen_c();
-    let mut out = String::from(
-        "Fig 4: AU acceleration of AI workloads on GenC (× vs AU-disabled)\n",
-    );
+    let mut out =
+        String::from("Fig 4: AU acceleration of AI workloads on GenC (× vs AU-disabled)\n");
     for app in AuApp::ALL {
         let mut t = TextTable::new(["sweep", "value", "speedup"]);
         for d in [128usize, 256, 512, 1024] {
-            t.row(["dimension".into(), d.to_string(), fmt3(au_acceleration(&spec, app, d, 8, 16))]);
+            t.row([
+                "dimension".into(),
+                d.to_string(),
+                fmt3(au_acceleration(&spec, app, d, 8, 16)),
+            ]);
         }
         for c in [2usize, 8, 32, 120] {
-            t.row(["cores".into(), c.to_string(), fmt3(au_acceleration(&spec, app, 512, c, 16))]);
+            t.row([
+                "cores".into(),
+                c.to_string(),
+                fmt3(au_acceleration(&spec, app, 512, c, 16)),
+            ]);
         }
         for bs in [1usize, 8, 64] {
-            t.row(["batch".into(), bs.to_string(), fmt3(au_acceleration(&spec, app, 512, 8, bs))]);
+            t.row([
+                "batch".into(),
+                bs.to_string(),
+                fmt3(au_acceleration(&spec, app, 512, 8, bs)),
+            ]);
         }
         out.push_str(&format!("\n[{app}]\n{}", t.render()));
     }
@@ -74,17 +97,27 @@ pub fn fig5() -> String {
     let capacity = |spec: &PlatformSpec| -> (f64, f64) {
         let kernels = AuKernels::for_platform(spec);
         let gov = aum_platform::freq::FrequencyGovernor::for_spec(spec);
-        let f_low = gov.license_frequency(aum_platform::topology::AuUsageLevel::Low).value();
+        let f_low = gov
+            .license_frequency(aum_platform::topology::AuUsageLevel::Low)
+            .value();
         let ctx = ExecContext::new(spec.total_cores(), f_low, spec.mem_bw * 0.95);
         let mut pmu = PmuCounters::new();
         let cost = iteration_cost(
-            &ModelConfig::llama2_7b(), Phase::Decode, 16, 855, Precision::Bf16, &kernels, &ctx,
+            &ModelConfig::llama2_7b(),
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ctx,
             &mut pmu,
         );
         let tokens_per_sec = 16.0 / cost.time.as_secs_f64();
         let mut sim = aum_platform::state::PlatformSim::new(spec.clone());
         let total = spec.total_cores();
-        let f_high = gov.license_frequency(aum_platform::topology::AuUsageLevel::High).value();
+        let f_high = gov
+            .license_frequency(aum_platform::topology::AuUsageLevel::High)
+            .value();
         let _ = f_high;
         let snap = sim.step(
             aum_sim::time::SimDuration::from_millis(500),
@@ -109,11 +142,22 @@ pub fn fig5() -> String {
     };
     let (a_tps, a_w) = capacity(&PlatformSpec::gen_a());
     let (c_tps, c_w) = capacity(&PlatformSpec::gen_c());
-    let mut t = TextTable::new(["Unit", "tokens/s", "perf (norm)", "perf/W (norm)", "perf/$ (norm)"]);
+    let mut t = TextTable::new([
+        "Unit",
+        "tokens/s",
+        "perf (norm)",
+        "perf/W (norm)",
+        "perf/$ (norm)",
+    ]);
     let specs = [
         ("GenA", a_tps, a_w, PlatformSpec::gen_a().cost_usd),
         ("GenC", c_tps, c_w, PlatformSpec::gen_c().cost_usd),
-        ("A100 (FlexGen)", gpu.tokens_per_sec, gpu.power_w, gpu.cost_usd),
+        (
+            "A100 (FlexGen)",
+            gpu.tokens_per_sec,
+            gpu.power_w,
+            gpu.cost_usd,
+        ),
     ];
     let base = specs[0];
     for (name, tps, power, cost) in specs {
@@ -140,15 +184,38 @@ pub fn table2() -> String {
     let kernels = AuKernels::for_platform(&spec);
     let llama_ref = traffic_per_token(&ModelConfig::llama2_7b());
     let mut t = TextTable::new([
-        "Model", "Size", "Cycle Ratio (P/D)", "uop Ratio (P/D)", "BB (P/D)", "DB (P/D)",
+        "Model",
+        "Size",
+        "Cycle Ratio (P/D)",
+        "uop Ratio (P/D)",
+        "BB (P/D)",
+        "DB (P/D)",
     ]);
     for model in ModelConfig::table2_models() {
         let mut pmu_p = PmuCounters::new();
         let ctx_p = ExecContext::new(96, 2.5, spec.mem_bw);
-        let _ = iteration_cost(&model, Phase::Prefill, 8192, 512, Precision::Bf16, &kernels, &ctx_p, &mut pmu_p);
+        let _ = iteration_cost(
+            &model,
+            Phase::Prefill,
+            8192,
+            512,
+            Precision::Bf16,
+            &kernels,
+            &ctx_p,
+            &mut pmu_p,
+        );
         let mut pmu_d = PmuCounters::new();
         let ctx_d = ExecContext::new(96, 3.1, spec.mem_bw);
-        let _ = iteration_cost(&model, Phase::Decode, 16, 855, Precision::Bf16, &kernels, &ctx_d, &mut pmu_d);
+        let _ = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ctx_d,
+            &mut pmu_d,
+        );
 
         // Backend/DRAM bounds: the phase signature modulated by the model's
         // per-token traffic relative to llama2-7b (MoE streams only its
@@ -161,10 +228,26 @@ pub fn table2() -> String {
         t.row([
             model.name.clone(),
             format!("{:.1}B", model.param_count() / 1e9),
-            format!("{:.1} / {:.1}", pmu_p.amx_cycle_ratio() * 100.0, pmu_d.amx_cycle_ratio() * 100.0),
-            format!("{:.1} / {:.1}", pmu_p.amx_uop_ratio() * 100.0, pmu_d.amx_uop_ratio() * 100.0),
-            format!("{:.0} / {:.0}", bb(sig_p.backend_bound()) * 100.0, bb(sig_d.backend_bound()) * 100.0),
-            format!("{:.0} / {:.0}", db(sig_p.dram_bound()) * 100.0, db(sig_d.dram_bound()) * 100.0),
+            format!(
+                "{:.1} / {:.1}",
+                pmu_p.amx_cycle_ratio() * 100.0,
+                pmu_d.amx_cycle_ratio() * 100.0
+            ),
+            format!(
+                "{:.1} / {:.1}",
+                pmu_p.amx_uop_ratio() * 100.0,
+                pmu_d.amx_uop_ratio() * 100.0
+            ),
+            format!(
+                "{:.0} / {:.0}",
+                bb(sig_p.backend_bound()) * 100.0,
+                bb(sig_d.backend_bound()) * 100.0
+            ),
+            format!(
+                "{:.0} / {:.0}",
+                db(sig_p.dram_bound()) * 100.0,
+                db(sig_d.dram_bound()) * 100.0
+            ),
         ]);
     }
     format!(

@@ -1,16 +1,40 @@
 //! Shared infrastructure of the reproduction harness: scheme construction,
 //! AUV-model caching, and experiment execution.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use aum::baselines::{AllAu, AuFi, AuRb, AuUp, RpAu, SmtAu};
 use aum::controller::AumController;
-use aum::experiment::{run_experiment, ExperimentConfig, Outcome};
+use aum::experiment::{run_experiment, run_experiment_traced, ExperimentConfig, Outcome};
 use aum::manager::ResourceManager;
-use aum::profiler::{build_model, AuvModel, ProfilerConfig};
+use aum::profiler::{build_model_traced, AuvModel, ProfilerConfig};
 use aum_llm::traces::Scenario;
 use aum_platform::spec::PlatformSpec;
+use aum_sim::telemetry::Tracer;
 use aum_workloads::be::BeKind;
+
+thread_local! {
+    /// The harness-wide tracer consulted by AUM-scheme runs and profiler
+    /// sweeps. Disabled by default; `repro --trace <file>` installs a
+    /// [`aum_sim::telemetry::JsonlSink`]-backed tracer here.
+    static HARNESS_TRACER: RefCell<Tracer> = RefCell::new(Tracer::disabled());
+}
+
+/// Installs the tracer consulted by subsequent AUM-scheme experiment runs
+/// and profiling sweeps on this thread. Baseline schemes stay untraced so a
+/// figure-wide trace stays bounded and focused on the controller under
+/// study.
+pub fn install_tracer(tracer: Tracer) {
+    HARNESS_TRACER.with(|t| *t.borrow_mut() = tracer);
+}
+
+/// The currently installed harness tracer (disabled unless
+/// [`install_tracer`] was called).
+#[must_use]
+pub fn harness_tracer() -> Tracer {
+    HARNESS_TRACER.with(|t| t.borrow().clone())
+}
 
 /// The seven evaluated schemes (paper Table V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,7 +101,10 @@ impl ModelCache {
         self.models
             .entry((spec.name.clone(), scenario, be))
             .or_insert_with(|| {
-                build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be))
+                build_model_traced(
+                    &ProfilerConfig::paper_default(spec.clone(), scenario, be),
+                    harness_tracer(),
+                )
             })
             .clone()
     }
@@ -133,11 +160,20 @@ pub fn scheme_outcome_with_rate(
     rate: Option<f64>,
     cache: &mut ModelCache,
 ) -> Outcome {
-    let be_opt = if scheme == Scheme::AllAu { None } else { Some(be) };
+    let be_opt = if scheme == Scheme::AllAu {
+        None
+    } else {
+        Some(be)
+    };
     let mut cfg = ExperimentConfig::paper_default(spec.clone(), scenario, be_opt);
     cfg.rate = rate;
     let mut mgr = make_manager(scheme, spec, scenario, be_opt, cache);
-    run_experiment(&cfg, mgr.as_mut())
+    let tracer = if scheme == Scheme::Aum {
+        harness_tracer()
+    } else {
+        Tracer::disabled()
+    };
+    run_experiment_traced(&cfg, mgr.as_mut(), tracer)
 }
 
 /// Offered request rate scaled to a platform's serving capacity relative to

@@ -17,8 +17,11 @@ use crate::common::{scheme_outcome, ModelCache, Scheme};
 #[must_use]
 pub fn table3() -> String {
     let spec = PlatformSpec::gen_a();
-    let model =
-        build_model(&ProfilerConfig::paper_default(spec.clone(), Scenario::Chatbot, BeKind::SpecJbb));
+    let model = build_model(&ProfilerConfig::paper_default(
+        spec.clone(),
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+    ));
     let slo = Scenario::Chatbot.slo();
     let (d, c) = model.best_bucket(slo.ttft.as_secs_f64(), slo.tpot.as_secs_f64());
     let bucket = model.bucket(d, c);
@@ -52,7 +55,11 @@ pub fn table3() -> String {
         let (lo, hi) = div.region_range(level);
         t.row([
             level.to_string(),
-            if hi > lo { format!("{lo}-{}", hi - 1) } else { "-".to_string() },
+            if hi > lo {
+                format!("{lo}-{}", hi - 1)
+            } else {
+                "-".to_string()
+            },
             format!("{:.1} GHz", gov.license_frequency(level).value()),
             format!("0-{}", alloc.l2_ways.saturating_sub(1)),
             format!("0-{}", alloc.llc_ways.saturating_sub(1)),
@@ -74,12 +81,16 @@ pub fn table3() -> String {
 pub fn fig14() -> String {
     let spec = PlatformSpec::gen_a();
     let mut cache = ModelCache::new();
-    let cb_base =
-        scheme_outcome(Scheme::AllAu, &spec, Scenario::Chatbot, BeKind::SpecJbb, &mut cache)
-            .efficiency;
-    let mut out = String::from(
-        "Fig 14: CPU performance-per-watt, normalized to ALL-AU (chatbot)\n",
-    );
+    let cb_base = scheme_outcome(
+        Scheme::AllAu,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+        &mut cache,
+    )
+    .efficiency;
+    let mut out =
+        String::from("Fig 14: CPU performance-per-watt, normalized to ALL-AU (chatbot)\n");
     let mut aum_vs_best_oblivious = Vec::new();
     let mut aum_vs_exclusive = Vec::new();
     for scenario in Scenario::ALL {
@@ -119,9 +130,14 @@ pub fn fig14() -> String {
 pub fn fig15() -> String {
     let mut cache = ModelCache::new();
     let gen_a = PlatformSpec::gen_a();
-    let base =
-        scheme_outcome(Scheme::AllAu, &gen_a, Scenario::Chatbot, BeKind::SpecJbb, &mut cache)
-            .efficiency;
+    let base = scheme_outcome(
+        Scheme::AllAu,
+        &gen_a,
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+        &mut cache,
+    )
+    .efficiency;
     let mut out =
         String::from("Fig 15: efficiency on evolving platforms (norm. to ALL-AU on GenA)\n");
     for spec in PlatformSpec::presets() {
@@ -131,9 +147,21 @@ pub fn fig15() -> String {
             // exercises every platform near its own operating point.
             let rate = Some(crate::common::platform_scaled_rate(&spec, scenario));
             let excl = crate::common::scheme_outcome_with_rate(
-                Scheme::AllAu, &spec, scenario, BeKind::SpecJbb, rate, &mut cache);
+                Scheme::AllAu,
+                &spec,
+                scenario,
+                BeKind::SpecJbb,
+                rate,
+                &mut cache,
+            );
             let aum = crate::common::scheme_outcome_with_rate(
-                Scheme::Aum, &spec, scenario, BeKind::SpecJbb, rate, &mut cache);
+                Scheme::Aum,
+                &spec,
+                scenario,
+                BeKind::SpecJbb,
+                rate,
+                &mut cache,
+            );
             t.row([
                 scenario.to_string(),
                 fmt3(excl.efficiency / base),
@@ -156,13 +184,12 @@ pub fn fig16() -> String {
     let mut au_norm = std::collections::HashMap::new();
     let mut be_norm = std::collections::HashMap::new();
     for scenario in Scenario::ALL {
-        let all_au =
-            scheme_outcome(Scheme::AllAu, &spec, scenario, BeKind::SpecJbb, &mut cache);
+        let all_au = scheme_outcome(Scheme::AllAu, &spec, scenario, BeKind::SpecJbb, &mut cache);
         let rp = scheme_outcome(Scheme::RpAu, &spec, scenario, BeKind::SpecJbb, &mut cache);
         for scheme in Scheme::ALL {
             let o = scheme_outcome(scheme, &spec, scenario, BeKind::SpecJbb, &mut cache);
-            let au_perf = (o.prefill_tps + o.decode_tps)
-                / (all_au.prefill_tps + all_au.decode_tps).max(1e-9);
+            let au_perf =
+                (o.prefill_tps + o.decode_tps) / (all_au.prefill_tps + all_au.decode_tps).max(1e-9);
             let be_perf = o.be_rate / rp.be_rate.max(1e-9);
             *au_norm.entry(scheme).or_insert(0.0) += au_perf / 3.0;
             *be_norm.entry(scheme).or_insert(0.0) += be_perf / 3.0;
@@ -214,11 +241,26 @@ pub fn fig18() -> String {
     let cfg =
         ExperimentConfig::paper_default(spec.clone(), Scenario::Chatbot, Some(BeKind::SpecJbb));
     let aum = run_experiment(&cfg, &mut AumController::new(model));
-    let rp = scheme_outcome(Scheme::RpAu, &spec, Scenario::Chatbot, BeKind::SpecJbb, &mut cache);
-    let mut out = String::from("Fig 18: shared-class resource allocation CDFs (chatbot + SPECjbb)\n");
+    let rp = scheme_outcome(
+        Scheme::RpAu,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+        &mut cache,
+    );
+    let mut out =
+        String::from("Fig 18: shared-class resource allocation CDFs (chatbot + SPECjbb)\n");
     for (label, a, r) in [
-        ("shared LLC ways", &aum.shared_llc_samples, &rp.shared_llc_samples),
-        ("shared bandwidth %", &aum.shared_bw_samples, &rp.shared_bw_samples),
+        (
+            "shared LLC ways",
+            &aum.shared_llc_samples,
+            &rp.shared_llc_samples,
+        ),
+        (
+            "shared bandwidth %",
+            &aum.shared_bw_samples,
+            &rp.shared_bw_samples,
+        ),
     ] {
         let mut t = TextTable::new(["CDF", "AUM", "RP-AU"]);
         for q in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {

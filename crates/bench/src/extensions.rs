@@ -37,9 +37,27 @@ pub fn fig1() -> String {
     );
     let spec = PlatformSpec::gen_a();
     let mut cache = ModelCache::new();
-    let base = scheme_outcome(Scheme::AllAu, &spec, Scenario::Chatbot, BeKind::Olap, &mut cache);
-    let smt = scheme_outcome(Scheme::SmtAu, &spec, Scenario::Chatbot, BeKind::Olap, &mut cache);
-    let aum = scheme_outcome(Scheme::Aum, &spec, Scenario::Chatbot, BeKind::Olap, &mut cache);
+    let base = scheme_outcome(
+        Scheme::AllAu,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::Olap,
+        &mut cache,
+    );
+    let smt = scheme_outcome(
+        Scheme::SmtAu,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::Olap,
+        &mut cache,
+    );
+    let aum = scheme_outcome(
+        Scheme::Aum,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::Olap,
+        &mut cache,
+    );
     let oblivious_loss = 1.0 - smt.decode_tps / base.decode_tps;
     let aum_loss = 1.0 - aum.decode_tps / base.decode_tps;
     let mut out = String::from("Fig 1: the management gap\n");
@@ -73,9 +91,16 @@ pub fn adapt() -> String {
     // Offered load steps from 0.3 to 0.51 req/s mid-run (above the
     // calibrated comfortable operating point).
     cfg.rate = Some(0.3);
-    cfg.rate_profile = RateProfile::Step { at_secs: 150.0, factor: 1.7 };
+    cfg.rate_profile = RateProfile::Step {
+        at_secs: 150.0,
+        factor: 1.7,
+    };
     let mut t = TextTable::new([
-        "manager", "efficiency", "TPOT guarantee", "TTFT guarantee", "division switches",
+        "manager",
+        "efficiency",
+        "TPOT guarantee",
+        "TTFT guarantee",
+        "division switches",
     ]);
     let mut plain = AumController::new(model.clone());
     let plain_out = run_experiment(&cfg, &mut plain);
@@ -123,7 +148,10 @@ pub fn ablate() -> String {
     let mut cache = ModelCache::new();
     let exclusive = scheme_outcome(Scheme::AllAu, &spec, scenario, be, &mut cache);
     let mut t = TextTable::new([
-        "grid (div x cfg)", "profiling runs", "AUM efficiency gain", "TPOT guarantee",
+        "grid (div x cfg)",
+        "profiling runs",
+        "AUM efficiency gain",
+        "TPOT guarantee",
     ]);
     for (divs, cfgs) in [(2usize, 2usize), (3, 3), (6, 5)] {
         let mut pc = ProfilerConfig::paper_default(spec.clone(), scenario, be);
@@ -142,11 +170,9 @@ pub fn ablate() -> String {
     }
     // Value of runtime adaptation: freeze the best bucket of the full
     // model and compare against the adaptive controller.
-    let full_model =
-        build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be));
+    let full_model = build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be));
     let cfg = ExperimentConfig::paper_default(spec.clone(), scenario, Some(be));
-    let static_out =
-        run_experiment(&cfg, &mut aum::baselines::StaticBest::new(&full_model));
+    let static_out = run_experiment(&cfg, &mut aum::baselines::StaticBest::new(&full_model));
     let aum_out = run_experiment(&cfg, &mut AumController::new(full_model));
     let mut t2 = TextTable::new(["manager", "efficiency gain", "TPOT guarantee"]);
     t2.row([
@@ -174,7 +200,10 @@ pub fn ablate() -> String {
 pub fn cluster() -> String {
     let cfg = ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
     let mut t = TextTable::new([
-        "routing policy", "cluster efficiency", "violation rate", "weights (A/B/C)",
+        "routing policy",
+        "cluster efficiency",
+        "violation rate",
+        "weights (A/B/C)",
     ]);
     for policy in [
         RoutingPolicy::Uniform,
@@ -186,7 +215,11 @@ pub fn cluster() -> String {
             out.policy.clone(),
             fmt3(out.efficiency),
             fmt3(out.violation_rate),
-            out.weights.iter().map(|w| format!("{w:.2}")).collect::<Vec<_>>().join("/"),
+            out.weights
+                .iter()
+                .map(|w| format!("{w:.2}"))
+                .collect::<Vec<_>>()
+                .join("/"),
         ]);
     }
     format!(
@@ -207,7 +240,10 @@ pub fn chunked() -> String {
 
     let spec = PlatformSpec::gen_a();
     let mut t = TextTable::new([
-        "prefill mode", "max inter-token stall (s)", "wall TPOT p90 (s)", "TTFT p90 (s)",
+        "prefill mode",
+        "max inter-token stall (s)",
+        "wall TPOT p90 (s)",
+        "TTFT p90 (s)",
     ]);
     for chunk in [None, Some(1024usize), Some(512), Some(256)] {
         let trace = TraceGenerator::new(Scenario::Summarization, 0.6)
@@ -264,13 +300,24 @@ pub fn numa() -> String {
     let capacity = |bw: aum_platform::units::GbPerSec| -> f64 {
         let ctx = ExecContext::new(spec.total_cores(), 3.1, bw * 0.95);
         let mut pmu = PmuCounters::new();
-        let cost =
-            iteration_cost(&model, Phase::Decode, 16, 855, Precision::Bf16, &kernels, &ctx, &mut pmu);
+        let cost = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ctx,
+            &mut pmu,
+        );
         16.0 / cost.time.as_secs_f64()
     };
     let mut t = TextTable::new([
-        "division (H/L/N)", "remote frac (naive)", "remote frac (aware)",
-        "decode tok/s (naive)", "decode tok/s (aware)",
+        "division (H/L/N)",
+        "remote frac (naive)",
+        "remote frac (aware)",
+        "decode tok/s (naive)",
+        "decode tok/s (aware)",
     ]);
     for (h, l) in [(64, 16), (56, 24), (48, 32), (48, 24), (40, 32)] {
         let d = ProcessorDivision::new(h, l, 96 - h - l);
@@ -298,9 +345,8 @@ pub fn numa() -> String {
 /// the SME-style shared-AU topology's cost on prefill.
 #[must_use]
 pub fn precision() -> String {
-    let mut out = String::from(
-        "Precision & topology extensions: batch-16 decode capacity (tokens/s)\n",
-    );
+    let mut out =
+        String::from("Precision & topology extensions: batch-16 decode capacity (tokens/s)\n");
     let mut t = TextTable::new(["platform", "BF16", "FP16", "INT8 (quantized)"]);
     for spec in PlatformSpec::presets() {
         let kernels = AuKernels::for_platform(&spec);
@@ -309,13 +355,30 @@ pub fn precision() -> String {
             if !prec.supported_by(spec.generation) && prec != Precision::Int8 {
                 return "-".to_string();
             }
-            let ctx = ExecContext::new(spec.total_cores(), spec.base_freq.value(), spec.mem_bw * 0.95);
+            let ctx = ExecContext::new(
+                spec.total_cores(),
+                spec.base_freq.value(),
+                spec.mem_bw * 0.95,
+            );
             let mut pmu = PmuCounters::new();
-            let cost =
-                iteration_cost(&model, Phase::Decode, 16, 855, prec, &kernels, &ctx, &mut pmu);
+            let cost = iteration_cost(
+                &model,
+                Phase::Decode,
+                16,
+                855,
+                prec,
+                &kernels,
+                &ctx,
+                &mut pmu,
+            );
             format!("{:.0}", 16.0 / cost.time.as_secs_f64())
         };
-        t.row([spec.name.clone(), cap(Precision::Bf16), cap(Precision::Fp16), cap(Precision::Int8)]);
+        t.row([
+            spec.name.clone(),
+            cap(Precision::Bf16),
+            cap(Precision::Fp16),
+            cap(Precision::Int8),
+        ]);
     }
     out.push_str(&t.render());
 
@@ -323,7 +386,11 @@ pub fn precision() -> String {
     let spec = PlatformSpec::gen_a();
     let amx = AuSpec::for_platform(&spec, AuKind::Amx);
     let ctx = ExecContext::new(96, 2.5, spec.mem_bw);
-    let mut t = TextTable::new(["cores per AU", "prefill GEMM TFLOPS", "slowdown vs per-core"]);
+    let mut t = TextTable::new([
+        "cores per AU",
+        "prefill GEMM TFLOPS",
+        "slowdown vs per-core",
+    ]);
     let base = aum_au::gemm::gemm_time(
         aum_au::gemm::GemmShape::new(8192, 4096, 22016),
         Precision::Bf16,

@@ -24,6 +24,7 @@ pub mod common;
 pub mod evaluation;
 pub mod extensions;
 pub mod sharing;
+pub mod tracereport;
 pub mod variations;
 
 /// An experiment implementation: renders its table(s) as text.

@@ -23,7 +23,10 @@ pub fn fig9() -> String {
     );
     let olap = BeProfile::of(BeKind::Olap);
     let mut t = TextTable::new([
-        "sharing frac", "decode mem slowdown", "decode port slowdown", "prefill mem slowdown",
+        "sharing frac",
+        "decode mem slowdown",
+        "decode port slowdown",
+        "prefill mem slowdown",
         "OLAP-side slowdown",
     ]);
     for frac in [0.25, 0.5, 0.75, 1.0] {
@@ -42,9 +45,19 @@ pub fn fig9() -> String {
     out.push_str("\nFig 9b: end-to-end impact of shared application types (SMT-AU vs ALL-AU)\n");
     let spec = PlatformSpec::gen_a();
     let mut cache = ModelCache::new();
-    let base = scheme_outcome(Scheme::AllAu, &spec, Scenario::Chatbot, BeKind::SpecJbb, &mut cache);
+    let base = scheme_outcome(
+        Scheme::AllAu,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+        &mut cache,
+    );
     let mut t = TextTable::new([
-        "shared app", "decode tput vs ALL-AU", "TPOT guarantee", "TTFT guarantee", "BE rate",
+        "shared app",
+        "decode tput vs ALL-AU",
+        "TPOT guarantee",
+        "TTFT guarantee",
+        "BE rate",
     ]);
     for be in [BeKind::Compute, BeKind::Olap, BeKind::SpecJbb] {
         let out_ = scheme_outcome(Scheme::SmtAu, &spec, Scenario::Chatbot, be, &mut cache);
@@ -72,19 +85,31 @@ pub fn fig10() -> String {
     let variants: Vec<(&str, RdtAllocation)> = vec![
         (
             "exclusive-L2",
-            RdtAllocation::new(ResourceVector::new(12, 16, 1.0), ResourceVector::new(4, 16, 1.0)),
+            RdtAllocation::new(
+                ResourceVector::new(12, 16, 1.0),
+                ResourceVector::new(4, 16, 1.0),
+            ),
         ),
         (
             "exclusive-LLC",
-            RdtAllocation::new(ResourceVector::new(16, 12, 1.0), ResourceVector::new(16, 4, 1.0)),
+            RdtAllocation::new(
+                ResourceVector::new(16, 12, 1.0),
+                ResourceVector::new(16, 4, 1.0),
+            ),
         ),
         (
             "exclusive-MemBW",
-            RdtAllocation::new(ResourceVector::new(16, 16, 0.8), ResourceVector::new(16, 16, 0.2)),
+            RdtAllocation::new(
+                ResourceVector::new(16, 16, 0.8),
+                ResourceVector::new(16, 16, 0.2),
+            ),
         ),
         (
             "inclusive-all",
-            RdtAllocation::new(ResourceVector::new(12, 12, 0.8), ResourceVector::new(4, 4, 0.2)),
+            RdtAllocation::new(
+                ResourceVector::new(12, 12, 0.8),
+                ResourceVector::new(4, 4, 0.2),
+            ),
         ),
         ("unpartitioned", RdtAllocation::unpartitioned(&spec)),
     ];
@@ -104,7 +129,10 @@ pub fn fig10() -> String {
     };
     let base = run(variants[3].1);
     let mut t = TextTable::new([
-        "partitioning", "LLM latency perf (vs inclusive)", "TPOT guarantee", "BE rate (vs inclusive)",
+        "partitioning",
+        "LLM latency perf (vs inclusive)",
+        "TPOT guarantee",
+        "BE rate (vs inclusive)",
     ]);
     for (name, alloc) in &variants {
         let o = run(*alloc);
@@ -129,12 +157,29 @@ pub fn fig12() -> String {
     let spec = PlatformSpec::gen_a();
     let total = spec.total_cores();
     let mut cache = ModelCache::new();
-    let base = scheme_outcome(Scheme::AllAu, &spec, Scenario::Chatbot, BeKind::SpecJbb, &mut cache);
+    let base = scheme_outcome(
+        Scheme::AllAu,
+        &spec,
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+        &mut cache,
+    );
     let mut t = TextTable::new([
-        "division (H/L/N)", "prefill tput (norm)", "decode tput (norm)", "TTFT p90 (s)",
+        "division (H/L/N)",
+        "prefill tput (norm)",
+        "decode tput (norm)",
+        "TTFT p90 (s)",
         "TPOT req-p90 (s)",
     ]);
-    for (h, l) in [(64, 32), (64, 16), (48, 32), (48, 24), (32, 32), (32, 16), (24, 16)] {
+    for (h, l) in [
+        (64, 32),
+        (64, 16),
+        (48, 32),
+        (48, 24),
+        (32, 32),
+        (32, 16),
+        (24, 16),
+    ] {
         let division = ProcessorDivision::new(h, l, total - h - l);
         let cfg =
             ExperimentConfig::paper_default(spec.clone(), Scenario::Chatbot, Some(BeKind::SpecJbb));

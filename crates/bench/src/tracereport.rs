@@ -1,0 +1,393 @@
+//! Post-hoc analysis of telemetry traces: turns a JSONL event stream into
+//! a causal timeline (breach → controller action with its reason →
+//! recovery), per-event-type counts, and controller decision statistics.
+//!
+//! Consumed by `repro trace-summary <file.jsonl>`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use aum_sim::telemetry::{DecisionKind, Event, SlackVerdict, SloMetric, TraceRecord};
+use aum_sim::SimTime;
+
+/// Timeline entries beyond this count are elided from the middle so a
+/// long run stays readable.
+const TIMELINE_CAP: usize = 60;
+
+fn secs(at: SimTime) -> f64 {
+    at.as_secs_f64()
+}
+
+fn metric_name(metric: SloMetric) -> &'static str {
+    match metric {
+        SloMetric::Ttft => "TTFT",
+        SloMetric::Tpot => "TPOT",
+    }
+}
+
+fn kind_name(kind: DecisionKind) -> &'static str {
+    match kind {
+        DecisionKind::Harvest => "harvest",
+        DecisionKind::Return => "return",
+        DecisionKind::Switch => "switch",
+    }
+}
+
+/// Renders the full summary for a parsed trace.
+#[must_use]
+pub fn summarize(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("empty trace: no records\n");
+        return out;
+    }
+    // A trace may concatenate several runs (each restarting its sim
+    // clock), so span over min/max rather than first/last.
+    let lo = records.iter().map(|r| r.at).min().unwrap_or(SimTime::ZERO);
+    let hi = records.iter().map(|r| r.at).max().unwrap_or(SimTime::ZERO);
+    let _ = writeln!(
+        out,
+        "trace: {} events spanning t={:.1}s .. t={:.1}s",
+        records.len(),
+        secs(lo),
+        secs(hi)
+    );
+
+    out.push_str(&event_counts(records));
+    out.push_str(&decision_stats(records));
+    out.push_str(&timeline(records));
+    out
+}
+
+/// Per-event-type counts, alphabetical by label.
+fn event_counts(records: &[TraceRecord]) -> String {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in records {
+        *counts.entry(r.event.kind_label()).or_insert(0) += 1;
+    }
+    let mut out = String::from("\nevent counts:\n");
+    let width = counts.keys().map(|k| k.len()).max().unwrap_or(0);
+    for (label, n) in &counts {
+        let _ = writeln!(out, "  {label:width$}  {n}");
+    }
+    out
+}
+
+/// Aggregate statistics over `ControllerDecision` events.
+fn decision_stats(records: &[TraceRecord]) -> String {
+    let mut total = 0usize;
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut collisions = 0usize;
+    let mut violating = 0usize;
+    let mut lag_sum = 0.0f64;
+    let mut dev_sum = 0.0f64;
+    let mut breach_by_metric: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in records {
+        match &r.event {
+            Event::ControllerDecision {
+                kind,
+                verdict,
+                lag_secs,
+                deviation,
+                collision,
+                ..
+            } => {
+                total += 1;
+                *by_kind.entry(kind_name(*kind)).or_insert(0) += 1;
+                collisions += usize::from(*collision);
+                violating += usize::from(*verdict == SlackVerdict::Violating);
+                lag_sum += lag_secs;
+                dev_sum += deviation;
+            }
+            Event::SloBreach { metric, .. } => {
+                *breach_by_metric.entry(metric_name(*metric)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::from("\ncontroller decisions:\n");
+    if total == 0 {
+        out.push_str("  none recorded\n");
+    } else {
+        let kinds = by_kind
+            .iter()
+            .map(|(k, n)| format!("{k} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  total {total}  ({kinds})");
+        let _ = writeln!(
+            out,
+            "  verdicts: meeting {}  violating {violating}  collisions {collisions}",
+            total - violating
+        );
+        let n = total as f64;
+        let _ = writeln!(
+            out,
+            "  mean LAG slack {:+.3}s  mean \u{3b4}_AU {:.2}",
+            lag_sum / n,
+            dev_sum / n
+        );
+    }
+    if !breach_by_metric.is_empty() {
+        let breaches = breach_by_metric
+            .iter()
+            .map(|(m, n)| format!("{m} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  SLO breach intervals: {breaches}");
+    }
+    out
+}
+
+/// One rendered timeline entry.
+fn entry_line(at: SimTime, body: &str) -> String {
+    format!("  t={:8.1}s  {body}\n", secs(at))
+}
+
+/// The causal timeline: controller decisions annotated with the breach
+/// pressure that preceded them and how long breaches persisted afterwards,
+/// interleaved with platform events (frequency, thermal, RDT moves) and a
+/// collapsed profiler line.
+fn timeline(records: &[TraceRecord]) -> String {
+    let mut entries: Vec<String> = Vec::new();
+
+    // Collapse profiler progress to a single line.
+    let profiler: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::ProfilerProgress { .. }))
+        .collect();
+    if let Some(last) = profiler.last() {
+        if let Event::ProfilerProgress {
+            completed, total, ..
+        } = last.event
+        {
+            entries.push(entry_line(
+                last.at,
+                &format!("profiler swept {completed}/{total} grid cells (offline)"),
+            ));
+        }
+    }
+
+    // Breach timestamps drive the "recovered" annotations.
+    let breaches: Vec<(SimTime, SloMetric, f64, f64)> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::SloBreach {
+                metric,
+                observed_secs,
+                budget_secs,
+            } => Some((r.at, metric, observed_secs, budget_secs)),
+            _ => None,
+        })
+        .collect();
+
+    let mut prev_decision_at = SimTime::ZERO;
+    for r in records {
+        match &r.event {
+            Event::FreqTransition {
+                region,
+                from_ghz,
+                to_ghz,
+            } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!("freq[{region:?}] {from_ghz:.2} \u{2192} {to_ghz:.2} GHz"),
+                ));
+            }
+            Event::ThermalThrottle { region, drop_ghz } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!("thermal throttle[{region:?}] -{drop_ghz:.2} GHz"),
+                ));
+            }
+            Event::RdtReallocation {
+                llc_ways_from,
+                llc_ways_to,
+                mem_bw_from,
+                mem_bw_to,
+                ..
+            } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!(
+                        "RDT move: LLC {llc_ways_from}\u{2192}{llc_ways_to} ways, \
+                         mem-bw {:.0}%\u{2192}{:.0}%",
+                        mem_bw_from * 100.0,
+                        mem_bw_to * 100.0
+                    ),
+                ));
+            }
+            Event::ControllerDecision {
+                action,
+                verdict,
+                reason,
+                ..
+            } => {
+                let since_prev = breaches
+                    .iter()
+                    .filter(|(t, ..)| *t > prev_decision_at && *t <= r.at)
+                    .count();
+                let pressure = if since_prev > 0 {
+                    format!(" [{since_prev} breach intervals led here]")
+                } else {
+                    String::new()
+                };
+                let mut body = format!("{reason} \u{2192} {action}{pressure}");
+                if *verdict == SlackVerdict::Violating {
+                    body.push_str(&recovery_note(&breaches, r.at, records));
+                }
+                entries.push(entry_line(r.at, &body));
+                prev_decision_at = r.at;
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::from("\ncausal timeline:\n");
+    if entries.is_empty() {
+        out.push_str("  no controller or platform events recorded\n");
+        return out;
+    }
+    if entries.len() > TIMELINE_CAP {
+        let head = TIMELINE_CAP * 2 / 3;
+        let tail = TIMELINE_CAP - head;
+        for e in &entries[..head] {
+            out.push_str(e);
+        }
+        let _ = writeln!(
+            out,
+            "  ... ({} entries elided) ...",
+            entries.len() - TIMELINE_CAP
+        );
+        for e in &entries[entries.len() - tail..] {
+            out.push_str(e);
+        }
+    } else {
+        for e in &entries {
+            out.push_str(e);
+        }
+    }
+    out
+}
+
+/// How long SLO breaches persisted after a violating decision at `at`.
+fn recovery_note(
+    breaches: &[(SimTime, SloMetric, f64, f64)],
+    at: SimTime,
+    records: &[TraceRecord],
+) -> String {
+    let next_decision_at = records
+        .iter()
+        .find(|r| r.at > at && matches!(r.event, Event::ControllerDecision { .. }))
+        .map(|r| r.at);
+    let window_end = next_decision_at.unwrap_or(SimTime::MAX);
+    let last_breach_in_window = breaches.iter().rfind(|(t, ..)| *t > at && *t <= window_end);
+    match last_breach_in_window {
+        None => " \u{2014} no further breaches before next decision".to_owned(),
+        Some((t, ..)) => format!(
+            " \u{2014} breaches persisted {:.1}s after the action",
+            secs(*t) - secs(at)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aum_sim::SimDuration;
+
+    fn rec(at_secs: f64, event: Event) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at_secs),
+            event,
+        }
+    }
+
+    #[test]
+    fn summary_contains_counts_stats_and_timeline() {
+        let records = vec![
+            rec(
+                0.5,
+                Event::SloBreach {
+                    metric: SloMetric::Tpot,
+                    observed_secs: 0.142,
+                    budget_secs: 0.120,
+                },
+            ),
+            rec(
+                1.0,
+                Event::ControllerDecision {
+                    kind: DecisionKind::Return,
+                    action: "Return(cfg 3\u{2192}2)".into(),
+                    verdict: SlackVerdict::Violating,
+                    lag_secs: -0.02,
+                    deviation: 1.1,
+                    collision: false,
+                    reason: "TPOT p50 0.142s > SLO_L 0.120s".into(),
+                },
+            ),
+            rec(
+                1.5,
+                Event::SloBreach {
+                    metric: SloMetric::Tpot,
+                    observed_secs: 0.131,
+                    budget_secs: 0.120,
+                },
+            ),
+            rec(
+                3.0,
+                Event::ControllerDecision {
+                    kind: DecisionKind::Harvest,
+                    action: "Harvest(cfg 2\u{2192}3)".into(),
+                    verdict: SlackVerdict::Meeting,
+                    lag_secs: 0.4,
+                    deviation: 0.3,
+                    collision: false,
+                    reason: "slack positive".into(),
+                },
+            ),
+        ];
+        let s = summarize(&records);
+        assert!(s.contains("event counts"), "{s}");
+        assert!(s.contains("ControllerDecision  2"), "{s}");
+        assert!(s.contains("total 2  (harvest 1, return 1)"), "{s}");
+        assert!(s.contains("SLO breach intervals: TPOT 2"), "{s}");
+        assert!(s.contains("TPOT p50 0.142s > SLO_L 0.120s"), "{s}");
+        assert!(s.contains("1 breach intervals led here"), "{s}");
+        assert!(s.contains("breaches persisted 0.5s"), "{s}");
+    }
+
+    #[test]
+    fn empty_trace_is_reported_not_crashed() {
+        assert!(summarize(&[]).contains("empty trace"));
+    }
+
+    #[test]
+    fn violating_decision_with_clean_aftermath_notes_recovery() {
+        let records = vec![
+            rec(
+                1.0,
+                Event::ControllerDecision {
+                    kind: DecisionKind::Switch,
+                    action: "Switch(div 0\u{2192}1)".into(),
+                    verdict: SlackVerdict::Violating,
+                    lag_secs: -0.1,
+                    deviation: 2.5,
+                    collision: true,
+                    reason: "collision: tuning deemed insufficient".into(),
+                },
+            ),
+            rec(
+                2.0,
+                Event::RequestFinished {
+                    id: 7,
+                    generated: 12,
+                    mean_tpot_secs: 0.05,
+                },
+            ),
+        ];
+        let s = summarize(&records);
+        assert!(s.contains("no further breaches"), "{s}");
+        assert!(s.contains("collisions 1"), "{s}");
+    }
+}

@@ -19,7 +19,11 @@ pub fn fig6() -> String {
     let spec = PlatformSpec::gen_a();
     let mut out = String::from("Fig 6a: frequency reduction due to AU utilization (GenA)\n");
     let mut t = TextTable::new([
-        "AU cores", "prefill GHz", "prefill+stress GHz", "decode GHz", "decode+stress GHz",
+        "AU cores",
+        "prefill GHz",
+        "prefill+stress GHz",
+        "decode GHz",
+        "decode+stress GHz",
         "idle-rest GHz",
     ]);
     for au_cores in [8usize, 16, 24, 32, 48, 64, 96] {
@@ -31,7 +35,11 @@ pub fn fig6() -> String {
                 cores: au_cores,
                 class,
                 duty: 1.0,
-                bw_demand: GbPerSec(if class == ActivityClass::Amx { 60.0 } else { 180.0 }),
+                bw_demand: GbPerSec(if class == ActivityClass::Amx {
+                    60.0
+                } else {
+                    180.0
+                }),
                 bw_cap: 1.0,
                 smt_sibling: None,
             }];
@@ -50,7 +58,11 @@ pub fn fig6() -> String {
             for _ in 0..20 {
                 snap = sim.step(SimDuration::from_millis(500), &loads);
             }
-            let rest_freq = if rest > 0 { snap.freqs[1].value() } else { f64::NAN };
+            let rest_freq = if rest > 0 {
+                snap.freqs[1].value()
+            } else {
+                f64::NAN
+            };
             (snap.freqs[0].value(), rest_freq)
         };
         let (prefill, idle_rest) = run(ActivityClass::Amx, AuUsageLevel::High, false);
@@ -63,7 +75,11 @@ pub fn fig6() -> String {
             format!("{prefill_s:.2}"),
             format!("{decode:.2}"),
             format!("{decode_s:.2}"),
-            if idle_rest.is_nan() { "-".into() } else { format!("{idle_rest:.2}") },
+            if idle_rest.is_nan() {
+                "-".into()
+            } else {
+                format!("{idle_rest:.2}")
+            },
         ]);
     }
     out.push_str(&t.render());
@@ -119,7 +135,8 @@ pub fn fig6() -> String {
 /// the three platforms.
 #[must_use]
 pub fn fig7() -> String {
-    let mut out = String::from("Fig 7: cycle distributions (retiring / bad-spec / frontend / backend, %)\n");
+    let mut out =
+        String::from("Fig 7: cycle distributions (retiring / bad-spec / frontend / backend, %)\n");
     for spec in PlatformSpec::presets() {
         let mut t = TextTable::new(["workload", "retiring", "bad spec", "frontend", "backend"]);
         for kind in [

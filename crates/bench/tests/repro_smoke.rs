@@ -21,9 +21,32 @@ fn all_experiments_are_registered_once() {
     dedup.dedup();
     assert_eq!(dedup.len(), ids.len(), "duplicate experiment ids");
     for required in [
-        "fig1", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig12", "fig13", "table3", "fig14", "fig15", "fig16", "fig17", "fig18", "sens",
-        "overhead", "tco", "ablate", "adapt", "chunked", "cluster", "precision",
+        "fig1",
+        "table1",
+        "fig4",
+        "fig5",
+        "table2",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig12",
+        "fig13",
+        "table3",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "sens",
+        "overhead",
+        "tco",
+        "ablate",
+        "adapt",
+        "chunked",
+        "cluster",
+        "precision",
     ] {
         assert!(ids.contains(&required), "missing experiment {required}");
     }
@@ -84,7 +107,9 @@ fn tco_reaches_the_88_percent_anchor() {
 #[test]
 fn fig16_decomposes_all_schemes() {
     let out = run("fig16");
-    for scheme in ["ALL-AU", "SMT-AU", "RP-AU", "AU-UP", "AU-FI", "AU-RB", "AUM"] {
+    for scheme in [
+        "ALL-AU", "SMT-AU", "RP-AU", "AU-UP", "AU-FI", "AU-RB", "AUM",
+    ] {
         assert!(out.contains(scheme), "fig16 missing {scheme}");
     }
 }

@@ -111,7 +111,11 @@ impl RpAu {
     /// Creates the scheme for a platform.
     #[must_use]
     pub fn new(spec: &PlatformSpec) -> Self {
-        RpAu { spec: spec.clone(), level: 2, cooldown: 0 }
+        RpAu {
+            spec: spec.clone(),
+            level: 2,
+            cooldown: 0,
+        }
     }
 
     fn alloc_for_level(&self, level: usize) -> RdtAllocation {
@@ -184,7 +188,11 @@ impl ResourceManager for AuUp {
         // Usage-aware split: queue pressure grows the High region; decode
         // batch sizes the Low region (it only needs enough cores to reach
         // the bandwidth ceiling).
-        let high = if state.queue_len > 1 { total / 2 } else { total * 2 / 5 };
+        let high = if state.queue_len > 1 {
+            total / 2
+        } else {
+            total * 2 / 5
+        };
         let low = (total / 3).min(total - high);
         let none = total - high - low;
         Decision {
@@ -249,7 +257,11 @@ impl AuRb {
     /// Creates the scheme for a platform.
     #[must_use]
     pub fn new(spec: &PlatformSpec) -> Self {
-        AuRb { spec: spec.clone(), shared_bw: 0.2, cooldown: 0 }
+        AuRb {
+            spec: spec.clone(),
+            shared_bw: 0.2,
+            cooldown: 0,
+        }
     }
 }
 
@@ -353,7 +365,10 @@ mod tests {
     fn all_au_takes_everything() {
         let spec = PlatformSpec::gen_a();
         let d = AllAu::new(&spec).decide(&state(0.08));
-        assert_eq!(d.division.cores(aum_platform::topology::AuUsageLevel::None), 0);
+        assert_eq!(
+            d.division.cores(aum_platform::topology::AuUsageLevel::None),
+            0
+        );
         assert!(!d.smt_sharing);
         assert_eq!(d.engine_mode, EngineMode::TimeMultiplexed);
     }
@@ -429,7 +444,10 @@ mod tests {
             d.allocation.shared.llc_ways > d.allocation.au.llc_ways,
             "bound-aware: LLC goes to the shared class"
         );
-        assert!(d.allocation.au.mem_bw_frac > 0.6, "bandwidth stays with the AU class");
+        assert!(
+            d.allocation.au.mem_bw_frac > 0.6,
+            "bandwidth stays with the AU class"
+        );
     }
 
     #[test]

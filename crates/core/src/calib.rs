@@ -49,7 +49,9 @@ pub fn au_cache_profile(level: AuUsageLevel) -> CacheProfile {
 #[must_use]
 pub fn au_llc_penalty(spec: &PlatformSpec, level: AuUsageLevel, llc_ways: u32) -> f64 {
     let profile = au_cache_profile(level);
-    1.0 / profile.performance_factor(spec, llc_ways, spec.l2_ways).max(1e-6)
+    1.0 / profile
+        .performance_factor(spec, llc_ways, spec.l2_ways)
+        .max(1e-6)
 }
 
 #[cfg(test)]
@@ -90,6 +92,9 @@ mod tests {
         // Fig 13: bigger-LLC platforms show different affinity.
         let a = au_llc_penalty(&PlatformSpec::gen_a(), AuUsageLevel::High, 4);
         let c = au_llc_penalty(&PlatformSpec::gen_c(), AuUsageLevel::High, 4);
-        assert!(c < a, "GenC's 504MB LLC (4 ways = 126MB) hurts less: {c} vs {a}");
+        assert!(
+            c < a,
+            "GenC's 504MB LLC (4 ways = 126MB) hurts less: {c} vs {a}"
+        );
     }
 }

@@ -81,7 +81,10 @@ impl ClusterConfig {
         ClusterConfig {
             servers: PlatformSpec::presets()
                 .into_iter()
-                .map(|platform| ServerConfig { platform, be: Some(BeKind::SpecJbb) })
+                .map(|platform| ServerConfig {
+                    platform,
+                    be: Some(BeKind::SpecJbb),
+                })
                 .collect(),
             scenario,
             total_rate: scenario.default_rate() * 3.0,
@@ -130,9 +133,11 @@ pub fn routing_weights(
     assert!(!cfg.servers.is_empty(), "cluster needs servers");
     let raw: Vec<f64> = match policy {
         RoutingPolicy::Uniform => vec![1.0; cfg.servers.len()],
-        RoutingPolicy::BandwidthProportional => {
-            cfg.servers.iter().map(|s| s.platform.mem_bw.value()).collect()
-        }
+        RoutingPolicy::BandwidthProportional => cfg
+            .servers
+            .iter()
+            .map(|s| s.platform.mem_bw.value())
+            .collect(),
         RoutingPolicy::AuvWeighted => models
             .iter()
             .map(|m| {
@@ -153,8 +158,11 @@ pub fn routing_weights(
 /// (or ALL-AU when a server has no co-runner). Servers run concurrently.
 #[must_use]
 pub fn run_cluster(cfg: &ClusterConfig, policy: RoutingPolicy) -> ClusterOutcome {
-    let models: Vec<AuvModel> =
-        cfg.servers.iter().map(|s| server_model(s, cfg.scenario)).collect();
+    let models: Vec<AuvModel> = cfg
+        .servers
+        .iter()
+        .map(|s| server_model(s, cfg.scenario))
+        .collect();
     let weights = routing_weights(cfg, policy, &models);
 
     let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
@@ -192,7 +200,10 @@ pub fn run_cluster(cfg: &ClusterConfig, policy: RoutingPolicy) -> ClusterOutcome
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("server simulation panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("server simulation panicked"))
+            .collect()
     });
 
     let total_power: f64 = outcomes.iter().map(|o| o.avg_power_w).sum();
@@ -236,8 +247,11 @@ mod tests {
     #[test]
     fn weights_normalize_for_every_policy() {
         let cfg = small_cluster();
-        let models: Vec<AuvModel> =
-            cfg.servers.iter().map(|s| server_model(s, cfg.scenario)).collect();
+        let models: Vec<AuvModel> = cfg
+            .servers
+            .iter()
+            .map(|s| server_model(s, cfg.scenario))
+            .collect();
         for policy in [
             RoutingPolicy::Uniform,
             RoutingPolicy::BandwidthProportional,
@@ -253,8 +267,11 @@ mod tests {
     #[test]
     fn bandwidth_policy_prefers_fast_memory() {
         let cfg = small_cluster();
-        let models: Vec<AuvModel> =
-            cfg.servers.iter().map(|s| server_model(s, cfg.scenario)).collect();
+        let models: Vec<AuvModel> = cfg
+            .servers
+            .iter()
+            .map(|s| server_model(s, cfg.scenario))
+            .collect();
         let w = routing_weights(&cfg, RoutingPolicy::BandwidthProportional, &models);
         // GenA (233.8 GB/s) < GenB (588) ≈ GenC (600).
         assert!(w[0] < w[1]);
@@ -269,7 +286,11 @@ mod tests {
         assert!(out.efficiency > 0.0);
         assert!((0.0..=1.0).contains(&out.violation_rate));
         for o in &out.per_server {
-            assert!(o.decode_tps > 0.0, "{}: server starved by routing", o.scheme);
+            assert!(
+                o.decode_tps > 0.0,
+                "{}: server starved by routing",
+                o.scheme
+            );
         }
     }
 

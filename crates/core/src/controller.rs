@@ -19,6 +19,7 @@
 
 use aum_au::ari::{qkv_ari_decode, qkv_ari_prefill, usage_from_ari};
 use aum_llm::engine::EngineMode;
+use aum_sim::telemetry::{DecisionKind, Event, SlackVerdict, SloMetric, Tracer};
 use aum_sim::time::SimTime;
 
 use crate::manager::{Decision, ResourceManager, SystemState};
@@ -88,8 +89,11 @@ pub struct AumController {
     /// Telemetry: division switches and tuning steps taken.
     switches: u64,
     tunes: u64,
-    /// Timestamped decision trail.
-    log: Vec<(SimTime, ControllerAction)>,
+    /// Timestamped decision trail: one [`Event::ControllerDecision`] per
+    /// non-trivial action, carrying the full reasoning behind it.
+    decisions: Vec<(SimTime, Event)>,
+    /// Trace handle; decisions and SLO breaches stream here when attached.
+    tracer: Tracer,
 }
 
 /// Comfortable intervals required before one more harvesting step — the
@@ -120,10 +124,16 @@ impl AumController {
         let mean_input = model.scenario.mean_input();
         let u_high = usage_from_ari(qkv_ari_prefill(4096, 16, mean_input));
         let u_low = usage_from_ari(qkv_ari_decode(4096, 16));
-        let ttft_floor =
-            model.buckets.iter().map(|b| b.ttft_p90).fold(f64::INFINITY, f64::min);
-        let tpot_floor =
-            model.buckets.iter().map(|b| b.tpot_p90).fold(f64::INFINITY, f64::min);
+        let ttft_floor = model
+            .buckets
+            .iter()
+            .map(|b| b.ttft_p90)
+            .fold(f64::INFINITY, f64::min);
+        let tpot_floor = model
+            .buckets
+            .iter()
+            .map(|b| b.tpot_p90)
+            .fold(f64::INFINITY, f64::min);
         AumController {
             model,
             delta_threshold,
@@ -137,7 +147,8 @@ impl AumController {
             refine_alpha: None,
             switches: 0,
             tunes: 0,
-            log: Vec::new(),
+            decisions: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -149,7 +160,10 @@ impl AumController {
     /// Panics unless `0 < alpha <= 1`.
     #[must_use]
     pub fn with_online_refinement(mut self, alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "refinement weight must be in (0,1]");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "refinement weight must be in (0,1]"
+        );
         self.refine_alpha = Some(alpha);
         self
     }
@@ -178,10 +192,38 @@ impl AumController {
         self.tunes
     }
 
-    /// Timestamped trail of non-trivial actions (harvest/return/switch).
+    /// Timestamped trail of non-trivial actions (harvest/return/switch) —
+    /// a thin compatibility view over [`AumController::decision_log`].
     #[must_use]
-    pub fn action_log(&self) -> &[(SimTime, ControllerAction)] {
-        &self.log
+    pub fn action_log(&self) -> Vec<(SimTime, ControllerAction)> {
+        self.decisions
+            .iter()
+            .map(|(at, event)| {
+                let kind = match event {
+                    Event::ControllerDecision { kind, .. } => *kind,
+                    _ => unreachable!("decision log only holds ControllerDecision events"),
+                };
+                let action = match kind {
+                    DecisionKind::Harvest => ControllerAction::Harvest,
+                    DecisionKind::Return => ControllerAction::Return,
+                    DecisionKind::Switch => ControllerAction::Switch,
+                };
+                (*at, action)
+            })
+            .collect()
+    }
+
+    /// The full decision trail: one [`Event::ControllerDecision`] per
+    /// non-trivial action, with the verdict, deviation and stated reason.
+    #[must_use]
+    pub fn decision_log(&self) -> &[(SimTime, Event)] {
+        &self.decisions
+    }
+
+    /// Records a decision in the trail and streams it to the tracer.
+    fn push_decision(&mut self, at: SimTime, event: Event) {
+        self.tracer.emit(at, || event.clone());
+        self.decisions.push((at, event));
     }
 
     fn decision_for(&self, bucket: (usize, usize)) -> Decision {
@@ -207,6 +249,10 @@ impl ResourceManager for AumController {
         "AUM"
     }
 
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn decide(&mut self, state: &SystemState) -> Decision {
         let slo = state.scenario.slo();
         let d_ttft = slo.ttft.as_secs_f64();
@@ -224,10 +270,16 @@ impl ResourceManager for AumController {
         // can reach it, e.g. the cc TTFT, §VII-C) degrades to a best-effort
         // budget anchored at the profiled floor; attainable deadlines are
         // enforced as-is.
-        let slo_h =
-            if self.ttft_floor > d_ttft { slo_h.max(self.ttft_floor * 1.2) } else { slo_h };
-        let slo_l =
-            if self.tpot_floor > d_tpot { slo_l.max(self.tpot_floor * 1.2) } else { slo_l };
+        let slo_h = if self.ttft_floor > d_ttft {
+            slo_h.max(self.ttft_floor * 1.2)
+        } else {
+            slo_h
+        };
+        let slo_l = if self.tpot_floor > d_tpot {
+            slo_l.max(self.tpot_floor * 1.2)
+        } else {
+            slo_l
+        };
 
         if self.cooldown > 0 {
             self.cooldown -= 1;
@@ -244,6 +296,20 @@ impl ResourceManager for AumController {
         // median is the robust online proxy for that average.
         let tpot_m = state.recent_tpot_p50.max(1e-4);
         let meeting = ttft_m <= slo_h && tpot_m <= slo_l;
+        if ttft_m > slo_h {
+            self.tracer.emit(state.now, || Event::SloBreach {
+                metric: SloMetric::Ttft,
+                observed_secs: ttft_m,
+                budget_secs: slo_h,
+            });
+        }
+        if tpot_m > slo_l {
+            self.tracer.emit(state.now, || Event::SloBreach {
+                metric: SloMetric::Tpot,
+                observed_secs: tpot_m,
+                budget_secs: slo_l,
+            });
+        }
 
         // Online refinement: fold measurements into the current bucket.
         if let Some(alpha) = self.refine_alpha {
@@ -275,9 +341,28 @@ impl ResourceManager for AumController {
                 // settled point off the knife edge.
                 let next = self.model.best_bucket(slo_h, 0.95 * d_tpot);
                 if next != self.current {
+                    let from = self.current;
                     self.current = next;
                     self.switches += 1;
-                    self.log.push((state.now, ControllerAction::Switch));
+                    self.push_decision(
+                        state.now,
+                        Event::ControllerDecision {
+                            kind: DecisionKind::Switch,
+                            action: format!(
+                                "Switch(div {}\u{2192}{}, cfg {}\u{2192}{})",
+                                from.0, next.0, from.1, next.1
+                            ),
+                            verdict: SlackVerdict::Meeting,
+                            lag_secs: lag,
+                            deviation: delta,
+                            collision: true,
+                            reason: format!(
+                                "headroom \u{3b4}={delta:.2} > {:.2}: switcher re-selects the \
+                             division for SLO_H {slo_h:.3}s / d_TPOT {d_tpot:.3}s",
+                                self.delta_threshold
+                            ),
+                        },
+                    );
                     self.cooldown = COOLDOWN_INTERVALS;
                     switched = true;
                 }
@@ -289,9 +374,26 @@ impl ResourceManager for AumController {
                 // Admit with a 10% safety margin on the decode axis, which
                 // reacts fastest to bandwidth harvesting.
                 if b.ttft_p50 <= slo_h && b.tpot_p50 <= 0.88 * slo_l {
+                    let (ttft_p50, tpot_p50) = (b.ttft_p50, b.tpot_p50);
+                    let from_cfg = self.current.1;
                     self.current = candidate;
                     self.tunes += 1;
-                    self.log.push((state.now, ControllerAction::Harvest));
+                    self.push_decision(
+                        state.now,
+                        Event::ControllerDecision {
+                            kind: DecisionKind::Harvest,
+                            action: format!("Harvest(cfg {from_cfg}\u{2192}{})", candidate.1),
+                            verdict: SlackVerdict::Meeting,
+                            lag_secs: lag,
+                            deviation: delta,
+                            collision: false,
+                            reason: format!(
+                                "meeting SLOs {HARVEST_PATIENCE}+ intervals; avg predictions \
+                             fit (TTFT p50 {ttft_p50:.3}s \u{2264} SLO_H {slo_h:.3}s, \
+                             TPOT p50 {tpot_p50:.3}s \u{2264} 0.88\u{b7}SLO_L {slo_l:.3}s)"
+                            ),
+                        },
+                    );
                     self.cooldown = COOLDOWN_INTERVALS;
                 }
             }
@@ -304,14 +406,42 @@ impl ResourceManager for AumController {
             // line 16) or when the current bucket is *structurally* unable
             // to meet the deadline — no amount of ladder tuning fixes a
             // division whose profiled tail already violates.
-            let structurally_bad =
-                cur.tpot_p90 > d_tpot.max(self.tpot_floor * 1.2) * 1.05;
+            let structurally_bad = cur.tpot_p90 > d_tpot.max(self.tpot_floor * 1.2) * 1.05;
             if delta > self.delta_threshold || structurally_bad {
                 let next = self.model.best_bucket(slo_h, d_tpot);
                 if next != self.current {
+                    let from = self.current;
                     self.current = next;
                     self.switches += 1;
-                    self.log.push((state.now, ControllerAction::Switch));
+                    let reason = if structurally_bad {
+                        format!(
+                            "current division structurally violates: profiled TPOT p90 \
+                             {:.3}s cannot meet d_TPOT {d_tpot:.3}s",
+                            cur.tpot_p90
+                        )
+                    } else {
+                        format!(
+                            "collision: \u{3b4}={delta:.2} > {:.2}, tuning deemed \
+                             insufficient (TTFT p90 {ttft_m:.3}s vs SLO_H {slo_h:.3}s, \
+                             TPOT p50 {tpot_m:.3}s vs SLO_L {slo_l:.3}s)",
+                            self.delta_threshold
+                        )
+                    };
+                    self.push_decision(
+                        state.now,
+                        Event::ControllerDecision {
+                            kind: DecisionKind::Switch,
+                            action: format!(
+                                "Switch(div {}\u{2192}{}, cfg {}\u{2192}{})",
+                                from.0, next.0, from.1, next.1
+                            ),
+                            verdict: SlackVerdict::Violating,
+                            lag_secs: lag,
+                            deviation: delta,
+                            collision: delta > self.delta_threshold,
+                            reason,
+                        },
+                    );
                     self.cooldown = COOLDOWN_INTERVALS;
                     return self.decision_for(self.current);
                 }
@@ -320,9 +450,26 @@ impl ResourceManager for AumController {
                 // Stepping down the bound-aware ladder is by construction
                 // the conservative direction: the AU regains the resource
                 // whose loss hurt it most recently.
+                let from_cfg = self.current.1;
                 self.current = (self.current.0, self.current.1 - 1);
                 self.tunes += 1;
-                self.log.push((state.now, ControllerAction::Return));
+                let reason = if ttft_m > slo_h {
+                    format!("TTFT p90 {ttft_m:.3}s > SLO_H {slo_h:.3}s")
+                } else {
+                    format!("TPOT p50 {tpot_m:.3}s > SLO_L {slo_l:.3}s")
+                };
+                self.push_decision(
+                    state.now,
+                    Event::ControllerDecision {
+                        kind: DecisionKind::Return,
+                        action: format!("Return(cfg {from_cfg}\u{2192}{})", self.current.1),
+                        verdict: SlackVerdict::Violating,
+                        lag_secs: lag,
+                        deviation: delta,
+                        collision: false,
+                        reason,
+                    },
+                );
                 self.cooldown = COOLDOWN_INTERVALS;
             }
         }
@@ -388,7 +535,12 @@ mod tests {
         }
         let (di, ci) = c.current_bucket();
         let eff = c.model().bucket(di, ci).efficiency;
-        let max_eff = c.model().buckets.iter().map(|b| b.efficiency).fold(0.0, f64::max);
+        let max_eff = c
+            .model()
+            .buckets
+            .iter()
+            .map(|b| b.efficiency)
+            .fold(0.0, f64::max);
         assert!(
             eff >= 0.95 * max_eff,
             "settled efficiency {eff} should be near the model maximum {max_eff}"
@@ -403,7 +555,10 @@ mod tests {
             let _ = c.decide(&state(0.05, 0.04, 0.05));
         }
         let harvested = c.current_bucket().1;
-        assert!(harvested > 0, "comfortable serving should sit on a harvesting config");
+        assert!(
+            harvested > 0,
+            "comfortable serving should sit on a harvesting config"
+        );
         // Then violate TPOT (below the δ switch threshold).
         for _ in 0..12 {
             let _ = c.decide(&state(0.10, 0.115, -0.01));
@@ -436,9 +591,12 @@ mod tests {
     #[test]
     fn decision_always_covers_platform() {
         let mut c = AumController::new(model());
-        for (ttft, tpot, lag) in
-            [(0.01, 0.01, 0.1), (0.5, 0.3, -0.2), (0.2, 0.09, 0.0), (0.0, 0.0, 0.0)]
-        {
+        for (ttft, tpot, lag) in [
+            (0.01, 0.01, 0.1),
+            (0.5, 0.3, -0.2),
+            (0.2, 0.09, 0.0),
+            (0.0, 0.0, 0.0),
+        ] {
             let d = c.decide(&state(ttft, tpot, lag));
             assert_eq!(d.division.total_cores(), 96);
             assert!(!d.smt_sharing);
@@ -479,6 +637,38 @@ mod tests {
     }
 
     #[test]
+    fn decisions_stream_to_the_tracer_with_reasons() {
+        use aum_sim::telemetry::MemorySink;
+        let (tracer, sink) = Tracer::shared(MemorySink::new());
+        let mut c = AumController::new(model());
+        c.attach_tracer(tracer);
+        for _ in 0..20 {
+            let _ = c.decide(&state(0.05, 0.04, 0.05));
+        }
+        for _ in 0..12 {
+            let _ = c.decide(&state(0.10, 0.115, -0.01));
+        }
+        let records = sink.lock().expect("sink lock").records().to_vec();
+        let decisions: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::ControllerDecision { .. }))
+            .collect();
+        // Every non-trivial action appears exactly once in the stream.
+        assert_eq!(decisions.len() as u64, c.switch_count() + c.tune_count());
+        assert_eq!(decisions.len(), c.decision_log().len());
+        for r in &decisions {
+            if let Event::ControllerDecision { reason, action, .. } = &r.event {
+                assert!(!reason.is_empty(), "decision must state its reason");
+                assert!(!action.is_empty());
+            }
+        }
+        // The violating stretch produced SLO-breach events too.
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, Event::SloBreach { .. })));
+    }
+
+    #[test]
     fn online_refinement_folds_measurements_into_the_model() {
         let mut c = AumController::new(model()).with_online_refinement(0.3);
         let (d, cf) = c.current_bucket();
@@ -508,7 +698,11 @@ mod tests {
         for _ in 0..10 {
             let _ = c.decide(&state(0.3, 0.2, -0.02));
         }
-        assert_eq!(c.model(), &snapshot, "without refinement the model is read-only");
+        assert_eq!(
+            c.model(),
+            &snapshot,
+            "without refinement the model is read-only"
+        );
     }
 
     #[test]

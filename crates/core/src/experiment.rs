@@ -18,22 +18,23 @@
 
 use serde::{Deserialize, Serialize};
 
+use aum_au::unit::Precision;
 use aum_llm::config::ModelConfig;
 use aum_llm::engine::{
     EngineConfig, EngineMode, EngineResources, IntervalStats, LlmEngine, RegionResources,
 };
 use aum_llm::slo::SloReport;
 use aum_llm::traces::{RateProfile, Scenario, TraceGenerator};
-use aum_au::unit::Precision;
 use aum_platform::power::ActivityClass;
+use aum_platform::smt::smt_impact;
 use aum_platform::spec::PlatformSpec;
 use aum_platform::state::{PlatformSim, RegionLoad, SmtSibling};
-use aum_platform::smt::smt_impact;
 use aum_platform::topology::AuUsageLevel;
 use aum_platform::units::GbPerSec;
 use aum_sim::rng::DetRng;
 use aum_sim::series::TimeSeries;
 use aum_sim::stats::Samples;
+use aum_sim::telemetry::{Event, MetricsRegistry, MetricsSnapshot, Tracer};
 use aum_sim::time::{SimDuration, SimTime};
 use aum_workloads::be::{BeKind, BeProfile};
 
@@ -138,6 +139,11 @@ pub struct Outcome {
     pub freq_low: TimeSeries,
     /// Package power telemetry.
     pub power: TimeSeries,
+    /// Metrics-registry snapshots, one per control interval: counters
+    /// (tokens, completions), gauges (power, utilization, queue depth) and
+    /// per-interval latency quantiles.
+    #[serde(default)]
+    pub metrics: Vec<MetricsSnapshot>,
 }
 
 impl Outcome {
@@ -172,7 +178,10 @@ fn effective_ways(au: u32, shared: u32, total: u32, be_present: bool) -> (u32, u
         (au, shared)
     } else {
         let au_eff = ((f64::from(au) * f64::from(total)) / f64::from(sum)).round() as u32;
-        (au_eff.clamp(1, total - 1), total - au_eff.clamp(1, total - 1))
+        (
+            au_eff.clamp(1, total - 1),
+            total - au_eff.clamp(1, total - 1),
+        )
     }
 }
 
@@ -183,6 +192,24 @@ fn effective_ways(au: u32, shared: u32, total: u32, be_present: bool) -> (u32, u
 /// Panics if the manager returns a division that does not cover the
 /// platform's cores.
 pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager) -> Outcome {
+    run_experiment_traced(cfg, manager, Tracer::disabled())
+}
+
+/// Runs one experiment under `manager` with a trace handle threaded through
+/// the whole stack: the engine (request lifecycle, iterations), the
+/// platform (frequency/thermal transitions), the manager (decisions with
+/// reasons) and this harness itself (RDT reallocations). With
+/// `Tracer::disabled()` this is exactly [`run_experiment`].
+///
+/// # Panics
+///
+/// Panics if the manager returns a division that does not cover the
+/// platform's cores.
+pub fn run_experiment_traced(
+    cfg: &ExperimentConfig,
+    manager: &mut dyn ResourceManager,
+    tracer: Tracer,
+) -> Outcome {
     let spec = &cfg.platform;
     let total_cores = spec.total_cores();
     let rate = cfg.rate.unwrap_or_else(|| cfg.scenario.default_rate());
@@ -205,6 +232,9 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
     };
     let mut engine = LlmEngine::new(engine_cfg, spec, trace);
     let mut platform = PlatformSim::new(spec.clone());
+    engine.set_tracer(tracer.clone());
+    platform.attach_tracer(tracer.clone());
+    manager.attach_tracer(tracer.clone());
     let be_profile = cfg.be.map(BeProfile::of);
 
     // Feedback state from the previous interval.
@@ -232,6 +262,9 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
     let dt = cfg.control_interval;
     let dt_secs = dt.as_secs_f64();
     let steps = (cfg.duration.as_nanos() / dt.as_nanos().max(1)) as usize;
+
+    let mut registry = MetricsRegistry::new();
+    let mut last_alloc: Option<aum_platform::rdt::RdtAllocation> = None;
 
     let mut fault_pending = cfg.fault;
     for step in 0..steps {
@@ -279,20 +312,44 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
             manager.name()
         );
         let alloc = decision.allocation;
+        if let Some(prev) = last_alloc {
+            if prev != alloc {
+                tracer.emit(now, || Event::RdtReallocation {
+                    llc_ways_from: prev.au.llc_ways,
+                    llc_ways_to: alloc.au.llc_ways,
+                    l2_ways_from: prev.au.l2_ways,
+                    l2_ways_to: alloc.au.l2_ways,
+                    mem_bw_from: prev.au.mem_bw_frac,
+                    mem_bw_to: alloc.au.mem_bw_frac,
+                });
+            }
+        }
+        last_alloc = Some(alloc);
         let be_present = be_profile.is_some();
-        let (au_llc, shared_llc) =
-            effective_ways(alloc.au.llc_ways, alloc.shared.llc_ways, spec.llc_ways, be_present);
-        let (_au_l2, shared_l2) =
-            effective_ways(alloc.au.l2_ways, alloc.shared.l2_ways, spec.l2_ways, be_present);
+        let (au_llc, shared_llc) = effective_ways(
+            alloc.au.llc_ways,
+            alloc.shared.llc_ways,
+            spec.llc_ways,
+            be_present,
+        );
+        let (_au_l2, shared_l2) = effective_ways(
+            alloc.au.l2_ways,
+            alloc.shared.l2_ways,
+            spec.l2_ways,
+            be_present,
+        );
 
         // --- 2. Describe platform loads. ---
         let prefill_amp = crate::calib::au_cache_profile(AuUsageLevel::High)
             .bandwidth_amplification(spec, au_llc);
-        let decode_amp = crate::calib::au_cache_profile(AuUsageLevel::Low)
-            .bandwidth_amplification(spec, au_llc);
+        let decode_amp =
+            crate::calib::au_cache_profile(AuUsageLevel::Low).bandwidth_amplification(spec, au_llc);
         let sibling = |duty: f64| -> Option<SmtSibling> {
             match (&be_profile, decision.smt_sharing) {
-                (Some(p), true) => Some(SmtSibling { class: p.activity, duty }),
+                (Some(p), true) => Some(SmtSibling {
+                    class: p.activity,
+                    duty,
+                }),
                 _ => None,
             }
         };
@@ -319,9 +376,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
                 cores: div.cores(AuUsageLevel::Low),
                 class: ActivityClass::Avx,
                 duty: decode_duty,
-                bw_demand: GbPerSec(
-                    last_stats.decode_bw_demand.value() * decode_amp * decode_duty,
-                ),
+                bw_demand: GbPerSec(last_stats.decode_bw_demand.value() * decode_amp * decode_duty),
                 bw_cap: alloc.au.mem_bw_frac,
                 smt_sibling: sibling(0.9),
             },
@@ -347,9 +402,8 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
                 // Sibling threads run at SMT efficiency: their achievable
                 // bandwidth demand shrinks with their own slowdown.
                 let smt_cores = div.au_cores();
-                loads[IDX_SIBLING].bw_demand = GbPerSec(
-                    be.bw_demand(spec, smt_cores, shared_llc).value() * fluct * 0.6,
-                );
+                loads[IDX_SIBLING].bw_demand =
+                    GbPerSec(be.bw_demand(spec, smt_cores, shared_llc).value() * fluct * 0.6);
                 loads[IDX_SIBLING].bw_cap = alloc.shared.mem_bw_frac;
             }
         }
@@ -365,10 +419,12 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
                     smt_impact(p.smt, AuUsageLevel::Low, 1.0),
                 )
             });
-        let (high_smt_c, high_smt_m) =
-            smt.map_or((1.0, 1.0), |(h, _)| (h.au_compute_slowdown, h.au_memory_slowdown));
-        let (low_smt_c, low_smt_m) =
-            smt.map_or((1.0, 1.0), |(_, l)| (l.au_compute_slowdown, l.au_memory_slowdown));
+        let (high_smt_c, high_smt_m) = smt.map_or((1.0, 1.0), |(h, _)| {
+            (h.au_compute_slowdown, h.au_memory_slowdown)
+        });
+        let (low_smt_c, low_smt_m) = smt.map_or((1.0, 1.0), |(_, l)| {
+            (l.au_compute_slowdown, l.au_memory_slowdown)
+        });
         let engine_cores = |own: usize| match decision.engine_mode {
             EngineMode::TimeMultiplexed => div.au_cores(),
             EngineMode::Partitioned => own,
@@ -451,6 +507,20 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
         freq_low.push(now, snap.freqs[IDX_LOW].value());
         power_series.push(now, snap.power.value());
 
+        // Metrics registry: one snapshot per control interval.
+        registry.counter_add("prefill_tokens", stats.prefill_tokens);
+        registry.counter_add("decode_tokens", stats.decode_tokens);
+        registry.counter_add("requests_completed", stats.completed);
+        registry.gauge_set("power_w", snap.power.value());
+        registry.gauge_set("bw_utilization", snap.bw_utilization);
+        registry.gauge_set("queue_len", state.queue_len as f64);
+        registry.gauge_set("decode_batch", state.decode_batch as f64);
+        registry.gauge_set("freq_low_ghz", snap.freqs[IDX_LOW].value());
+        registry.gauge_set("shared_llc_ways", f64::from(shared_llc));
+        registry.gauge_set("recent_ttft_p90", state.recent_ttft_p90);
+        registry.gauge_set("recent_tpot_p50", state.recent_tpot_p50);
+        let _ = registry.snapshot(until);
+
         // Feedback for the next interval: demands observed while busy.
         if stats.prefill_bw_demand.value() > 0.0 {
             last_stats.prefill_bw_demand = stats.prefill_bw_demand;
@@ -470,6 +540,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
     let p_n = be_units / secs;
     let avg_power = energy_j / secs;
     let gamma = cfg.be.map_or(0.0, Prices::gamma);
+    tracer.flush();
     Outcome {
         scheme: manager.name().to_owned(),
         slo: engine.slo_report(),
@@ -484,15 +555,12 @@ pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager)
         none_core_samples,
         freq_low,
         power: power_series,
+        metrics: registry.into_history(),
     }
 }
 
 /// Quantiles over the most recent `window` of an iterator of length `len`.
-fn recent_quantiles(
-    values: impl Iterator<Item = f64>,
-    len: usize,
-    window: usize,
-) -> (f64, f64) {
+fn recent_quantiles(values: impl Iterator<Item = f64>, len: usize, window: usize) -> (f64, f64) {
     let skip = len.saturating_sub(window);
     let recent: Samples = values.skip(skip).collect();
     if recent.is_empty() {
@@ -544,7 +612,11 @@ mod tests {
         Static {
             name: "shared",
             decision: Decision {
-                division: ProcessorDivision::new(total / 3, total / 4, total - total / 3 - total / 4),
+                division: ProcessorDivision::new(
+                    total / 3,
+                    total / 4,
+                    total - total / 3 - total / 4,
+                ),
                 allocation: RdtAllocation::new(
                     ResourceVector::new(10, 10, 0.8),
                     ResourceVector::new(6, 6, 0.3),
@@ -556,8 +628,7 @@ mod tests {
     }
 
     fn short_cfg(be: Option<BeKind>) -> ExperimentConfig {
-        let mut cfg =
-            ExperimentConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, be);
+        let mut cfg = ExperimentConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, be);
         cfg.duration = SimDuration::from_secs(60);
         cfg
     }
@@ -571,7 +642,11 @@ mod tests {
         // emitted-token rate sits below the 80 tokens/s offered load.
         assert!(out.decode_tps > 40.0, "decode tps {}", out.decode_tps);
         assert!(out.prefill_tps > 200.0, "prefill tps {}", out.prefill_tps);
-        assert!((150.0..=350.0).contains(&out.avg_power_w), "power {}", out.avg_power_w);
+        assert!(
+            (150.0..=350.0).contains(&out.avg_power_w),
+            "power {}",
+            out.avg_power_w
+        );
         assert!(out.efficiency > 0.0);
         assert_eq!(out.be_rate, 0.0);
         assert_eq!(out.scheme, "exclusive");

@@ -10,6 +10,7 @@ use aum_llm::engine::EngineMode;
 use aum_llm::traces::Scenario;
 use aum_platform::rdt::RdtAllocation;
 use aum_platform::topology::ProcessorDivision;
+use aum_sim::telemetry::Tracer;
 use aum_sim::time::{SimDuration, SimTime};
 use aum_workloads::be::BeKind;
 
@@ -72,6 +73,11 @@ pub trait ResourceManager {
 
     /// Produces the decision for the next control interval.
     fn decide(&mut self, state: &SystemState) -> Decision;
+
+    /// Attaches a trace handle so the manager can explain its decisions
+    /// ([`aum_sim::telemetry::Event::ControllerDecision`]). Managers without
+    /// internal reasoning worth tracing keep this default no-op.
+    fn attach_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// A manager that always returns the same decision — used by the background

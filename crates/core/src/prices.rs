@@ -34,13 +34,19 @@ impl Prices {
     /// The paper's default 1.8 / 0.2 setting.
     #[must_use]
     pub fn paper_default() -> Self {
-        Prices { alpha: 1.8, beta: 0.2 }
+        Prices {
+            alpha: 1.8,
+            beta: 0.2,
+        }
     }
 
     /// The sensitivity-study setting where token prices halve (§VII-D).
     #[must_use]
     pub fn cheap_tokens() -> Self {
-        Prices { alpha: 0.9, beta: 0.1 }
+        Prices {
+            alpha: 0.9,
+            beta: 0.1,
+        }
     }
 
     /// Creates a price vector.
@@ -105,7 +111,14 @@ mod tests {
 
     #[test]
     fn e_cpu_is_weighted_sum_over_power() {
-        let e = e_cpu(Prices::paper_default(), 500.0, 140.0, 3e-5, 800_000.0, 270.0);
+        let e = e_cpu(
+            Prices::paper_default(),
+            500.0,
+            140.0,
+            3e-5,
+            800_000.0,
+            270.0,
+        );
         let expect = (1.8 * 500.0 + 0.2 * 140.0 + 3e-5 * 800_000.0) / 270.0;
         assert!((e - expect).abs() < 1e-12);
     }
@@ -116,8 +129,13 @@ mod tests {
         // the serving value — the Fig 14 gains are in the 4-9% range, not
         // multiples.
         let serving = 1.8 * 500.0 + 0.2 * 140.0;
-        let sharing = Prices::gamma(BeKind::SpecJbb) * (BeProfile::of(BeKind::SpecJbb).base_rate_per_core * 24.0);
-        assert!(sharing / serving < 0.15, "sharing/serving value ratio {}", sharing / serving);
+        let sharing = Prices::gamma(BeKind::SpecJbb)
+            * (BeProfile::of(BeKind::SpecJbb).base_rate_per_core * 24.0);
+        assert!(
+            sharing / serving < 0.15,
+            "sharing/serving value ratio {}",
+            sharing / serving
+        );
         assert!(sharing / serving > 0.01);
     }
 

@@ -19,7 +19,8 @@ use aum_llm::traces::Scenario;
 use aum_platform::rdt::{RdtAllocation, ResourceVector};
 use aum_platform::spec::PlatformSpec;
 use aum_platform::topology::ProcessorDivision;
-use aum_sim::time::SimDuration;
+use aum_sim::telemetry::{Event, Tracer};
+use aum_sim::time::{SimDuration, SimTime};
 use aum_workloads::be::BeKind;
 
 use crate::error::AumError;
@@ -83,7 +84,10 @@ impl AuvModel {
     /// Panics if an index is out of range.
     #[must_use]
     pub fn bucket(&self, div_idx: usize, cfg_idx: usize) -> &Bucket {
-        assert!(div_idx < self.div_count && cfg_idx < self.cfg_count, "bucket index out of range");
+        assert!(
+            div_idx < self.div_count && cfg_idx < self.cfg_count,
+            "bucket index out of range"
+        );
         &self.buckets[div_idx * self.cfg_count + cfg_idx]
     }
 
@@ -106,13 +110,19 @@ impl AuvModel {
     /// Smallest tail TTFT any bucket achieves.
     #[must_use]
     pub fn ttft_floor(&self) -> f64 {
-        self.buckets.iter().map(|b| b.ttft_p90).fold(f64::INFINITY, f64::min)
+        self.buckets
+            .iter()
+            .map(|b| b.ttft_p90)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Smallest tail TPOT any bucket achieves.
     #[must_use]
     pub fn tpot_floor(&self) -> f64 {
-        self.buckets.iter().map(|b| b.tpot_p90).fold(f64::INFINITY, f64::min)
+        self.buckets
+            .iter()
+            .map(|b| b.tpot_p90)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The feasible bucket with the best profiled efficiency. An axis whose
@@ -284,10 +294,19 @@ impl ProfilerConfig {
 /// Runs the offline profiling sweep and builds the AUV model.
 #[must_use]
 pub fn build_model(cfg: &ProfilerConfig) -> AuvModel {
-    let mut buckets = Vec::with_capacity(cfg.divisions.len() * cfg.allocations.len());
+    build_model_traced(cfg, Tracer::disabled())
+}
+
+/// Like [`build_model`], emitting one [`Event::ProfilerProgress`] per grid
+/// cell through `tracer`. Events are stamped with the cumulative simulated
+/// time the sweep has consumed so far.
+#[must_use]
+pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
+    let total_cells = cfg.divisions.len() * cfg.allocations.len();
+    let mut buckets = Vec::with_capacity(total_cells);
     let mut runs = 0usize;
-    for division in &cfg.divisions {
-        for allocation in &cfg.allocations {
+    for (div_idx, division) in cfg.divisions.iter().enumerate() {
+        for (cfg_idx, allocation) in cfg.allocations.iter().enumerate() {
             let decision = Decision {
                 division: *division,
                 allocation: *allocation,
@@ -336,6 +355,14 @@ pub fn build_model(cfg: &ProfilerConfig) -> AuvModel {
                 acc.efficiency += out.efficiency / n;
             }
             buckets.push(acc);
+            tracer.emit(SimTime::ZERO + cfg.run_duration * runs as u64, || {
+                Event::ProfilerProgress {
+                    completed: buckets.len(),
+                    total: total_cells,
+                    division: div_idx,
+                    config: cfg_idx,
+                }
+            });
         }
     }
     AuvModel {
@@ -378,7 +405,10 @@ mod tests {
         let cfg =
             ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::Olap);
         let runs = cfg.divisions.len() * cfg.allocations.len() * cfg.repetitions;
-        assert_eq!(runs, 90, "one (scenario, co-runner) pair costs 90 executions");
+        assert_eq!(
+            runs, 90,
+            "one (scenario, co-runner) pair costs 90 executions"
+        );
         // Across the 3×(further scenarios/co-runners) grid the paper-scale
         // ≈450 executions are reached: 90 × 5 = 450.
         assert_eq!(runs * 5, 450);
@@ -402,8 +432,16 @@ mod tests {
         // Both axes relax to 1.2× their achievable floors; the chosen
         // bucket must live near those floors rather than chasing an
         // impossible deadline.
-        assert!(chosen.ttft_p90 <= m.ttft_floor() * 1.25, "ttft {}", chosen.ttft_p90);
-        assert!(chosen.tpot_p90 <= m.tpot_floor() * 1.25, "tpot {}", chosen.tpot_p90);
+        assert!(
+            chosen.ttft_p90 <= m.ttft_floor() * 1.25,
+            "ttft {}",
+            chosen.ttft_p90
+        );
+        assert!(
+            chosen.tpot_p90 <= m.tpot_floor() * 1.25,
+            "tpot {}",
+            chosen.tpot_p90
+        );
     }
 
     #[test]

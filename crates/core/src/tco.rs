@@ -91,7 +91,10 @@ mod tests {
     fn without_manager_gpu_leads_by_1_3x() {
         let r = tco_report(&TcoInputs::gen_a_with_gain(1.0));
         let gpu_lead = 1.0 / r.perf_per_capex_vs_gpu;
-        assert!((1.1..=1.5).contains(&gpu_lead), "Fig 5: ≈1.3×, got {gpu_lead}");
+        assert!(
+            (1.1..=1.5).contains(&gpu_lead),
+            "Fig 5: ≈1.3×, got {gpu_lead}"
+        );
     }
 
     #[test]

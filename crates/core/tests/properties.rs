@@ -14,38 +14,44 @@ use aum_sim::time::{SimDuration, SimTime};
 use aum_workloads::be::BeKind;
 
 fn smoke_model() -> AuvModel {
-    build_model(&ProfilerConfig::smoke(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb))
+    build_model(&ProfilerConfig::smoke(
+        PlatformSpec::gen_a(),
+        Scenario::Chatbot,
+        BeKind::SpecJbb,
+    ))
 }
 
 fn arbitrary_state() -> impl Strategy<Value = SystemState> {
     (
-        0u64..10_000,          // now (ms)
-        0usize..50,            // queue_len
-        0u64..5_000,           // head_wait (ms)
-        0usize..17,            // decode_batch
-        -10.0f64..10.0,        // worst_lag
-        0.0f64..10.0,          // ttft p50
-        0.0f64..10.0,          // ttft p90 extra
-        0.0f64..1.0,           // tpot p50
-        0.0f64..1.0,           // tpot p90 extra
-        100.0f64..400.0,       // power
-        0.0f64..1.0,           // bw util
+        0u64..10_000,    // now (ms)
+        0usize..50,      // queue_len
+        0u64..5_000,     // head_wait (ms)
+        0usize..17,      // decode_batch
+        -10.0f64..10.0,  // worst_lag
+        0.0f64..10.0,    // ttft p50
+        0.0f64..10.0,    // ttft p90 extra
+        0.0f64..1.0,     // tpot p50
+        0.0f64..1.0,     // tpot p90 extra
+        100.0f64..400.0, // power
+        0.0f64..1.0,     // bw util
     )
-        .prop_map(|(now, q, wait, batch, lag, t50, t90x, p50, p90x, power, bw)| SystemState {
-            now: SimTime::from_millis(now),
-            scenario: Scenario::Chatbot,
-            be: Some(BeKind::SpecJbb),
-            queue_len: q,
-            head_wait: SimDuration::from_millis(wait),
-            decode_batch: batch,
-            worst_lag_secs: lag,
-            recent_ttft_p50: t50,
-            recent_ttft_p90: t50 + t90x,
-            recent_tpot_p50: p50,
-            recent_tpot_p90: p50 + p90x,
-            power_w: power,
-            bw_utilization: bw,
-        })
+        .prop_map(
+            |(now, q, wait, batch, lag, t50, t90x, p50, p90x, power, bw)| SystemState {
+                now: SimTime::from_millis(now),
+                scenario: Scenario::Chatbot,
+                be: Some(BeKind::SpecJbb),
+                queue_len: q,
+                head_wait: SimDuration::from_millis(wait),
+                decode_batch: batch,
+                worst_lag_secs: lag,
+                recent_ttft_p50: t50,
+                recent_ttft_p90: t50 + t90x,
+                recent_tpot_p50: p50,
+                recent_tpot_p90: p50 + p90x,
+                power_w: power,
+                bw_utilization: bw,
+            },
+        )
 }
 
 proptest! {

@@ -124,7 +124,10 @@ impl DecodePool {
     #[must_use]
     pub fn new(max_batch: usize) -> Self {
         assert!(max_batch > 0, "batch size must be positive");
-        DecodePool { active: Vec::new(), max_batch }
+        DecodePool {
+            active: Vec::new(),
+            max_batch,
+        }
     }
 
     /// Number of requests that can still be admitted.
@@ -232,7 +235,10 @@ mod tests {
         assert_eq!(q.head_wait(SimTime::from_secs(1)), SimDuration::ZERO);
         q.push(req(0, 100));
         q.push(req(1, 900));
-        assert_eq!(q.head_wait(SimTime::from_millis(600)), SimDuration::from_millis(500));
+        assert_eq!(
+            q.head_wait(SimTime::from_millis(600)),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -263,7 +269,10 @@ mod tests {
         pool.admit(ActiveRequest::start(&req(0, 0)));
         let _ = pool.step(SimDuration::from_millis(50));
         let lag = pool.worst_lag_secs(SimDuration::from_millis(100));
-        assert!((lag - 0.05).abs() < 1e-9, "50ms token vs 100ms budget → +50ms lag");
+        assert!(
+            (lag - 0.05).abs() < 1e-9,
+            "50ms token vs 100ms budget → +50ms lag"
+        );
     }
 
     #[test]
@@ -278,7 +287,9 @@ mod tests {
     #[test]
     fn empty_pool_lag_is_infinite() {
         let pool = DecodePool::new(4);
-        assert!(pool.worst_lag_secs(SimDuration::from_millis(100)).is_infinite());
+        assert!(pool
+            .worst_lag_secs(SimDuration::from_millis(100))
+            .is_infinite());
     }
 
     #[test]

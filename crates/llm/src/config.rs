@@ -139,7 +139,11 @@ impl ModelConfig {
             n_kv_heads: 4,
             ffn_dim: 768,
             vocab: 151936,
-            moe: Some(MoeConfig { experts: 128, active_experts: 8, expert_ffn_dim: 768 }),
+            moe: Some(MoeConfig {
+                experts: 128,
+                active_experts: 8,
+                expert_ffn_dim: 768,
+            }),
         }
     }
 
@@ -234,7 +238,11 @@ mod tests {
         for (m, expect_b) in cases {
             let got = m.param_count() / 1e9;
             let err = (got - expect_b).abs() / expect_b;
-            assert!(err < 0.25, "{}: expected ≈{expect_b}B params, got {got:.2}B", m.name);
+            assert!(
+                err < 0.25,
+                "{}: expected ≈{expect_b}B params, got {got:.2}B",
+                m.name
+            );
         }
     }
 
@@ -243,8 +251,14 @@ mod tests {
         let q = ModelConfig::qwen3_30b_a3b();
         let total = q.param_count();
         let active = q.active_param_count();
-        assert!(active < total / 5.0, "MoE streams a small fraction: {active} vs {total}");
-        assert!((2.5e9..5.0e9).contains(&active), "≈3B active params, got {active}");
+        assert!(
+            active < total / 5.0,
+            "MoE streams a small fraction: {active} vs {total}"
+        );
+        assert!(
+            (2.5e9..5.0e9).contains(&active),
+            "≈3B active params, got {active}"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use serde::{Deserialize, Serialize};
 use aum_au::counters::PmuCounters;
 use aum_au::gemm::{gemm_time, pick_unit, Bound, ExecContext};
 use aum_au::unit::{AuKind, AuSpec, Precision};
-use aum_sim::time::SimDuration;
 use aum_platform::spec::PlatformSpec;
+use aum_sim::time::SimDuration;
 
 use crate::config::ModelConfig;
 use crate::ops::{iteration_ops, IterOp, Phase};
@@ -114,9 +114,7 @@ pub fn cost_of_ops(
     let mut amx_flops = 0.0;
     for op in ops {
         let (unit, exec) = match op.unit {
-            Some(AuKind::Avx512) => {
-                (&kernels.avx, gemm_time(op.shape, prec, &kernels.avx, ctx))
-            }
+            Some(AuKind::Avx512) => (&kernels.avx, gemm_time(op.shape, prec, &kernels.avx, ctx)),
             Some(AuKind::Amx) => (&kernels.amx, gemm_time(op.shape, prec, &kernels.amx, ctx)),
             Some(AuKind::Scalar) | None => {
                 pick_unit(op.shape, prec, &kernels.amx, &kernels.avx, ctx)
@@ -166,7 +164,11 @@ mod tests {
 
     fn setup() -> (ModelConfig, AuKernels, PlatformSpec) {
         let spec = PlatformSpec::gen_a();
-        (ModelConfig::llama2_7b(), AuKernels::for_platform(&spec), spec)
+        (
+            ModelConfig::llama2_7b(),
+            AuKernels::for_platform(&spec),
+            spec,
+        )
     }
 
     #[test]
@@ -175,10 +177,21 @@ mod tests {
         let (model, kernels, spec) = setup();
         let ctx = ExecContext::new(96, 3.1, spec.mem_bw);
         let mut pmu = PmuCounters::new();
-        let cost =
-            iteration_cost(&model, Phase::Decode, 16, 855, Precision::Bf16, &kernels, &ctx, &mut pmu);
+        let cost = iteration_cost(
+            &model,
+            Phase::Decode,
+            16,
+            855,
+            Precision::Bf16,
+            &kernels,
+            &ctx,
+            &mut pmu,
+        );
         let ms = cost.time.as_millis_f64();
-        assert!((60.0..=140.0).contains(&ms), "decode iteration ≈85-100 ms, got {ms}");
+        assert!(
+            (60.0..=140.0).contains(&ms),
+            "decode iteration ≈85-100 ms, got {ms}"
+        );
     }
 
     #[test]
@@ -187,10 +200,21 @@ mod tests {
         let (model, kernels, spec) = setup();
         let ctx = ExecContext::new(96, 2.5, spec.mem_bw);
         let mut pmu = PmuCounters::new();
-        let cost =
-            iteration_cost(&model, Phase::Prefill, 755, 755, Precision::Bf16, &kernels, &ctx, &mut pmu);
+        let cost = iteration_cost(
+            &model,
+            Phase::Prefill,
+            755,
+            755,
+            Precision::Bf16,
+            &kernels,
+            &ctx,
+            &mut pmu,
+        );
         let s = cost.time.as_secs_f64();
-        assert!((0.15..=0.6).contains(&s), "prefill of 755 tokens ≈0.25-0.4 s, got {s}");
+        assert!(
+            (0.15..=0.6).contains(&s),
+            "prefill of 755 tokens ≈0.25-0.4 s, got {s}"
+        );
     }
 
     #[test]
@@ -217,8 +241,16 @@ mod tests {
             &ExecContext::new(96, 2.5, spec.mem_bw),
             &mut pmu,
         );
-        assert!(decode.memory_bound_frac > 0.8, "decode mem frac {}", decode.memory_bound_frac);
-        assert!(prefill.memory_bound_frac < 0.4, "prefill mem frac {}", prefill.memory_bound_frac);
+        assert!(
+            decode.memory_bound_frac > 0.8,
+            "decode mem frac {}",
+            decode.memory_bound_frac
+        );
+        assert!(
+            prefill.memory_bound_frac < 0.4,
+            "prefill mem frac {}",
+            prefill.memory_bound_frac
+        );
     }
 
     #[test]
@@ -235,7 +267,10 @@ mod tests {
             &ExecContext::new(96, 3.1, spec.mem_bw),
             &mut pmu,
         );
-        assert!(cost.bw_demand_gbs > spec.mem_bw.value(), "decode saturates the pool");
+        assert!(
+            cost.bw_demand_gbs > spec.mem_bw.value(),
+            "decode saturates the pool"
+        );
     }
 
     #[test]
@@ -252,7 +287,11 @@ mod tests {
             &ExecContext::new(96, 2.5, spec.mem_bw),
             &mut pmu,
         );
-        assert!(cost.amx_flop_frac > 0.9, "prefill amx flop frac {}", cost.amx_flop_frac);
+        assert!(
+            cost.amx_flop_frac > 0.9,
+            "prefill amx flop frac {}",
+            cost.amx_flop_frac
+        );
     }
 
     #[test]
@@ -317,7 +356,10 @@ mod tests {
             &mut pmu,
         );
         let ratio = half.time.as_secs_f64() / full.time.as_secs_f64();
-        assert!(ratio > 1.6, "halving bandwidth nearly doubles decode, got {ratio}");
+        assert!(
+            ratio > 1.6,
+            "halving bandwidth nearly doubles decode, got {ratio}"
+        );
     }
 
     #[test]
@@ -340,8 +382,14 @@ mod tests {
         };
         let _ = &mut pmu;
         let decode_ratio = run(Phase::Decode, 16, 855, 24) / run(Phase::Decode, 16, 855, 96);
-        assert!(decode_ratio < 1.35, "decode is core-insensitive, got {decode_ratio}");
+        assert!(
+            decode_ratio < 1.35,
+            "decode is core-insensitive, got {decode_ratio}"
+        );
         let prefill_ratio = run(Phase::Prefill, 755, 755, 24) / run(Phase::Prefill, 755, 755, 96);
-        assert!(prefill_ratio > 2.0, "prefill is core-hungry, got {prefill_ratio}");
+        assert!(
+            prefill_ratio > 2.0,
+            "prefill is core-hungry, got {prefill_ratio}"
+        );
     }
 }

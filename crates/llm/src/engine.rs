@@ -21,9 +21,10 @@ use serde::{Deserialize, Serialize};
 use aum_au::counters::PmuCounters;
 use aum_au::gemm::ExecContext;
 use aum_au::unit::Precision;
-use aum_sim::time::{SimDuration, SimTime};
 use aum_platform::spec::PlatformSpec;
 use aum_platform::units::GbPerSec;
+use aum_sim::telemetry::{Event, PhaseKind, Tracer};
+use aum_sim::time::{SimDuration, SimTime};
 
 use crate::batching::{ActiveRequest, DecodePool, PrefillQueue};
 use crate::config::ModelConfig;
@@ -52,7 +53,13 @@ impl RegionResources {
     /// Clean resources with no contention.
     #[must_use]
     pub fn new(cores: usize, freq_ghz: f64, bandwidth: GbPerSec) -> Self {
-        RegionResources { cores, freq_ghz, bandwidth, memory_penalty: 1.0, compute_penalty: 1.0 }
+        RegionResources {
+            cores,
+            freq_ghz,
+            bandwidth,
+            memory_penalty: 1.0,
+            compute_penalty: 1.0,
+        }
     }
 
     fn exec_context(&self) -> Option<ExecContext> {
@@ -130,8 +137,11 @@ impl EngineConfig {
     /// Returns a copy with a KV budget derived from the platform's memory.
     #[must_use]
     pub fn with_platform_kv_budget(mut self, platform: &PlatformSpec) -> Self {
-        self.kv_budget =
-            Some(crate::kv::KvBudget::for_platform(platform, &self.model, self.precision));
+        self.kv_budget = Some(crate::kv::KvBudget::for_platform(
+            platform,
+            &self.model,
+            self.precision,
+        ));
         self
     }
 }
@@ -178,6 +188,9 @@ pub struct LlmEngine {
     wall_tpots: Vec<f64>,
     pmu: PmuCounters,
     completed: u64,
+    /// Trace handle; request lifecycle and iteration events stream here
+    /// when a sink is attached (free when disabled).
+    tracer: Tracer,
 }
 
 impl LlmEngine {
@@ -209,7 +222,14 @@ impl LlmEngine {
             wall_tpots: Vec::new(),
             pmu: PmuCounters::new(),
             completed: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace handle; subsequent admissions, completions and
+    /// iterations emit [`aum_sim::telemetry::Event`]s through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Engine configuration.
@@ -262,9 +282,13 @@ impl LlmEngine {
                         }
                     }
                     self.ready.pop_front();
-                    self.pool.admit(
-                        ActiveRequest::start(&req).admitted_at(upto.as_secs_f64()),
-                    );
+                    self.tracer.emit(upto, || Event::RequestAdmitted {
+                        id: req.id.0,
+                        input_len: req.input_len,
+                        output_len: req.output_len,
+                    });
+                    self.pool
+                        .admit(ActiveRequest::start(&req).admitted_at(upto.as_secs_f64()));
                 }
                 _ => break,
             }
@@ -298,6 +322,13 @@ impl LlmEngine {
                 stats.prefill_tokens += tokens as u64;
                 stats.prefill_bw_demand =
                     GbPerSec(stats.prefill_bw_demand.value().max(cost.bw_demand_gbs));
+                self.tracer
+                    .emit(self.prefill_clock, || Event::IterationCompleted {
+                        phase: PhaseKind::Prefill,
+                        batch: batch.len(),
+                        tokens,
+                        duration_secs: cost.time.as_secs_f64(),
+                    });
                 for r in batch {
                     self.finish_prefill(r, stats);
                 }
@@ -328,6 +359,13 @@ impl LlmEngine {
                 stats.prefill_tokens += step as u64;
                 stats.prefill_bw_demand =
                     GbPerSec(stats.prefill_bw_demand.value().max(cost.bw_demand_gbs));
+                self.tracer
+                    .emit(self.prefill_clock, || Event::IterationCompleted {
+                        phase: PhaseKind::Prefill,
+                        batch: 1,
+                        tokens: step,
+                        duration_secs: cost.time.as_secs_f64(),
+                    });
                 let done = done + step;
                 if done >= req.input_len {
                     self.finish_prefill(req, stats);
@@ -349,6 +387,12 @@ impl LlmEngine {
         } else {
             self.completed += 1;
             stats.completed += 1;
+            self.tracer
+                .emit(self.prefill_clock, || Event::RequestFinished {
+                    id: r.id.0,
+                    generated: 0,
+                    mean_tpot_secs: 0.0,
+                });
         }
     }
 
@@ -374,15 +418,34 @@ impl LlmEngine {
         self.decode_clock += cost.time;
         stats.decode_tokens += batch as u64;
         stats.decode_bw_demand = GbPerSec(stats.decode_bw_demand.value().max(cost.bw_demand_gbs));
+        self.tracer
+            .emit(self.decode_clock, || Event::IterationCompleted {
+                phase: PhaseKind::Decode,
+                batch,
+                tokens: batch,
+                duration_secs: cost.time.as_secs_f64(),
+            });
         for r in self.pool.active() {
-            self.tokens.push(TokenRecord { id: r.id, emitted: self.decode_clock, exec: cost.time });
+            self.tokens.push(TokenRecord {
+                id: r.id,
+                emitted: self.decode_clock,
+                exec: cost.time,
+            });
         }
         let finished = self.pool.step(cost.time);
         for f in &finished {
+            let mut mean_tpot = 0.0;
             if f.generated > 0 {
                 let wall = self.decode_clock.as_secs_f64() - f.admitted_secs;
-                self.wall_tpots.push((wall / f.generated as f64).max(0.0));
+                mean_tpot = (wall / f.generated as f64).max(0.0);
+                self.wall_tpots.push(mean_tpot);
             }
+            self.tracer
+                .emit(self.decode_clock, || Event::RequestFinished {
+                    id: f.id.0,
+                    generated: f.generated,
+                    mean_tpot_secs: mean_tpot,
+                });
         }
         let n = finished.len() as u64;
         self.completed += n;
@@ -417,7 +480,10 @@ impl LlmEngine {
                     self.admit_ready(clock);
                     let prefill_now = self.has_prefill_work()
                         && prefill_ctx.is_some()
-                        && !(chunked && decode_turn && !self.pool.is_empty() && decode_ctx.is_some());
+                        && !(chunked
+                            && decode_turn
+                            && !self.pool.is_empty()
+                            && decode_ctx.is_some());
                     if prefill_now {
                         let ctx = prefill_ctx.expect("prefill_now implies context");
                         self.prefill_clock = clock;
@@ -448,49 +514,50 @@ impl LlmEngine {
                 self.prefill_clock = clock;
                 self.decode_clock = clock;
             }
-            EngineMode::Partitioned => {
-                loop {
-                    let p = self.prefill_clock;
-                    let d = self.decode_clock;
-                    if p >= until && d >= until {
-                        break;
-                    }
-                    if p <= d && p < until {
-                        self.admit_arrivals(p);
-                        if let (true, Some(ctx)) = (self.has_prefill_work(), prefill_ctx) {
-                            let before = self.prefill_clock;
-                            self.run_prefill_step(&ctx, &mut stats);
-                            prefill_busy += self.prefill_clock - before;
-                        } else {
-                            let next = self
-                                .next_arrival()
-                                .unwrap_or(until)
-                                .max(p + SimDuration::from_micros(1));
-                            self.prefill_clock = next.min(until);
-                        }
-                    } else if d < until {
-                        self.admit_ready(d);
-                        if let (false, Some(ctx)) = (self.pool.is_empty(), decode_ctx) {
-                            let before = self.decode_clock;
-                            self.run_decode_iteration(&ctx, &mut stats);
-                            decode_busy += self.decode_clock - before;
-                        } else {
-                            let next = self
-                                .ready
-                                .front()
-                                .map(|&(t, _)| t)
-                                .unwrap_or(until)
-                                .max(d + SimDuration::from_micros(1));
-                            self.decode_clock = next.min(until);
-                        }
-                    } else {
-                        break;
-                    }
+            EngineMode::Partitioned => loop {
+                let p = self.prefill_clock;
+                let d = self.decode_clock;
+                if p >= until && d >= until {
+                    break;
                 }
-            }
+                if p <= d && p < until {
+                    self.admit_arrivals(p);
+                    if let (true, Some(ctx)) = (self.has_prefill_work(), prefill_ctx) {
+                        let before = self.prefill_clock;
+                        self.run_prefill_step(&ctx, &mut stats);
+                        prefill_busy += self.prefill_clock - before;
+                    } else {
+                        let next = self
+                            .next_arrival()
+                            .unwrap_or(until)
+                            .max(p + SimDuration::from_micros(1));
+                        self.prefill_clock = next.min(until);
+                    }
+                } else if d < until {
+                    self.admit_ready(d);
+                    if let (false, Some(ctx)) = (self.pool.is_empty(), decode_ctx) {
+                        let before = self.decode_clock;
+                        self.run_decode_iteration(&ctx, &mut stats);
+                        decode_busy += self.decode_clock - before;
+                    } else {
+                        let next = self
+                            .ready
+                            .front()
+                            .map(|&(t, _)| t)
+                            .unwrap_or(until)
+                            .max(d + SimDuration::from_micros(1));
+                        self.decode_clock = next.min(until);
+                    }
+                } else {
+                    break;
+                }
+            },
         }
 
-        let span = until.saturating_since(interval_start).as_secs_f64().max(1e-9);
+        let span = until
+            .saturating_since(interval_start)
+            .as_secs_f64()
+            .max(1e-9);
         stats.prefill_busy = (prefill_busy.as_secs_f64() / span).min(1.0);
         stats.decode_busy = (decode_busy.as_secs_f64() / span).min(1.0);
         stats
@@ -528,7 +595,11 @@ impl LlmEngine {
         if self.wall_tpots.is_empty() {
             return 1.0;
         }
-        let met = self.wall_tpots.iter().filter(|&&w| w <= d_tpot.as_secs_f64()).count();
+        let met = self
+            .wall_tpots
+            .iter()
+            .filter(|&&w| w <= d_tpot.as_secs_f64())
+            .count();
         met as f64 / self.wall_tpots.len() as f64
     }
 
@@ -620,7 +691,10 @@ mod tests {
         // window), the engine should track the offered rate with headroom.
         let (engine, total) = run_scenario(Scenario::Chatbot, 120);
         let tput = total.decode_tokens as f64 / 120.0;
-        assert!((50.0..=120.0).contains(&tput), "decode throughput {tput} tokens/s");
+        assert!(
+            (50.0..=120.0).contains(&tput),
+            "decode throughput {tput} tokens/s"
+        );
         assert!(engine.completed() > 25);
     }
 
@@ -673,7 +747,9 @@ mod tests {
         };
         let mut tokens = 0;
         for step in 1..=60 {
-            tokens += engine.run_interval(SimTime::from_secs(step), &res).decode_tokens;
+            tokens += engine
+                .run_interval(SimTime::from_secs(step), &res)
+                .decode_tokens;
         }
         assert!(tokens > 1000, "partitioned decode generated {tokens}");
         assert!(engine.slo_report().prefills > 20);
@@ -752,8 +828,11 @@ mod tests {
         let trace = TraceGenerator::new(Scenario::CodeCompletion, 0.5)
             .generate(&DetRng::from_seed(11), SimDuration::from_secs(10));
         let n = trace.len() as u64;
-        let mut engine =
-            LlmEngine::new(EngineConfig::paper_default(Scenario::CodeCompletion), &spec, trace);
+        let mut engine = LlmEngine::new(
+            EngineConfig::paper_default(Scenario::CodeCompletion),
+            &spec,
+            trace,
+        );
         let res = exclusive_resources(&spec);
         let mut t = 0;
         while !engine.drained() && t < 200 {
@@ -777,7 +856,10 @@ mod tests {
             let _ = engine.run_interval(SimTime::from_secs(step), &res);
         }
         let lag = engine.worst_lag_secs();
-        assert!(lag > -10.0, "healthy serving should not fall far behind, lag={lag}");
+        assert!(
+            lag > -10.0,
+            "healthy serving should not fall far behind, lag={lag}"
+        );
     }
 
     #[test]
@@ -814,7 +896,10 @@ mod tests {
             chunked_gap < whole_gap * 0.8,
             "chunked max stall {chunked_gap} must beat whole-prompt {whole_gap}"
         );
-        assert!(chunked_prefills >= whole_prefills * 9 / 10, "work still completes");
+        assert!(
+            chunked_prefills >= whole_prefills * 9 / 10,
+            "work still completes"
+        );
     }
 
     #[test]
@@ -848,17 +933,33 @@ mod tests {
             crate::kv::KvBudget::request_peak_bytes(&model, Precision::Bf16, 755 * 4, 200 * 4);
         let mut cfg = EngineConfig::paper_default(Scenario::Chatbot);
         cfg.kv_budget = Some(crate::kv::KvBudget::from_bytes(per_req * 2.0));
-        let mut engine = LlmEngine::new(cfg, &spec, trace);
+        let budget = cfg.kv_budget.unwrap();
+        let mut engine = LlmEngine::new(cfg.clone(), &spec, trace.clone());
+        let mut uncapped_cfg = cfg;
+        uncapped_cfg.kv_budget = None;
+        let mut uncapped = LlmEngine::new(uncapped_cfg, &spec, trace);
         let res = exclusive_resources(&spec);
+        let (mut capped_peak, mut uncapped_peak) = (0, 0);
         for step in 1..=60 {
             let _ = engine.run_interval(SimTime::from_secs(step), &res);
+            let _ = uncapped.run_interval(SimTime::from_secs(step), &res);
+            capped_peak = capped_peak.max(engine.decode_batch());
+            uncapped_peak = uncapped_peak.max(uncapped.decode_batch());
             assert!(
-                engine.decode_batch() <= 8,
-                "tiny KV budget must cap the batch, got {}",
-                engine.decode_batch()
+                engine.kv_reserved_bytes() <= budget.capacity_bytes() * (1.0 + 1e-9),
+                "reserved KV {} exceeds budget {}",
+                engine.kv_reserved_bytes(),
+                budget.capacity_bytes()
             );
         }
-        assert!(engine.completed() > 0, "capacity-bound serving still progresses");
+        assert!(
+            capped_peak < uncapped_peak,
+            "tiny KV budget must cap the batch: capped peak {capped_peak}, uncapped {uncapped_peak}"
+        );
+        assert!(
+            engine.completed() > 0,
+            "capacity-bound serving still progresses"
+        );
     }
 
     #[test]
@@ -872,15 +973,17 @@ mod tests {
         };
         let unbounded = {
             let mut e = LlmEngine::new(
-                EngineConfig::paper_default(Scenario::Chatbot), &spec, trace());
+                EngineConfig::paper_default(Scenario::Chatbot),
+                &spec,
+                trace(),
+            );
             for step in 1..=60 {
                 let _ = e.run_interval(SimTime::from_secs(step), &exclusive_resources(&spec));
             }
             e.slo_report()
         };
         let budgeted = {
-            let cfg = EngineConfig::paper_default(Scenario::Chatbot)
-                .with_platform_kv_budget(&spec);
+            let cfg = EngineConfig::paper_default(Scenario::Chatbot).with_platform_kv_budget(&spec);
             let mut e = LlmEngine::new(cfg, &spec, trace());
             for step in 1..=60 {
                 let _ = e.run_interval(SimTime::from_secs(step), &exclusive_resources(&spec));

@@ -47,8 +47,13 @@ impl KvBudget {
     /// Panics if `bytes` is not positive and finite.
     #[must_use]
     pub fn from_bytes(bytes: f64) -> Self {
-        assert!(bytes.is_finite() && bytes > 0.0, "budget must be positive, got {bytes}");
-        KvBudget { capacity_bytes: bytes }
+        assert!(
+            bytes.is_finite() && bytes > 0.0,
+            "budget must be positive, got {bytes}"
+        );
+        KvBudget {
+            capacity_bytes: bytes,
+        }
     }
 
     /// The budget a platform leaves for KV after resident weights and a
@@ -68,7 +73,9 @@ impl KvBudget {
             spec.memory_gb,
             model.name
         );
-        KvBudget { capacity_bytes: memory - weights }
+        KvBudget {
+            capacity_bytes: memory - weights,
+        }
     }
 
     /// Budget capacity, bytes.

@@ -108,7 +108,12 @@ fn ffn_down_width(model: &ModelConfig) -> usize {
 /// assert_eq!(ffn.shape.m, 16);
 /// ```
 #[must_use]
-pub fn iteration_ops(model: &ModelConfig, phase: Phase, tokens: usize, context: usize) -> Vec<IterOp> {
+pub fn iteration_ops(
+    model: &ModelConfig,
+    phase: Phase,
+    tokens: usize,
+    context: usize,
+) -> Vec<IterOp> {
     assert!(tokens > 0, "iteration needs at least one token");
     assert!(context > 0, "context length must be positive");
     let d = model.d_model;
@@ -207,7 +212,10 @@ mod tests {
     fn decode_ffn_matches_paper_shape() {
         // §IV-A3: most decode GEMMs are 16×4096×22016.
         let ops = iteration_ops(&ModelConfig::llama2_7b(), Phase::Decode, 16, 855);
-        let ffn = ops.iter().find(|o| o.label == "ffn_gate_up").expect("ffn present");
+        let ffn = ops
+            .iter()
+            .find(|o| o.label == "ffn_gate_up")
+            .expect("ffn present");
         assert_eq!(ffn.shape, GemmShape::new(16, 4096, 22016));
     }
 
@@ -215,7 +223,10 @@ mod tests {
     fn prefill_ffn_matches_paper_shape() {
         // §IV-A3: most prefill GEMMs are 8192×4096×22016 (bs16 × len 512).
         let ops = iteration_ops(&ModelConfig::llama2_7b(), Phase::Prefill, 16 * 512, 512);
-        let ffn = ops.iter().find(|o| o.label == "ffn_gate_up").expect("ffn present");
+        let ffn = ops
+            .iter()
+            .find(|o| o.label == "ffn_gate_up")
+            .expect("ffn present");
         assert_eq!(ffn.shape, GemmShape::new(8192, 4096, 22016));
     }
 
@@ -242,7 +253,10 @@ mod tests {
             .sum();
         let weights = model.weight_bytes(Precision::Bf16);
         let ratio = proj_bytes / weights;
-        assert!((0.8..=1.3).contains(&ratio), "projection traffic ≈ weights, ratio {ratio}");
+        assert!(
+            (0.8..=1.3).contains(&ratio),
+            "projection traffic ≈ weights, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -258,7 +272,10 @@ mod tests {
             .sum();
         let kv = model.kv_bytes_per_token(Precision::Bf16) * (batch * ctx) as f64;
         let ratio = attn_bytes / kv;
-        assert!((0.8..=1.4).contains(&ratio), "attention traffic ≈ KV cache, ratio {ratio}");
+        assert!(
+            (0.8..=1.4).contains(&ratio),
+            "attention traffic ≈ KV cache, ratio {ratio}"
+        );
     }
 
     #[test]

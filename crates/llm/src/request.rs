@@ -31,7 +31,12 @@ impl Request {
     pub fn new(id: u64, arrival: SimTime, input_len: usize, output_len: usize) -> Self {
         assert!(input_len > 0, "prompt must be non-empty");
         assert!(output_len > 0, "output must be non-empty");
-        Request { id: RequestId(id), arrival, input_len, output_len }
+        Request {
+            id: RequestId(id),
+            arrival,
+            input_len,
+            output_len,
+        }
     }
 }
 

@@ -78,8 +78,10 @@ impl SloReport {
             e.0 += t.exec.as_secs_f64();
             e.1 += 1;
         }
-        let req_avgs: Samples =
-            per_request.values().map(|(sum, n)| sum / f64::from(*n)).collect();
+        let req_avgs: Samples = per_request
+            .values()
+            .map(|(sum, n)| sum / f64::from(*n))
+            .collect();
         let tpot_ok = if per_request.is_empty() {
             1.0
         } else {
@@ -121,7 +123,11 @@ mod tests {
     }
 
     fn ttft(id: u64, ms: u64) -> TtftRecord {
-        TtftRecord { id: RequestId(id), arrival: SimTime::ZERO, ttft: SimDuration::from_millis(ms) }
+        TtftRecord {
+            id: RequestId(id),
+            arrival: SimTime::ZERO,
+            ttft: SimDuration::from_millis(ms),
+        }
     }
 
     fn token(id: u64, ms: u64) -> TokenRecord {

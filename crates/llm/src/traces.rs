@@ -36,8 +36,11 @@ pub enum Scenario {
 
 impl Scenario {
     /// All scenarios in the paper's order.
-    pub const ALL: [Scenario; 3] =
-        [Scenario::Chatbot, Scenario::CodeCompletion, Scenario::Summarization];
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Chatbot,
+        Scenario::CodeCompletion,
+        Scenario::Summarization,
+    ];
 
     /// Paper's short code (`cb`/`cc`/`sm`).
     #[must_use]
@@ -69,9 +72,10 @@ impl Scenario {
             Scenario::CodeCompletion => {
                 SloSpec::new(SimDuration::from_millis(75), SimDuration::from_millis(150))
             }
-            Scenario::Summarization => {
-                SloSpec::new(SimDuration::from_millis(1500), SimDuration::from_millis(100))
-            }
+            Scenario::Summarization => SloSpec::new(
+                SimDuration::from_millis(1500),
+                SimDuration::from_millis(100),
+            ),
         }
     }
 
@@ -150,7 +154,10 @@ impl RateProfile {
     pub fn multiplier(&self, t_secs: f64) -> f64 {
         match *self {
             RateProfile::Constant => 1.0,
-            RateProfile::Diurnal { amplitude, period_secs } => {
+            RateProfile::Diurnal {
+                amplitude,
+                period_secs,
+            } => {
                 let a = amplitude.clamp(0.0, 0.95);
                 1.0 + a * (std::f64::consts::TAU * t_secs / period_secs.max(1e-9)).sin()
             }
@@ -194,8 +201,15 @@ impl TraceGenerator {
     /// Panics if the rate is not positive and finite.
     #[must_use]
     pub fn new(scenario: Scenario, rate_rps: f64) -> Self {
-        assert!(rate_rps.is_finite() && rate_rps > 0.0, "rate must be positive, got {rate_rps}");
-        TraceGenerator { scenario, rate_rps, profile: RateProfile::Constant }
+        assert!(
+            rate_rps.is_finite() && rate_rps > 0.0,
+            "rate must be positive, got {rate_rps}"
+        );
+        TraceGenerator {
+            scenario,
+            rate_rps,
+            profile: RateProfile::Constant,
+        }
     }
 
     /// Returns a copy with a time-varying rate profile.
@@ -283,8 +297,14 @@ mod tests {
             trace.iter().map(|r| r.input_len as f64).sum::<f64>() / trace.len() as f64;
         let mean_out: f64 =
             trace.iter().map(|r| r.output_len as f64).sum::<f64>() / trace.len() as f64;
-        assert!((mean_in - 755.0).abs() / 755.0 < 0.1, "mean input {mean_in}");
-        assert!((mean_out - 200.0).abs() / 200.0 < 0.1, "mean output {mean_out}");
+        assert!(
+            (mean_in - 755.0).abs() / 755.0 < 0.1,
+            "mean input {mean_in}"
+        );
+        assert!(
+            (mean_out - 200.0).abs() / 200.0 < 0.1,
+            "mean output {mean_out}"
+        );
     }
 
     #[test]
@@ -335,12 +355,16 @@ mod tests {
     #[test]
     fn diurnal_profile_modulates_arrivals() {
         let rng = DetRng::from_seed(31);
-        let gen = TraceGenerator::new(Scenario::Chatbot, 2.0)
-            .with_profile(RateProfile::Diurnal { amplitude: 0.8, period_secs: 400.0 });
+        let gen = TraceGenerator::new(Scenario::Chatbot, 2.0).with_profile(RateProfile::Diurnal {
+            amplitude: 0.8,
+            period_secs: 400.0,
+        });
         let trace = gen.generate(&rng, SimDuration::from_secs(400));
         // First half of the sine period is the busy half.
-        let first_half =
-            trace.iter().filter(|r| r.arrival < SimTime::from_secs(200)).count() as f64;
+        let first_half = trace
+            .iter()
+            .filter(|r| r.arrival < SimTime::from_secs(200))
+            .count() as f64;
         let second_half = trace.len() as f64 - first_half;
         assert!(
             first_half > second_half * 1.8,
@@ -354,21 +378,33 @@ mod tests {
     #[test]
     fn step_profile_shifts_rate() {
         let rng = DetRng::from_seed(32);
-        let gen = TraceGenerator::new(Scenario::CodeCompletion, 1.0)
-            .with_profile(RateProfile::Step { at_secs: 150.0, factor: 3.0 });
+        let gen =
+            TraceGenerator::new(Scenario::CodeCompletion, 1.0).with_profile(RateProfile::Step {
+                at_secs: 150.0,
+                factor: 3.0,
+            });
         let trace = gen.generate(&rng, SimDuration::from_secs(300));
-        let before =
-            trace.iter().filter(|r| r.arrival < SimTime::from_secs(150)).count() as f64 / 150.0;
-        let after =
-            trace.iter().filter(|r| r.arrival >= SimTime::from_secs(150)).count() as f64 / 150.0;
-        assert!(after > before * 2.0, "step must triple the rate: {before} -> {after}");
+        let before = trace
+            .iter()
+            .filter(|r| r.arrival < SimTime::from_secs(150))
+            .count() as f64
+            / 150.0;
+        let after = trace
+            .iter()
+            .filter(|r| r.arrival >= SimTime::from_secs(150))
+            .count() as f64
+            / 150.0;
+        assert!(
+            after > before * 2.0,
+            "step must triple the rate: {before} -> {after}"
+        );
     }
 
     #[test]
     fn constant_profile_matches_plain_generator() {
         let rng = DetRng::from_seed(33);
-        let plain = TraceGenerator::new(Scenario::Chatbot, 1.0)
-            .generate(&rng, SimDuration::from_secs(100));
+        let plain =
+            TraceGenerator::new(Scenario::Chatbot, 1.0).generate(&rng, SimDuration::from_secs(100));
         let profiled = TraceGenerator::new(Scenario::Chatbot, 1.0)
             .with_profile(RateProfile::Constant)
             .generate(&rng, SimDuration::from_secs(100));
@@ -380,8 +416,14 @@ mod tests {
     fn multiplier_is_always_positive() {
         for profile in [
             RateProfile::Constant,
-            RateProfile::Diurnal { amplitude: 0.9, period_secs: 60.0 },
-            RateProfile::Step { at_secs: 10.0, factor: 0.1 },
+            RateProfile::Diurnal {
+                amplitude: 0.9,
+                period_secs: 60.0,
+            },
+            RateProfile::Step {
+                at_secs: 10.0,
+                factor: 0.1,
+            },
         ] {
             for t in 0..200 {
                 assert!(profile.multiplier(t as f64) > 0.0);

@@ -46,8 +46,15 @@ impl MissRateCurve {
         assert!((0.0..=1.0).contains(&floor), "floor out of range: {floor}");
         assert!((0.0..=1.0).contains(&ceil), "ceil out of range: {ceil}");
         assert!(floor <= ceil, "floor {floor} must not exceed ceil {ceil}");
-        assert!(knee_mb > 0.0, "knee capacity must be positive, got {knee_mb}");
-        MissRateCurve { floor, ceil, knee_mb }
+        assert!(
+            knee_mb > 0.0,
+            "knee capacity must be positive, got {knee_mb}"
+        );
+        MissRateCurve {
+            floor,
+            ceil,
+            knee_mb,
+        }
     }
 
     /// A flat curve for streaming workloads that get no cache benefit.
@@ -114,7 +121,11 @@ impl CacheProfile {
             (0.0..=1.0).contains(&cache_sensitivity),
             "cache sensitivity out of range: {cache_sensitivity}"
         );
-        CacheProfile { llc, l2, cache_sensitivity }
+        CacheProfile {
+            llc,
+            l2,
+            cache_sensitivity,
+        }
     }
 
     /// Performance multiplier (≤ 1) for running with `llc_ways`/`l2_ways`

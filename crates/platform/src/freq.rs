@@ -74,7 +74,10 @@ impl FrequencyGovernor {
     pub fn for_spec(spec: &PlatformSpec) -> Self {
         let turbo = spec.allcore_turbo;
         let avx_license = Ghz(turbo.value() - AVX_LICENSE_OFFSET);
-        let amx_license = Ghz(spec.base_freq.value().min(turbo.value() - AMX_LICENSE_OFFSET));
+        let amx_license = Ghz(spec
+            .base_freq
+            .value()
+            .min(turbo.value() - AMX_LICENSE_OFFSET));
         FrequencyGovernor {
             turbo,
             avx_license,
@@ -184,7 +187,11 @@ mod tests {
         let g = gov();
         let f = g.region_frequency(
             AuUsageLevel::None,
-            FreqConditions { au_core_frac: 1.0, power_stress: 1.0, thermal_drop: Ghz(0.0) },
+            FreqConditions {
+                au_core_frac: 1.0,
+                power_stress: 1.0,
+                thermal_drop: Ghz(0.0),
+            },
         );
         assert!((f.value() - 3.2).abs() < 1e-9);
     }
@@ -195,14 +202,20 @@ mod tests {
         let relaxed = g.region_frequency(AuUsageLevel::Low, FreqConditions::default());
         let stressed = g.region_frequency(
             AuUsageLevel::Low,
-            FreqConditions { power_stress: 1.0, ..Default::default() },
+            FreqConditions {
+                power_stress: 1.0,
+                ..Default::default()
+            },
         );
         assert!((relaxed.value() - 3.1).abs() < 1e-9);
         assert!((stressed.value() - 2.8).abs() < 1e-9);
         for s in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let f = g.region_frequency(
                 AuUsageLevel::Low,
-                FreqConditions { power_stress: s, ..Default::default() },
+                FreqConditions {
+                    power_stress: s,
+                    ..Default::default()
+                },
             );
             assert!(f.value() <= relaxed.value() + 1e-9);
             assert!(f.value() >= stressed.value() - 1e-9);
@@ -214,14 +227,23 @@ mod tests {
         let g = gov();
         let few = g.region_frequency(
             AuUsageLevel::High,
-            FreqConditions { au_core_frac: 0.1, ..Default::default() },
+            FreqConditions {
+                au_core_frac: 0.1,
+                ..Default::default()
+            },
         );
         let many = g.region_frequency(
             AuUsageLevel::High,
-            FreqConditions { au_core_frac: 1.0, ..Default::default() },
+            FreqConditions {
+                au_core_frac: 1.0,
+                ..Default::default()
+            },
         );
         assert!(few > many);
-        assert!(few.value() - many.value() < 0.1, "Fig 6a: little dependence on AU core count");
+        assert!(
+            few.value() - many.value() < 0.1,
+            "Fig 6a: little dependence on AU core count"
+        );
     }
 
     #[test]
@@ -229,7 +251,10 @@ mod tests {
         let g = gov();
         let f = g.region_frequency(
             AuUsageLevel::None,
-            FreqConditions { thermal_drop: Ghz(0.4), ..Default::default() },
+            FreqConditions {
+                thermal_drop: Ghz(0.4),
+                ..Default::default()
+            },
         );
         assert!((f.value() - 2.8).abs() < 1e-9);
     }
@@ -239,7 +264,11 @@ mod tests {
         let g = gov();
         let f = g.region_frequency(
             AuUsageLevel::High,
-            FreqConditions { power_stress: 1.0, thermal_drop: Ghz(10.0), au_core_frac: 1.0 },
+            FreqConditions {
+                power_stress: 1.0,
+                thermal_drop: Ghz(10.0),
+                au_core_frac: 1.0,
+            },
         );
         assert!(f.value() >= 0.4);
     }
@@ -257,8 +286,12 @@ mod tests {
     fn other_platforms_have_consistent_ordering() {
         for spec in PlatformSpec::presets() {
             let g = FrequencyGovernor::for_spec(&spec);
-            assert!(g.license_frequency(AuUsageLevel::High) < g.license_frequency(AuUsageLevel::Low));
-            assert!(g.license_frequency(AuUsageLevel::Low) < g.license_frequency(AuUsageLevel::None));
+            assert!(
+                g.license_frequency(AuUsageLevel::High) < g.license_frequency(AuUsageLevel::Low)
+            );
+            assert!(
+                g.license_frequency(AuUsageLevel::Low) < g.license_frequency(AuUsageLevel::None)
+            );
             assert!(g.stress_floor(AuUsageLevel::High).value() > 0.5);
         }
     }

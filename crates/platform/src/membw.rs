@@ -40,7 +40,10 @@ impl BwDemand {
     /// Panics if `cap_frac` is outside `(0, 1]` or demand is negative.
     #[must_use]
     pub fn new(demand: GbPerSec, cap_frac: f64) -> Self {
-        assert!(demand.value() >= 0.0, "bandwidth demand must be non-negative");
+        assert!(
+            demand.value() >= 0.0,
+            "bandwidth demand must be non-negative"
+        );
         assert!(
             cap_frac > 0.0 && cap_frac <= 1.0,
             "MBA cap must be in (0,1], got {cap_frac}"
@@ -140,10 +143,17 @@ impl BandwidthPool {
                 } else {
                     1.0
                 };
-                BwGrant { granted: GbPerSec(g), slowdown: starvation * queuing_factor }
+                BwGrant {
+                    granted: GbPerSec(g),
+                    slowdown: starvation * queuing_factor,
+                }
             })
             .collect();
-        BwArbitration { grants, utilization, queuing_factor }
+        BwArbitration {
+            grants,
+            utilization,
+            queuing_factor,
+        }
     }
 }
 

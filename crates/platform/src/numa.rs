@@ -62,15 +62,18 @@ impl NumaConfig {
     /// Panics if `remote_frac` is outside `[0, 1]`.
     #[must_use]
     pub fn effective_bandwidth(&self, remote_frac: f64) -> GbPerSec {
-        assert!((0.0..=1.0).contains(&remote_frac), "remote fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&remote_frac),
+            "remote fraction out of range"
+        );
         if self.is_uniform() || remote_frac == 0.0 {
             // All domains usable locally.
             return GbPerSec(self.local_bw.value() * self.domains as f64);
         }
         let local = self.local_bw.value() * (1.0 - remote_frac) * self.domains as f64;
         let remote_raw = self.local_bw.value() * remote_frac * self.domains as f64;
-        let remote =
-            remote_raw.min(self.interconnect_bw.value() * self.domains as f64) * self.remote_efficiency;
+        let remote = remote_raw.min(self.interconnect_bw.value() * self.domains as f64)
+            * self.remote_efficiency;
         GbPerSec(local + remote)
     }
 
@@ -98,7 +101,11 @@ impl NumaConfig {
     /// domain layout (division total must equal platform cores).
     #[must_use]
     pub fn aware_remote_frac(&self, division: &ProcessorDivision, total_cores: usize) -> f64 {
-        assert_eq!(division.total_cores(), total_cores, "division must cover the platform");
+        assert_eq!(
+            division.total_cores(),
+            total_cores,
+            "division must cover the platform"
+        );
         if self.is_uniform() {
             return 0.0;
         }

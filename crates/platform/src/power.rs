@@ -133,7 +133,9 @@ impl PowerModel {
     /// power-hungry mix at turbo — a normalizer for "power stress" terms.
     #[must_use]
     pub fn max_power(&self) -> Watts {
-        let per_core = self.core_power(self.ref_freq, ActivityClass::Amx, 1.0).value();
+        let per_core = self
+            .core_power(self.ref_freq, ActivityClass::Amx, 1.0)
+            .value();
         Watts(per_core * self.cores as f64 + self.uncore_base + self.uncore_bw)
     }
 }
@@ -168,7 +170,10 @@ mod tests {
         let m = model();
         let lo = m.core_power(Ghz(1.6), ActivityClass::Amx, 1.0).value() - 0.85;
         let hi = m.core_power(Ghz(3.2), ActivityClass::Amx, 1.0).value() - 0.85;
-        assert!((hi / lo - 8.0).abs() < 1e-6, "halving frequency cuts dynamic power 8x");
+        assert!(
+            (hi / lo - 8.0).abs() < 1e-6,
+            "halving frequency cuts dynamic power 8x"
+        );
     }
 
     #[test]
@@ -198,8 +203,18 @@ mod tests {
         let p = m
             .platform_power(
                 &[
-                    CoreGroupPower { cores: 32, freq: Ghz(2.5), class: ActivityClass::Amx, duty: 0.95 },
-                    CoreGroupPower { cores: 64, freq: Ghz(3.1), class: ActivityClass::Avx, duty: 0.9 },
+                    CoreGroupPower {
+                        cores: 32,
+                        freq: Ghz(2.5),
+                        class: ActivityClass::Amx,
+                        duty: 0.95,
+                    },
+                    CoreGroupPower {
+                        cores: 64,
+                        freq: Ghz(3.1),
+                        class: ActivityClass::Avx,
+                        duty: 0.9,
+                    },
                 ],
                 0.85,
             )
@@ -219,7 +234,12 @@ mod tests {
     fn max_power_bounds_everything() {
         let m = model();
         let anything = m.platform_power(
-            &[CoreGroupPower { cores: 96, freq: Ghz(3.2), class: ActivityClass::Avx, duty: 1.0 }],
+            &[CoreGroupPower {
+                cores: 96,
+                freq: Ghz(3.2),
+                class: ActivityClass::Avx,
+                duty: 1.0,
+            }],
             1.0,
         );
         assert!(m.max_power() > anything);

@@ -20,8 +20,11 @@ pub enum ResourceKind {
 
 impl ResourceKind {
     /// All partitionable resources.
-    pub const ALL: [ResourceKind; 3] =
-        [ResourceKind::L2Cache, ResourceKind::Llc, ResourceKind::MemBandwidth];
+    pub const ALL: [ResourceKind; 3] = [
+        ResourceKind::L2Cache,
+        ResourceKind::Llc,
+        ResourceKind::MemBandwidth,
+    ];
 }
 
 impl core::fmt::Display for ResourceKind {
@@ -68,7 +71,11 @@ impl ResourceVector {
             mem_bw_frac > 0.0 && mem_bw_frac <= 1.0,
             "memory bandwidth fraction must be in (0,1], got {mem_bw_frac}"
         );
-        ResourceVector { l2_ways, llc_ways, mem_bw_frac }
+        ResourceVector {
+            l2_ways,
+            llc_ways,
+            mem_bw_frac,
+        }
     }
 
     /// The "everything" vector for a platform: all ways, full bandwidth.
@@ -113,11 +120,23 @@ pub enum ValidateAllocationError {
 impl core::fmt::Display for ValidateAllocationError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            ValidateAllocationError::LlcOversubscribed { requested, available } => {
-                write!(f, "llc ways oversubscribed: {requested} requested, {available} available")
+            ValidateAllocationError::LlcOversubscribed {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "llc ways oversubscribed: {requested} requested, {available} available"
+                )
             }
-            ValidateAllocationError::L2Oversubscribed { requested, available } => {
-                write!(f, "l2 ways oversubscribed: {requested} requested, {available} available")
+            ValidateAllocationError::L2Oversubscribed {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "l2 ways oversubscribed: {requested} requested, {available} available"
+                )
             }
             ValidateAllocationError::EmptyWayMask => {
                 write!(f, "a class of service must hold at least one llc way")
@@ -201,27 +220,36 @@ mod tests {
     #[test]
     fn valid_allocation_passes() {
         let spec = PlatformSpec::gen_a();
-        let alloc =
-            RdtAllocation::new(ResourceVector::new(8, 8, 0.5), ResourceVector::new(8, 8, 0.5));
+        let alloc = RdtAllocation::new(
+            ResourceVector::new(8, 8, 0.5),
+            ResourceVector::new(8, 8, 0.5),
+        );
         assert!(alloc.validate(&spec).is_ok());
     }
 
     #[test]
     fn oversubscribed_llc_fails() {
         let spec = PlatformSpec::gen_a();
-        let alloc =
-            RdtAllocation::new(ResourceVector::new(8, 12, 0.5), ResourceVector::new(8, 12, 0.5));
+        let alloc = RdtAllocation::new(
+            ResourceVector::new(8, 12, 0.5),
+            ResourceVector::new(8, 12, 0.5),
+        );
         assert_eq!(
             alloc.validate(&spec),
-            Err(ValidateAllocationError::LlcOversubscribed { requested: 24, available: 16 })
+            Err(ValidateAllocationError::LlcOversubscribed {
+                requested: 24,
+                available: 16
+            })
         );
     }
 
     #[test]
     fn oversubscribed_l2_fails() {
         let spec = PlatformSpec::gen_a();
-        let alloc =
-            RdtAllocation::new(ResourceVector::new(12, 8, 0.5), ResourceVector::new(12, 8, 0.5));
+        let alloc = RdtAllocation::new(
+            ResourceVector::new(12, 8, 0.5),
+            ResourceVector::new(12, 8, 0.5),
+        );
         assert!(matches!(
             alloc.validate(&spec),
             Err(ValidateAllocationError::L2Oversubscribed { .. })
@@ -231,9 +259,14 @@ mod tests {
     #[test]
     fn empty_mask_fails() {
         let spec = PlatformSpec::gen_a();
-        let alloc =
-            RdtAllocation::new(ResourceVector::new(8, 0, 0.5), ResourceVector::new(8, 8, 0.5));
-        assert_eq!(alloc.validate(&spec), Err(ValidateAllocationError::EmptyWayMask));
+        let alloc = RdtAllocation::new(
+            ResourceVector::new(8, 0, 0.5),
+            ResourceVector::new(8, 8, 0.5),
+        );
+        assert_eq!(
+            alloc.validate(&spec),
+            Err(ValidateAllocationError::EmptyWayMask)
+        );
     }
 
     #[test]
@@ -262,7 +295,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ValidateAllocationError::LlcOversubscribed { requested: 20, available: 16 };
+        let e = ValidateAllocationError::LlcOversubscribed {
+            requested: 20,
+            available: 16,
+        };
         assert!(format!("{e}").contains("oversubscribed"));
     }
 }

@@ -128,7 +128,11 @@ pub fn smt_impact(
 ) -> SmtImpact {
     let share = sharing_frac.clamp(0.0, 1.0);
     if au_level == AuUsageLevel::None || share == 0.0 {
-        return SmtImpact { au_compute_slowdown: 1.0, au_memory_slowdown: 1.0, be_slowdown: 1.0 };
+        return SmtImpact {
+            au_compute_slowdown: 1.0,
+            au_memory_slowdown: 1.0,
+            be_slowdown: 1.0,
+        };
     }
     let compute_pen = W_PORT * profile.port_pressure * port_weight(au_level)
         + W_FRONTEND * profile.frontend_pressure;
@@ -183,8 +187,16 @@ mod tests {
         // OLAP's pollution lands exactly on decode's critical leg.
         let o = smt_impact(olap(), AuUsageLevel::Low, 1.0);
         let c = smt_impact(compute(), AuUsageLevel::Low, 1.0);
-        assert!(o.au_memory_slowdown > 1.8, "OLAP memory slowdown {}", o.au_memory_slowdown);
-        assert!(c.au_memory_slowdown < 1.2, "Compute memory slowdown {}", c.au_memory_slowdown);
+        assert!(
+            o.au_memory_slowdown > 1.8,
+            "OLAP memory slowdown {}",
+            o.au_memory_slowdown
+        );
+        assert!(
+            c.au_memory_slowdown < 1.2,
+            "Compute memory slowdown {}",
+            c.au_memory_slowdown
+        );
         assert!(c.au_compute_slowdown > o.au_compute_slowdown);
     }
 
@@ -198,7 +210,11 @@ mod tests {
     #[test]
     fn be_side_suffers_from_busy_au_sibling() {
         let i = smt_impact(olap(), AuUsageLevel::High, 1.0);
-        assert!(i.be_slowdown > 1.3, "OLAP side degraded >40% in Fig 9a, got {}", i.be_slowdown);
+        assert!(
+            i.be_slowdown > 1.3,
+            "OLAP side degraded >40% in Fig 9a, got {}",
+            i.be_slowdown
+        );
     }
 
     #[test]

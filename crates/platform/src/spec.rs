@@ -307,9 +307,7 @@ mod tests {
         assert!((slice.amx_peak.value() - 206.4 / 4.0).abs() < 1e-9);
         assert!((slice.mem_bw.value() - 233.8 / 4.0).abs() < 1e-9);
         // Per-core properties preserved.
-        assert!(
-            (slice.amx_peak_per_core().value() - a.amx_peak_per_core().value()).abs() < 1e-12
-        );
+        assert!((slice.amx_peak_per_core().value() - a.amx_peak_per_core().value()).abs() < 1e-12);
         assert_eq!(slice.l2_mb_per_core, a.l2_mb_per_core);
     }
 

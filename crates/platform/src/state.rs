@@ -18,7 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use aum_sim::time::SimDuration;
+use aum_sim::telemetry::{Event, RegionClass, Tracer};
+use aum_sim::time::{SimDuration, SimTime};
 
 use crate::freq::{FreqConditions, FrequencyGovernor};
 use crate::membw::{BandwidthPool, BwDemand, BwGrant};
@@ -91,7 +92,15 @@ impl RegionLoad {
         duty: f64,
         bw_demand: GbPerSec,
     ) -> Self {
-        RegionLoad { level, cores, class, duty, bw_demand, bw_cap: 1.0, smt_sibling: None }
+        RegionLoad {
+            level,
+            cores,
+            class,
+            duty,
+            bw_demand,
+            bw_cap: 1.0,
+            smt_sibling: None,
+        }
     }
 }
 
@@ -140,6 +149,31 @@ pub struct PlatformSim {
     power_model: PowerModel,
     pool: BandwidthPool,
     thermal: ThermalState,
+    /// Trace handle plus the state needed to detect transitions: the
+    /// internal clock (advanced by each step's `dt`), the last effective
+    /// frequency seen per region, and the last thermal drop per region.
+    tracer: Tracer,
+    clock: SimTime,
+    last_freq: [Option<f64>; 3],
+    last_thermal_drop: [f64; 3],
+}
+
+/// Index of a region level in the transition-tracking arrays.
+fn level_idx(level: AuUsageLevel) -> usize {
+    match level {
+        AuUsageLevel::High => 0,
+        AuUsageLevel::Low => 1,
+        AuUsageLevel::None => 2,
+    }
+}
+
+/// Telemetry region label for a topology usage level.
+fn region_class(level: AuUsageLevel) -> RegionClass {
+    match level {
+        AuUsageLevel::High => RegionClass::High,
+        AuUsageLevel::Low => RegionClass::Low,
+        AuUsageLevel::None => RegionClass::None,
+    }
 }
 
 impl PlatformSim {
@@ -149,7 +183,26 @@ impl PlatformSim {
         let governor = FrequencyGovernor::for_spec(&spec);
         let power_model = PowerModel::for_spec(&spec);
         let pool = BandwidthPool::new(spec.mem_bw);
-        PlatformSim { spec, governor, power_model, pool, thermal: ThermalState::new() }
+        PlatformSim {
+            spec,
+            governor,
+            power_model,
+            pool,
+            thermal: ThermalState::new(),
+            tracer: Tracer::disabled(),
+            clock: SimTime::ZERO,
+            last_freq: [None; 3],
+            last_thermal_drop: [0.0; 3],
+        }
+    }
+
+    /// Attaches a trace handle; subsequent steps emit
+    /// [`Event::FreqTransition`] when a region's effective frequency moves
+    /// and [`Event::ThermalThrottle`] when thermal throttling deepens. The
+    /// platform stamps events with an internal clock advanced by each
+    /// step's `dt`, so attach before the first step of a run.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The platform spec this simulator models.
@@ -194,7 +247,10 @@ impl PlatformSim {
     ///
     /// Panics unless `0 < frac <= 1`.
     pub fn degrade_bandwidth(&mut self, frac: f64) {
-        assert!(frac > 0.0 && frac <= 1.0, "degradation fraction must be in (0,1]");
+        assert!(
+            frac > 0.0 && frac <= 1.0,
+            "degradation fraction must be in (0,1]"
+        );
         self.pool = BandwidthPool::new(self.spec.mem_bw * frac);
     }
 
@@ -216,7 +272,9 @@ impl PlatformSim {
         let stress_ref = self.power_model.max_power().value() * STRESS_REF_FRAC;
         let idle_w = {
             let f = self.governor.license_frequency(AuUsageLevel::None);
-            self.power_model.core_power(f, ActivityClass::Idle, 0.0).value()
+            self.power_model
+                .core_power(f, ActivityClass::Idle, 0.0)
+                .value()
         };
         let mut corunner_power = 0.0;
         for l in loads {
@@ -257,8 +315,10 @@ impl PlatformSim {
             .collect();
 
         // 3. Bandwidth arbitration.
-        let demands: Vec<BwDemand> =
-            loads.iter().map(|l| BwDemand::new(l.bw_demand, l.bw_cap)).collect();
+        let demands: Vec<BwDemand> = loads
+            .iter()
+            .map(|l| BwDemand::new(l.bw_demand, l.bw_cap))
+            .collect();
         let arbitration = self.pool.arbitrate(&demands);
 
         // 4. Package power and TDP cap. Sibling hyperthreads contribute a
@@ -274,10 +334,16 @@ impl PlatformSim {
                     duty: l.duty,
                 })
                 .collect();
-            let mut p = self.power_model.platform_power(&groups, arbitration.utilization).value();
+            let mut p = self
+                .power_model
+                .platform_power(&groups, arbitration.utilization)
+                .value();
             for (l, &f) in loads.iter().zip(freqs) {
                 if let Some(sib) = l.smt_sibling {
-                    let idle = self.power_model.core_power(f, ActivityClass::Idle, 0.0).value();
+                    let idle = self
+                        .power_model
+                        .core_power(f, ActivityClass::Idle, 0.0)
+                        .value();
                     let sib_dyn =
                         self.power_model.core_power(f, sib.class, sib.duty).value() - idle;
                     p += sib_dyn * SMT_POWER_FACTOR * l.cores as f64;
@@ -304,7 +370,10 @@ impl PlatformSim {
             .map(|(l, &f)| {
                 let mut per_core = self.power_model.core_power(f, l.class, l.duty).value();
                 if let Some(sib) = l.smt_sibling {
-                    let idle = self.power_model.core_power(f, ActivityClass::Idle, 0.0).value();
+                    let idle = self
+                        .power_model
+                        .core_power(f, ActivityClass::Idle, 0.0)
+                        .value();
                     per_core += (self.power_model.core_power(f, sib.class, sib.duty).value()
                         - idle)
                         * SMT_POWER_FACTOR;
@@ -317,6 +386,41 @@ impl PlatformSim {
             })
             .collect();
         self.thermal.advance(dt, &heats);
+
+        // Telemetry: events are stamped at the start of the step — the
+        // interval the resolved frequencies take effect for — so a stream
+        // merged with engine events (which fill the interval's interior)
+        // stays monotonic.
+        if self.tracer.is_enabled() {
+            let mut seen = [false; 3];
+            for (l, &f) in loads.iter().zip(&freqs) {
+                let idx = level_idx(l.level);
+                if seen[idx] || l.cores == 0 {
+                    continue;
+                }
+                seen[idx] = true;
+                let new = f.value();
+                if let Some(prev) = self.last_freq[idx] {
+                    if (new - prev).abs() > 1e-3 {
+                        self.tracer.emit(self.clock, || Event::FreqTransition {
+                            region: region_class(l.level),
+                            from_ghz: prev,
+                            to_ghz: new,
+                        });
+                    }
+                }
+                self.last_freq[idx] = Some(new);
+                let drop = self.thermal.drop_for(l.level).value();
+                if drop > self.last_thermal_drop[idx] + 1e-3 {
+                    self.tracer.emit(self.clock, || Event::ThermalThrottle {
+                        region: region_class(l.level),
+                        drop_ghz: drop,
+                    });
+                }
+                self.last_thermal_drop[idx] = drop;
+            }
+        }
+        self.clock += dt;
 
         PlatformSnapshot {
             freqs,
@@ -393,10 +497,15 @@ mod tests {
     #[test]
     fn stressors_deepen_decode_reduction() {
         let mut a = sim();
-        let alone = a.step(SimDuration::from_millis(100), &[decode_load(48)]).freqs[0];
+        let alone = a
+            .step(SimDuration::from_millis(100), &[decode_load(48)])
+            .freqs[0];
         let mut b = sim();
         let stressed = b
-            .step(SimDuration::from_millis(100), &[decode_load(48), stressor_load(48)])
+            .step(
+                SimDuration::from_millis(100),
+                &[decode_load(48), stressor_load(48)],
+            )
             .freqs[0];
         assert!(
             stressed.value() < alone.value(),
@@ -412,13 +521,19 @@ mod tests {
             SimDuration::from_millis(100),
             &[amx_load(32), RegionLoad::idle(AuUsageLevel::None, 64)],
         );
-        assert!((snap.freqs[1].value() - 3.2).abs() < 1e-9, "Fig 6a gray squares");
+        assert!(
+            (snap.freqs[1].value() - 3.2).abs() < 1e-9,
+            "Fig 6a gray squares"
+        );
     }
 
     #[test]
     fn power_for_exclusive_serving_is_calibrated() {
         let mut s = sim();
-        let snap = s.step(SimDuration::from_millis(100), &[amx_load(32), decode_load(64)]);
+        let snap = s.step(
+            SimDuration::from_millis(100),
+            &[amx_load(32), decode_load(64)],
+        );
         let p = snap.power.value();
         assert!((230.0..=310.0).contains(&p), "§III-B: ≈270 W, got {p}");
     }
@@ -448,7 +563,10 @@ mod tests {
                 break;
             }
         }
-        assert!(dropped, "expected abrupt thermal drop on clustered shared cores");
+        assert!(
+            dropped,
+            "expected abrupt thermal drop on clustered shared cores"
+        );
     }
 
     #[test]
@@ -467,24 +585,69 @@ mod tests {
     #[test]
     #[should_panic(expected = "loads claim")]
     fn oversubscribed_cores_panic() {
-        sim().step(SimDuration::from_millis(1), &[amx_load(96), decode_load(10)]);
+        sim().step(
+            SimDuration::from_millis(1),
+            &[amx_load(96), decode_load(10)],
+        );
     }
 
     #[test]
     fn bandwidth_degradation_shrinks_grants() {
         let mut s = sim();
-        let before = s.step(SimDuration::from_millis(100), &[decode_load(48)]).bw_grants[0].granted;
+        let before = s
+            .step(SimDuration::from_millis(100), &[decode_load(48)])
+            .bw_grants[0]
+            .granted;
         s.degrade_bandwidth(0.5);
-        let after = s.step(SimDuration::from_millis(100), &[decode_load(48)]).bw_grants[0].granted;
+        let after = s
+            .step(SimDuration::from_millis(100), &[decode_load(48)])
+            .bw_grants[0]
+            .granted;
         // 170 GB/s demand: fully granted before, capped at the degraded
         // pool's ~111 GB/s sustainable bandwidth after.
-        assert!(after.value() < before.value() * 0.7, "{} vs {}", after.value(), before.value());
+        assert!(
+            after.value() < before.value() * 0.7,
+            "{} vs {}",
+            after.value(),
+            before.value()
+        );
     }
 
     #[test]
     #[should_panic(expected = "degradation fraction")]
     fn zero_degradation_rejected() {
         sim().degrade_bandwidth(0.0);
+    }
+
+    #[test]
+    fn tracer_captures_freq_and_thermal_events() {
+        use aum_sim::telemetry::MemorySink;
+        let mut s = sim();
+        let (tracer, sink) = Tracer::shared(MemorySink::new());
+        s.attach_tracer(tracer);
+        // The Fig 6b hotspot case: clustered stress eventually trips the
+        // thermal integrator, which must show up as ThermalThrottle plus a
+        // FreqTransition on the shared region.
+        let loads = [decode_load(72), stressor_load(24)];
+        for _ in 0..200 {
+            let _ = s.step(SimDuration::from_millis(250), &loads);
+        }
+        let records = sink.lock().expect("sink lock").records().to_vec();
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r.event, Event::ThermalThrottle { .. })),
+            "expected a thermal-throttle event"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r.event, Event::FreqTransition { .. })),
+            "expected a frequency transition"
+        );
+        for w in records.windows(2) {
+            assert!(w[0].at <= w[1].at, "event stamps must be monotonic");
+        }
     }
 
     #[test]

@@ -174,7 +174,11 @@ mod tests {
     }
 
     fn hot(level: AuUsageLevel) -> RegionHeat {
-        RegionHeat { level, per_core_power: Watts(9.0), busy_core_frac: 0.25 }
+        RegionHeat {
+            level,
+            per_core_power: Watts(9.0),
+            busy_core_frac: 0.25,
+        }
     }
 
     #[test]
@@ -194,8 +198,11 @@ mod tests {
     #[test]
     fn spread_out_work_does_not_throttle() {
         let mut t = ThermalState::new();
-        let spread =
-            RegionHeat { level: AuUsageLevel::None, per_core_power: Watts(9.0), busy_core_frac: 0.9 };
+        let spread = RegionHeat {
+            level: AuUsageLevel::None,
+            per_core_power: Watts(9.0),
+            busy_core_frac: 0.9,
+        };
         for _ in 0..100 {
             t.advance(SimDuration::from_millis(500), &[spread]);
         }
@@ -221,8 +228,11 @@ mod tests {
     #[test]
     fn mild_power_never_throttles() {
         let mut t = ThermalState::new();
-        let mild =
-            RegionHeat { level: AuUsageLevel::None, per_core_power: Watts(1.0), busy_core_frac: 0.25 };
+        let mild = RegionHeat {
+            level: AuUsageLevel::None,
+            per_core_power: Watts(1.0),
+            busy_core_frac: 0.25,
+        };
         for _ in 0..200 {
             t.advance(SimDuration::from_millis(500), &[mild]);
         }

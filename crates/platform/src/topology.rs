@@ -72,7 +72,11 @@ impl ProcessorDivision {
     #[must_use]
     pub fn exclusive(total: usize, high: usize) -> Self {
         assert!(high <= total, "high region larger than platform");
-        ProcessorDivision { high, low: total - high, none: 0 }
+        ProcessorDivision {
+            high,
+            low: total - high,
+            none: 0,
+        }
     }
 
     /// Cores in a region.
@@ -227,7 +231,9 @@ mod tests {
     #[test]
     fn shift_core_conserves_total() {
         let d = ProcessorDivision::new(4, 4, 4);
-        let shifted = d.shift_core(AuUsageLevel::None, AuUsageLevel::High).expect("possible");
+        let shifted = d
+            .shift_core(AuUsageLevel::None, AuUsageLevel::High)
+            .expect("possible");
         assert_eq!(shifted.total_cores(), 12);
         assert_eq!(shifted.cores(AuUsageLevel::High), 5);
         assert_eq!(shifted.cores(AuUsageLevel::None), 3);
@@ -236,7 +242,9 @@ mod tests {
     #[test]
     fn shift_core_edge_cases() {
         let d = ProcessorDivision::new(0, 4, 4);
-        assert!(d.shift_core(AuUsageLevel::High, AuUsageLevel::Low).is_none());
+        assert!(d
+            .shift_core(AuUsageLevel::High, AuUsageLevel::Low)
+            .is_none());
         assert!(d.shift_core(AuUsageLevel::Low, AuUsageLevel::Low).is_none());
     }
 

@@ -111,7 +111,11 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
-        self.heap.push(Scheduled { time: at, id, payload });
+        self.heap.push(Scheduled {
+            time: at,
+            id,
+            payload,
+        });
         id
     }
 

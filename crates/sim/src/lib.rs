@@ -8,6 +8,9 @@
 //! - [`rng`]: labelled deterministic random streams derived from one seed;
 //! - [`stats`]: streaming summaries, exact quantiles, histograms, CDFs;
 //! - [`series`]: zero-order-hold time series for telemetry;
+//! - [`telemetry`]: typed event tracing ([`telemetry::Event`],
+//!   [`telemetry::TraceSink`], [`telemetry::Tracer`]) and a metrics
+//!   registry snapshotted per control interval;
 //! - [`report`]: aligned text tables used by the `repro` harness.
 //!
 //! Everything above this crate (platform model, LLM engine, AUM itself) is
@@ -48,9 +51,14 @@ pub mod report;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use event::{EventId, EventQueue};
 pub use rng::DetRng;
 pub use stats::{Histogram, Samples, Summary};
+pub use telemetry::{
+    Event, JsonlSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink, OrderingSink,
+    TraceRecord, TraceSink, Tracer,
+};
 pub use time::{SimDuration, SimTime};

@@ -32,7 +32,11 @@ impl TimeSeries {
     /// Creates an empty, named series.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), times: Vec::new(), values: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Series name, used in reports.
@@ -48,7 +52,11 @@ impl TimeSeries {
     /// Panics if `t` precedes the last recorded timestamp.
     pub fn push(&mut self, t: SimTime, value: f64) {
         if let Some(&last) = self.times.last() {
-            assert!(t >= last, "time series {} must be appended in order", self.name);
+            assert!(
+                t >= last,
+                "time series {} must be appended in order",
+                self.name
+            );
         }
         self.times.push(t);
         self.values.push(value);
@@ -193,7 +201,9 @@ mod tests {
     #[test]
     fn empty_window_is_none() {
         let ts = series();
-        assert!(ts.time_weighted_mean(SimTime::from_secs(5), SimTime::from_secs(5)).is_none());
+        assert!(ts
+            .time_weighted_mean(SimTime::from_secs(5), SimTime::from_secs(5))
+            .is_none());
     }
 
     #[test]

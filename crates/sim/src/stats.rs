@@ -149,7 +149,10 @@ impl Samples {
     /// Creates an empty sample set.
     #[must_use]
     pub fn new() -> Self {
-        Samples { values: Vec::new(), sorted: true }
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds one observation; non-finite values are ignored.
@@ -302,7 +305,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(lo < hi, "histogram range must be non-empty");
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds one observation.

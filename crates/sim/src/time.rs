@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 250_000_000);
 /// assert_eq!(t.as_secs_f64(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in nanoseconds.
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_micros(1500);
 /// assert_eq!(d.as_millis_f64(), 1.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -75,7 +79,10 @@ impl SimTime {
     /// Panics if `s` is negative or not finite.
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "SimTime requires finite non-negative seconds, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimTime requires finite non-negative seconds, got {s}"
+        );
         SimTime((s * 1e9).round() as u64)
     }
 
@@ -349,12 +356,21 @@ mod tests {
     fn mul_f64_scales() {
         let d = SimDuration::from_millis(100).mul_f64(2.5);
         assert_eq!(d, SimDuration::from_millis(250));
-        assert_eq!(SimDuration::from_millis(100).mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(100).mul_f64(-1.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn duration_div_and_mul() {
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(10) / 2, SimDuration::from_millis(5));
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / 2,
+            SimDuration::from_millis(5)
+        );
     }
 }

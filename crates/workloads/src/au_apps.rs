@@ -103,7 +103,10 @@ mod tests {
         // batch sizes.
         let small = au_acceleration(&gen_c(), AuApp::Faiss, 512, 8, 1);
         let large = au_acceleration(&gen_c(), AuApp::Faiss, 512, 8, 64);
-        assert!(large > small, "batch 64 ({large}) should beat batch 1 ({small})");
+        assert!(
+            large > small,
+            "batch 64 ({large}) should beat batch 1 ({small})"
+        );
     }
 
     #[test]
@@ -122,14 +125,20 @@ mod tests {
     fn dimension_sweep_is_monotone_for_vocoder() {
         let small = au_acceleration(&gen_c(), AuApp::Vocoder, 128, 8, 8);
         let large = au_acceleration(&gen_c(), AuApp::Vocoder, 1024, 8, 8);
-        assert!(large >= small * 0.8, "speedup should not collapse with dimension");
+        assert!(
+            large >= small * 0.8,
+            "speedup should not collapse with dimension"
+        );
     }
 
     #[test]
     fn kernels_have_sane_shapes() {
         assert_eq!(AuApp::Faiss.kernel(512, 8), GemmShape::new(8, 512, 4096));
         assert_eq!(AuApp::Vocoder.kernel(256, 2), GemmShape::new(128, 256, 256));
-        assert_eq!(AuApp::DeepFm.kernel(128, 4), GemmShape::new(4, 26 * 128, 128));
+        assert_eq!(
+            AuApp::DeepFm.kernel(128, 4),
+            GemmShape::new(4, 26 * 128, 128)
+        );
     }
 
     #[test]

@@ -153,7 +153,8 @@ impl BeProfile {
         }
         let freq_factor = (freq_ghz / REF_FREQ_GHZ).powf(self.freq_sensitivity);
         let cache_factor = self.cache.performance_factor(spec, llc_ways, l2_ways);
-        let bw_factor = 1.0 / ((1.0 - self.memory_weight) + self.memory_weight * bw_slowdown.max(1.0));
+        let bw_factor =
+            1.0 / ((1.0 - self.memory_weight) + self.memory_weight * bw_slowdown.max(1.0));
         self.base_rate_per_core * cores as f64 * freq_factor * cache_factor * bw_factor
             / smt_slowdown.max(1.0)
     }
@@ -171,9 +172,7 @@ impl BeProfile {
     #[must_use]
     pub fn fluctuation(&self, t_secs: f64) -> f64 {
         match self.kind {
-            BeKind::SpecJbb => {
-                1.0 + 0.35 * (t_secs * 0.7).sin() + 0.15 * (t_secs * 2.9).cos()
-            }
+            BeKind::SpecJbb => 1.0 + 0.35 * (t_secs * 0.7).sin() + 0.15 * (t_secs * 2.9).cos(),
             _ => 1.0,
         }
     }
@@ -202,7 +201,10 @@ mod tests {
         let s = spec();
         let slow = p.throughput(&s, 16, 1.6, 16, 16, 1.0, 1.0);
         let fast = p.throughput(&s, 16, 3.2, 16, 16, 1.0, 1.0);
-        assert!(fast / slow < 1.25, "memory-bound app barely cares about frequency");
+        assert!(
+            fast / slow < 1.25,
+            "memory-bound app barely cares about frequency"
+        );
     }
 
     #[test]
@@ -224,7 +226,10 @@ mod tests {
         let jbb = BeProfile::of(BeKind::SpecJbb);
         let jbb_ratio = jbb.throughput(&s, 16, 3.2, 2, 16, 1.0, 1.0)
             / jbb.throughput(&s, 16, 3.2, 16, 16, 1.0, 1.0);
-        assert!(jbb_ratio < 0.85, "SPECjbb loses with 2 ways, got {jbb_ratio}");
+        assert!(
+            jbb_ratio < 0.85,
+            "SPECjbb loses with 2 ways, got {jbb_ratio}"
+        );
         let comp = BeProfile::of(BeKind::Compute);
         let comp_ratio = comp.throughput(&s, 16, 3.2, 2, 16, 1.0, 1.0)
             / comp.throughput(&s, 16, 3.2, 16, 16, 1.0, 1.0);
@@ -273,7 +278,10 @@ mod tests {
             spread = (spread.0.min(v), spread.1.max(v));
             assert_eq!(olap.fluctuation(t as f64), 1.0);
         }
-        assert!(spread.1 - spread.0 > 0.4, "jbb should swing, got {spread:?}");
+        assert!(
+            spread.1 - spread.0 > 0.4,
+            "jbb should swing, got {spread:?}"
+        );
         assert!(spread.0 > 0.3, "fluctuation stays positive");
     }
 

@@ -33,7 +33,12 @@ impl GpuReference {
     /// The A100/FlexGen reference of Fig 5.
     #[must_use]
     pub fn a100_flexgen() -> Self {
-        GpuReference { name: "A100 (FlexGen)", tokens_per_sec: 585.0, power_w: 400.0, cost_usd: 17000.0 }
+        GpuReference {
+            name: "A100 (FlexGen)",
+            tokens_per_sec: 585.0,
+            power_w: 400.0,
+            cost_usd: 17000.0,
+        }
     }
 
     /// Performance per watt, tokens/s/W.
@@ -64,7 +69,11 @@ impl CpuAnchor {
     /// GenA: 188 tokens/s, 270 W, $7200.
     #[must_use]
     pub fn gen_a_paper() -> Self {
-        CpuAnchor { tokens_per_sec: 188.0, power_w: 270.0, cost_usd: 7200.0 }
+        CpuAnchor {
+            tokens_per_sec: 188.0,
+            power_w: 270.0,
+            cost_usd: 7200.0,
+        }
     }
 
     /// Performance per watt.

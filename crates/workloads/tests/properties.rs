@@ -7,11 +7,19 @@ use aum_workloads::au_apps::{au_acceleration, AuApp};
 use aum_workloads::be::{BeKind, BeProfile};
 
 fn any_be() -> impl Strategy<Value = BeKind> {
-    prop_oneof![Just(BeKind::Compute), Just(BeKind::Olap), Just(BeKind::SpecJbb)]
+    prop_oneof![
+        Just(BeKind::Compute),
+        Just(BeKind::Olap),
+        Just(BeKind::SpecJbb)
+    ]
 }
 
 fn any_app() -> impl Strategy<Value = AuApp> {
-    prop_oneof![Just(AuApp::Faiss), Just(AuApp::Vocoder), Just(AuApp::DeepFm)]
+    prop_oneof![
+        Just(AuApp::Faiss),
+        Just(AuApp::Vocoder),
+        Just(AuApp::DeepFm)
+    ]
 }
 
 proptest! {

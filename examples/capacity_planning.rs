@@ -18,8 +18,7 @@ fn main() {
     let mut best: Option<(String, BeKind, f64)> = None;
     for spec in PlatformSpec::presets() {
         for be in BeKind::ALL {
-            let model =
-                build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be));
+            let model = build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be));
             let cfg = ExperimentConfig::paper_default(spec.clone(), scenario, Some(be));
             let out = run_experiment(&cfg, &mut AumController::new(model));
             let value_per_watt = out.efficiency;

@@ -28,8 +28,7 @@ fn main() {
     for be in BeKind::ALL {
         println!("\n--- sharing with {be} ---");
         let cfg = ExperimentConfig::paper_default(spec.clone(), scenario, Some(be));
-        let model =
-            build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be));
+        let model = build_model(&ProfilerConfig::paper_default(spec.clone(), scenario, be));
         let mut managers: Vec<Box<dyn ResourceManager>> = vec![
             Box::new(SmtAu::new(&spec)),
             Box::new(RpAu::new(&spec)),

@@ -13,7 +13,12 @@ use aum_workloads::be::BeKind;
 
 fn main() {
     let spec = PlatformSpec::gen_a();
-    println!("platform: {} ({} cores, {} memory)", spec.name, spec.total_cores(), spec.memory);
+    println!(
+        "platform: {} ({} cores, {} memory)",
+        spec.name,
+        spec.total_cores(),
+        spec.memory
+    );
 
     // 1. Background profiling: characterize the accelerator-unit variations
     //    into the discrete AUV model (offline, amortized across the fleet).
@@ -44,7 +49,11 @@ fn main() {
         ("decode tokens/s", exclusive.decode_tps, aum.decode_tps),
         ("SPECjbb jOPS/s", exclusive.be_rate, aum.be_rate),
         ("package power (W)", exclusive.avg_power_w, aum.avg_power_w),
-        ("TPOT guarantee", exclusive.slo.tpot_guarantee, aum.slo.tpot_guarantee),
+        (
+            "TPOT guarantee",
+            exclusive.slo.tpot_guarantee,
+            aum.slo.tpot_guarantee,
+        ),
         ("efficiency E_CPU", exclusive.efficiency, aum.efficiency),
     ];
     for (label, a, b) in rows {

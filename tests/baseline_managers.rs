@@ -10,11 +10,7 @@ use aum_platform::spec::PlatformSpec;
 use aum_sim::time::SimDuration;
 use aum_workloads::be::BeKind;
 
-fn run(
-    mgr: &mut dyn ResourceManager,
-    spec: &PlatformSpec,
-    be: Option<BeKind>,
-) -> Outcome {
+fn run(mgr: &mut dyn ResourceManager, spec: &PlatformSpec, be: Option<BeKind>) -> Outcome {
     let mut cfg = ExperimentConfig::paper_default(spec.clone(), Scenario::Chatbot, be);
     cfg.duration = SimDuration::from_secs(120);
     run_experiment(&cfg, mgr)
@@ -32,7 +28,11 @@ fn every_baseline_serves_on_every_platform() {
             Box::new(AuRb::new(&spec)),
         ];
         for mgr in managers.iter_mut() {
-            let be = if mgr.name() == "ALL-AU" { None } else { Some(BeKind::SpecJbb) };
+            let be = if mgr.name() == "ALL-AU" {
+                None
+            } else {
+                Some(BeKind::SpecJbb)
+            };
             let out = run(mgr.as_mut(), &spec, be);
             assert!(
                 out.decode_tps > 10.0,
@@ -78,7 +78,11 @@ fn smt_with_olap_devastates_decode() {
         smt.decode_tps,
         excl.decode_tps
     );
-    assert!(smt.slo.tpot_guarantee < 0.2, "and its TPOT SLO: {}", smt.slo.tpot_guarantee);
+    assert!(
+        smt.slo.tpot_guarantee < 0.2,
+        "and its TPOT SLO: {}",
+        smt.slo.tpot_guarantee
+    );
 }
 
 #[test]
@@ -126,9 +130,11 @@ fn rp_au_feedback_converges_without_oscillating_wildly() {
     // ladder's span.
     assert!(out.be_rate > 0.0);
     assert!(out.decode_tps > 40.0);
-    let spread =
-        out.shared_llc_samples.quantile(1.0) - out.shared_llc_samples.quantile(0.0);
-    assert!(spread <= 8.0 + 1e-9, "ladder spread {spread} exceeds its design range");
+    let spread = out.shared_llc_samples.quantile(1.0) - out.shared_llc_samples.quantile(0.0);
+    assert!(
+        spread <= 8.0 + 1e-9,
+        "ladder spread {spread} exceeds its design range"
+    );
 }
 
 #[test]
@@ -137,6 +143,10 @@ fn au_rb_protects_bandwidth_over_llc() {
     let out = run(&mut AuRb::new(&spec), &spec, Some(BeKind::SpecJbb));
     // Bound-aware partitioning gives the shared class most of the LLC
     // while protecting the AU's bandwidth: good TPOT, real sharing.
-    assert!(out.slo.tpot_guarantee > 0.8, "TPOT guarantee {}", out.slo.tpot_guarantee);
+    assert!(
+        out.slo.tpot_guarantee > 0.8,
+        "TPOT guarantee {}",
+        out.slo.tpot_guarantee
+    );
     assert!(out.shared_llc_samples.quantile(0.5) >= 10.0);
 }

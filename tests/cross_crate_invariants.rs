@@ -21,12 +21,28 @@ fn paper_gemm_anchors_hold_on_gen_a() {
     let spec = PlatformSpec::gen_a();
     let amx = AuSpec::for_platform(&spec, AuKind::Amx);
     let ctx = ExecContext::new(spec.total_cores(), 2.5, spec.mem_bw);
-    let prefill = gemm_time(GemmShape::new(8192, 4096, 22016), Precision::Bf16, &amx, &ctx);
+    let prefill = gemm_time(
+        GemmShape::new(8192, 4096, 22016),
+        Precision::Bf16,
+        &amx,
+        &ctx,
+    );
     let decode = gemm_time(GemmShape::new(16, 4096, 22016), Precision::Bf16, &amx, &ctx);
-    assert!((34.0..48.0).contains(&prefill.achieved_tflops), "{}", prefill.achieved_tflops);
-    assert!((2.5..5.5).contains(&decode.achieved_tflops), "{}", decode.achieved_tflops);
+    assert!(
+        (34.0..48.0).contains(&prefill.achieved_tflops),
+        "{}",
+        prefill.achieved_tflops
+    );
+    assert!(
+        (2.5..5.5).contains(&decode.achieved_tflops),
+        "{}",
+        decode.achieved_tflops
+    );
     let ratio = prefill.achieved_tflops / decode.achieved_tflops;
-    assert!(ratio > 7.0, "the phase gap is an order of magnitude, got {ratio}");
+    assert!(
+        ratio > 7.0,
+        "the phase gap is an order of magnitude, got {ratio}"
+    );
 }
 
 #[test]
@@ -47,7 +63,10 @@ fn serving_throughput_anchor_holds() {
         &mut pmu,
     );
     let tps = 16.0 / cost.time.as_secs_f64();
-    assert!((130.0..230.0).contains(&tps), "expected ≈188 tokens/s, got {tps}");
+    assert!(
+        (130.0..230.0).contains(&tps),
+        "expected ≈188 tokens/s, got {tps}"
+    );
 }
 
 #[test]
@@ -113,8 +132,20 @@ fn platform_power_responds_to_engine_shaped_loads() {
     let spec = PlatformSpec::gen_a();
     let mut sim = PlatformSim::new(spec.clone());
     let serving = [
-        RegionLoad::new(AuUsageLevel::High, 32, ActivityClass::Amx, 0.4, GbPerSec(40.0)),
-        RegionLoad::new(AuUsageLevel::Low, 64, ActivityClass::Avx, 0.9, GbPerSec(190.0)),
+        RegionLoad::new(
+            AuUsageLevel::High,
+            32,
+            ActivityClass::Amx,
+            0.4,
+            GbPerSec(40.0),
+        ),
+        RegionLoad::new(
+            AuUsageLevel::Low,
+            64,
+            ActivityClass::Avx,
+            0.9,
+            GbPerSec(190.0),
+        ),
     ];
     let idle = [RegionLoad::idle(AuUsageLevel::None, 96)];
     let p_serving = sim.step(SimDuration::from_millis(500), &serving).power;

@@ -26,7 +26,10 @@ fn profiler_is_deterministic() {
     let pc = ProfilerConfig::smoke(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
     let a = build_model(&pc);
     let b = build_model(&pc);
-    assert_eq!(a, b, "two profiling sweeps with the same seed must agree exactly");
+    assert_eq!(
+        a, b,
+        "two profiling sweeps with the same seed must agree exactly"
+    );
 }
 
 #[test]
@@ -42,7 +45,10 @@ fn aum_controller_runs_are_bit_identical() {
     assert_eq!(a.decode_tps.to_bits(), b.decode_tps.to_bits());
     assert_eq!(a.avg_power_w.to_bits(), b.avg_power_w.to_bits());
     assert_eq!(a.completed, b.completed);
-    assert_eq!(a.slo.tpot_guarantee.to_bits(), b.slo.tpot_guarantee.to_bits());
+    assert_eq!(
+        a.slo.tpot_guarantee.to_bits(),
+        b.slo.tpot_guarantee.to_bits()
+    );
     assert_eq!(a.shared_llc_samples.values(), b.shared_llc_samples.values());
 }
 

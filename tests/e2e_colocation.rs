@@ -25,7 +25,11 @@ fn aum_beats_exclusive_efficiency_with_specjbb() {
         BeKind::SpecJbb,
     ));
     let exclusive = run_experiment(
-        &short(ExperimentConfig::paper_default(spec.clone(), Scenario::Chatbot, None)),
+        &short(ExperimentConfig::paper_default(
+            spec.clone(),
+            Scenario::Chatbot,
+            None,
+        )),
         &mut AllAu::new(&spec),
     );
     let aum = run_experiment(
@@ -41,7 +45,10 @@ fn aum_beats_exclusive_efficiency_with_specjbb() {
     // decode power, so the same mechanism lands somewhat higher. The claim
     // under test: a positive, bounded improvement.
     assert!(gain > 1.03, "AUM must beat exclusive serving, got {gain}");
-    assert!(gain < 1.45, "gain should stay physically plausible, got {gain}");
+    assert!(
+        gain < 1.45,
+        "gain should stay physically plausible, got {gain}"
+    );
     assert!(aum.be_rate > 0.0, "AUM must actually run the co-runner");
     // Serving must not collapse: decode throughput within 10% of exclusive.
     assert!(
@@ -80,7 +87,11 @@ fn code_completion_ttft_is_unattainable_even_exclusively() {
     // §VII-C: for cc with its 75 ms TTFT, even exclusive prefill misses.
     let spec = PlatformSpec::gen_a();
     let cc_exclusive = run_experiment(
-        &short(ExperimentConfig::paper_default(spec.clone(), Scenario::CodeCompletion, None)),
+        &short(ExperimentConfig::paper_default(
+            spec.clone(),
+            Scenario::CodeCompletion,
+            None,
+        )),
         &mut AllAu::new(&spec),
     );
     assert!(
@@ -99,7 +110,11 @@ fn code_completion_ttft_is_unattainable_even_exclusively() {
 fn power_stays_within_physical_envelope() {
     let spec = PlatformSpec::gen_a();
     let out = run_experiment(
-        &short(ExperimentConfig::paper_default(spec.clone(), Scenario::Chatbot, None)),
+        &short(ExperimentConfig::paper_default(
+            spec.clone(),
+            Scenario::Chatbot,
+            None,
+        )),
         &mut AllAu::new(&spec),
     );
     // §III-B anchors GenA serving at ≈270 W; idle floor is ≈138 W.

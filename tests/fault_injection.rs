@@ -12,11 +12,13 @@ use aum_sim::time::SimDuration;
 use aum_workloads::be::BeKind;
 
 fn faulty_cfg(be: Option<BeKind>) -> ExperimentConfig {
-    let mut cfg =
-        ExperimentConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, be);
+    let mut cfg = ExperimentConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, be);
     cfg.duration = SimDuration::from_secs(240);
     // Memory RAS event at t=120 s: pool collapses to 60% of spec.
-    cfg.fault = Some(Fault::BandwidthDegrade { at_secs: 120.0, frac: 0.6 });
+    cfg.fault = Some(Fault::BandwidthDegrade {
+        at_secs: 120.0,
+        frac: 0.6,
+    });
     cfg
 }
 
@@ -79,5 +81,8 @@ fn fault_is_deterministic_too() {
     let a = run_experiment(&cfg, &mut AllAu::new(&spec));
     let b = run_experiment(&cfg, &mut AllAu::new(&spec));
     assert_eq!(a.decode_tps.to_bits(), b.decode_tps.to_bits());
-    assert_eq!(a.slo.tpot_guarantee.to_bits(), b.slo.tpot_guarantee.to_bits());
+    assert_eq!(
+        a.slo.tpot_guarantee.to_bits(),
+        b.slo.tpot_guarantee.to_bits()
+    );
 }

@@ -31,7 +31,8 @@ fn state(scenario: Scenario, ttft_p90: f64, tpot: f64, lag: f64) -> SystemState 
 
 #[test]
 fn model_grid_covers_divisions_and_configs() {
-    let cfg = ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    let cfg =
+        ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
     let model = build_model(&cfg);
     assert_eq!(model.div_count, default_divisions(&cfg.platform).len());
     assert_eq!(model.cfg_count, default_allocations(&cfg.platform).len());
@@ -43,7 +44,8 @@ fn model_grid_covers_divisions_and_configs() {
 fn harvesting_ladder_trades_au_latency_for_sharing() {
     // Within one division, later configurations must hand the shared class
     // more throughput while AU tail latency is monotonically non-improving.
-    let cfg = ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    let cfg =
+        ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
     let model = build_model(&cfg);
     for d in 0..model.div_count {
         let first = model.bucket(d, 0);
@@ -63,7 +65,8 @@ fn harvesting_ladder_trades_au_latency_for_sharing() {
 
 #[test]
 fn bigger_high_regions_cut_ttft() {
-    let cfg = ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    let cfg =
+        ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
     let model = build_model(&cfg);
     // Find the divisions with the largest and smallest High regions.
     let mut by_high: Vec<usize> = (0..model.div_count).collect();
@@ -95,7 +98,10 @@ fn controller_tracks_slo_state_machine() {
     }
     let after_calm = c.current_bucket();
     // The settled bucket should be harvesting (not the most conservative).
-    assert!(after_calm.1 > 0, "comfort should lead to harvesting, got {after_calm:?}");
+    assert!(
+        after_calm.1 > 0,
+        "comfort should lead to harvesting, got {after_calm:?}"
+    );
     // Violation phase: decode behind schedule.
     for _ in 0..30 {
         let _ = c.decide(&state(Scenario::Chatbot, 0.4, 0.13, -0.04));
