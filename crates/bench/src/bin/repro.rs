@@ -4,12 +4,17 @@
 //!   repro `<id>`                     run one experiment (e.g. `fig14`)
 //!   repro all                        run everything in paper order
 //!   repro list                       list experiment ids
+//!   repro chaos [--quick]            fault-matrix resilience study
 //!   repro trace-summary <file>       explain a telemetry trace
 //!
 //! Flags (only valid when running experiments):
 //!   --out <dir>     additionally write one .txt artifact per experiment
 //!   --trace <file>  stream telemetry from AUM-scheme runs and profiler
 //!                   sweeps to <file> as JSON lines
+//!   --quick         (chaos only) acceptance-critical fault subset, short
+//!                   runs — the CI smoke configuration
+//!
+//! `repro chaos` exits 1 if any SLO guarantee in the matrix is non-finite.
 //!
 //! Unknown or malformed arguments are rejected with exit code 2.
 
@@ -22,6 +27,7 @@ enum Command {
     List,
     All,
     One(String),
+    Chaos { quick: bool },
     TraceSummary(PathBuf),
 }
 
@@ -35,6 +41,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut positionals: Vec<&str> = Vec::new();
     let mut out_dir = None;
     let mut trace = None;
+    let mut quick = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +59,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 i += 2;
             }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -65,11 +76,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         [] => return Err("missing command".into()),
         ["list"] => Command::List,
         ["all"] => Command::All,
+        ["chaos"] => Command::Chaos { quick },
         ["trace-summary", file] => Command::TraceSummary(PathBuf::from(file)),
         ["trace-summary"] => return Err("trace-summary requires a file".into()),
         [id] => Command::One((*id).to_owned()),
         [_, extra, ..] => return Err(format!("unexpected argument `{extra}`")),
     };
+    if quick && !matches!(command, Command::Chaos { .. }) {
+        return Err("--quick is only valid with the chaos command".into());
+    }
     match command {
         Command::List | Command::TraceSummary(_) if out_dir.is_some() || trace.is_some() => {
             Err("--out/--trace are only valid when running experiments".into())
@@ -87,6 +102,7 @@ fn main() {
     let experiments = aum_bench::experiments();
     let usage = || {
         eprintln!("usage: repro <id>|all|list [--out <dir>] [--trace <file.jsonl>]");
+        eprintln!("       repro chaos [--quick] [--out <dir>] [--trace <file.jsonl>]");
         eprintln!("       repro trace-summary <file.jsonl>");
         eprintln!(
             "ids: {}",
@@ -137,6 +153,7 @@ fn main() {
             }
         }
     };
+    let mut exit_code = 0;
     match &cli.command {
         Command::List => {
             for (name, _) in &experiments {
@@ -151,6 +168,15 @@ fn main() {
                 emit(name, &out, t.elapsed());
             }
             eprintln!("total: {:?}", t0.elapsed());
+        }
+        Command::Chaos { quick } => {
+            let t = Instant::now();
+            let run = aum_bench::chaos::run(*quick);
+            emit("chaos", &run.text, t.elapsed());
+            if run.degenerate {
+                eprintln!("error: chaos matrix produced non-finite SLO guarantees");
+                exit_code = 1;
+            }
         }
         Command::One(id) => match experiments.iter().find(|(n, _)| n == id) {
             Some((name, run)) => {
@@ -188,5 +214,8 @@ fn main() {
             handle.lock().expect("sink lock").inner().lines_written(),
             path.display()
         );
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

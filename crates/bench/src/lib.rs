@@ -10,6 +10,7 @@
 //! - [`analysis`]: price sensitivity, overheads, TCO;
 //! - [`extensions`]: bucket-granularity ablation, the §VIII cluster
 //!   extension, and precision/topology studies;
+//! - [`chaos`]: the fault-matrix resilience study (`repro chaos`);
 //! - [`common`]: scheme construction and model caching.
 //!
 //! Run `cargo run -p aum-bench --release --bin repro -- all` (or a single
@@ -19,6 +20,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod charact;
 pub mod common;
 pub mod evaluation;

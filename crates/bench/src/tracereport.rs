@@ -217,6 +217,48 @@ fn timeline(records: &[TraceRecord]) -> String {
                     ),
                 ));
             }
+            Event::FaultInjected { kind, detail } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!("FAULT injected: {kind} ({detail})"),
+                ));
+            }
+            Event::FaultRecovered { kind } => {
+                entries.push(entry_line(r.at, &format!("FAULT recovered: {kind}")));
+            }
+            Event::FaultOutsideWindow {
+                kind,
+                at_secs,
+                duration_secs,
+            } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!(
+                        "WARNING: fault {kind} scheduled at t={at_secs:.1}s \
+                         never fires (run ends at {duration_secs:.1}s)"
+                    ),
+                ));
+            }
+            Event::SensorRejected {
+                sensor,
+                observed,
+                substituted,
+                reason,
+            } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!(
+                        "sensor distrust[{sensor}]: {observed:.4} rejected ({reason}), \
+                         using {substituted:.4}"
+                    ),
+                ));
+            }
+            Event::SafeModeTransition { from, to, reason } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!("resilience {from:?} \u{2192} {to:?}: {reason}"),
+                ));
+            }
             Event::ControllerDecision {
                 action,
                 verdict,

@@ -189,7 +189,7 @@ pub fn run_cluster(cfg: &ClusterConfig, policy: RoutingPolicy) -> ClusterOutcome
                         seed,
                         rate: Some(rate),
                         rate_profile: aum_llm::traces::RateProfile::Constant,
-                        fault: None,
+                        fault: crate::fault::FaultPlan::none(),
                         prices,
                         model: aum_llm::config::ModelConfig::llama2_7b(),
                     };

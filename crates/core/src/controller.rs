@@ -17,9 +17,11 @@
 //!    tuning is deemed insufficient and the switcher re-selects the
 //!    processor division (Algorithm 1 line 17).
 
+use std::collections::VecDeque;
+
 use aum_au::ari::{qkv_ari_decode, qkv_ari_prefill, usage_from_ari};
 use aum_llm::engine::EngineMode;
-use aum_sim::telemetry::{DecisionKind, Event, SlackVerdict, SloMetric, Tracer};
+use aum_sim::telemetry::{DecisionKind, Event, ResilienceMode, SlackVerdict, SloMetric, Tracer};
 use aum_sim::time::SimTime;
 
 use crate::manager::{Decision, ResourceManager, SystemState};
@@ -44,6 +46,57 @@ pub const DEFAULT_DELTA_THRESHOLD: f64 = 2.0;
 /// Intervals the controller waits after a change before acting again, so
 /// the measured percentiles reflect the new configuration.
 const COOLDOWN_INTERVALS: u32 = 6;
+
+// --- Resilience layer tuning. ---
+
+/// Sliding window (control intervals) over which breach pressure — the
+/// fraction of intervals violating an SLO budget — is measured.
+const PRESSURE_WINDOW: usize = 16;
+/// Minimum samples before the pressure estimate drives mode transitions.
+const MIN_PRESSURE_SAMPLES: usize = 8;
+/// Pressure at which Normal degrades (harvesting frozen).
+const DEGRADE_PRESSURE: f64 = 0.25;
+/// Pressure at which Degraded escalates to safe mode (BE shed, fall back
+/// to the profiler's conservative division).
+const SAFE_PRESSURE: f64 = 0.5;
+/// Pressure under which a degraded/recovering controller is calm again.
+const CALM_PRESSURE: f64 = 1.0 / 16.0;
+/// Pressure under which safe mode starts probing recovery, and above which
+/// a recovery probe aborts back to safe mode.
+const RECOVER_PRESSURE: f64 = 0.25;
+/// Base safe-mode dwell (intervals) before a recovery probe is allowed;
+/// doubled per recent relapse.
+const SAFE_DWELL_INTERVALS: u32 = 8;
+/// A safe-mode re-entry within this many intervals of the last exit is a
+/// relapse: the fault evidently persists, so probe exponentially less
+/// often — under a permanent fault, every optimistic probe is paid for in
+/// fresh SLO damage.
+const RELAPSE_WINDOW: u32 = 64;
+/// Cap on the relapse backoff shift (dwell caps at `8 << 3` intervals).
+const MAX_RELAPSE_LEVEL: u32 = 3;
+/// Consecutive meeting intervals that relax the harvest ceiling by one
+/// step. The ceiling is the hysteresis memory of the ladder: a violating
+/// action clamps it at the rung below the one that just burned us, so a
+/// persistent fault cannot bait the controller into re-climbing to the
+/// same collapse over and over — the ladder re-opens one rung per calm
+/// stretch instead.
+const CEILING_DECAY_INTERVALS: u32 = 16;
+/// Plausibility-filter history length (median-of-last-k).
+const SENSOR_WINDOW: usize = 5;
+/// A reading further than this factor from the running median is rejected
+/// and the median substituted.
+const PLAUSIBLE_FACTOR: f64 = 4.0;
+/// Bit-identical readback streak that flags a suspected sensor dropout.
+const STALE_INTERVALS: u32 = 3;
+/// Bit-identical readback streak after which the controller stops acting
+/// on the frozen frames entirely and holds its current bucket: every
+/// downstream signal (slack, deviation, breach pressure) computed from a
+/// frozen sensor path is fiction, and acting on fiction is how a healthy
+/// harvest turns into an SLO collapse nobody can see.
+const STALE_HOLD_INTERVALS: u32 = 24;
+/// Exponential-backoff cap: cooldown doubles per direction flip up to
+/// `COOLDOWN_INTERVALS << MAX_BACKOFF_LEVEL`.
+const MAX_BACKOFF_LEVEL: u32 = 3;
 
 /// The AUM runtime controller.
 ///
@@ -94,6 +147,40 @@ pub struct AumController {
     decisions: Vec<(SimTime, Event)>,
     /// Trace handle; decisions and SLO breaches stream here when attached.
     tracer: Tracer,
+    // --- Resilience layer (sensor distrust, backoff, safe mode). ---
+    /// Graceful-degradation state machine position.
+    mode: ResilienceMode,
+    /// Intervals spent in the current mode (hysteresis clock).
+    mode_age: u32,
+    /// Last `PRESSURE_WINDOW` intervals' breach verdicts (true = violating).
+    breach_window: VecDeque<bool>,
+    /// Plausibility-filter histories for the two decision-driving sensors.
+    ttft_hist: VecDeque<f64>,
+    tpot_hist: VecDeque<f64>,
+    /// Bit patterns of the previous observation, for stale-readback
+    /// detection (a dropped-out sensor repeats frames exactly).
+    last_sensor_bits: Option<[u64; 6]>,
+    stale_streak: u32,
+    /// Exponential-backoff level: direction flips (harvest↔return) double
+    /// the post-action cooldown, calm same-direction actions decay it.
+    backoff_level: u32,
+    /// Direction of the last action (true = conservative/violating).
+    last_violating: Option<bool>,
+    /// Times safe mode was entered (including re-entries from Recovering).
+    safe_entries: u64,
+    /// Recent quick re-entries into safe mode; each one doubles the dwell
+    /// required before the next recovery probe (capped).
+    safe_relapses: u32,
+    /// Intervals since safe mode was last exited (saturating; `u32::MAX`
+    /// until the first exit).
+    since_safe_exit: u32,
+    /// Highest harvest cfg the ladder may currently climb to (hysteresis
+    /// memory; clamped by violating actions, relaxed by calm stretches).
+    harvest_ceiling: usize,
+    /// Consecutive meeting intervals counted toward a ceiling relaxation.
+    ceiling_calm: u32,
+    /// Sensor readings rejected or distrusted by the plausibility filter.
+    sensor_rejections: u64,
 }
 
 /// Comfortable intervals required before one more harvesting step — the
@@ -134,6 +221,7 @@ impl AumController {
             .iter()
             .map(|b| b.tpot_p90)
             .fold(f64::INFINITY, f64::min);
+        let harvest_ceiling = model.cfg_count.saturating_sub(1);
         AumController {
             model,
             delta_threshold,
@@ -149,6 +237,21 @@ impl AumController {
             tunes: 0,
             decisions: Vec::new(),
             tracer: Tracer::disabled(),
+            mode: ResilienceMode::Normal,
+            mode_age: 0,
+            breach_window: VecDeque::new(),
+            ttft_hist: VecDeque::new(),
+            tpot_hist: VecDeque::new(),
+            last_sensor_bits: None,
+            stale_streak: 0,
+            backoff_level: 0,
+            last_violating: None,
+            safe_entries: 0,
+            safe_relapses: 0,
+            since_safe_exit: u32::MAX,
+            harvest_ceiling,
+            ceiling_calm: 0,
+            sensor_rejections: 0,
         }
     }
 
@@ -190,6 +293,25 @@ impl AumController {
     #[must_use]
     pub fn tune_count(&self) -> u64 {
         self.tunes
+    }
+
+    /// Current graceful-degradation mode of the resilience layer.
+    #[must_use]
+    pub fn resilience_mode(&self) -> ResilienceMode {
+        self.mode
+    }
+
+    /// Times safe mode was entered (including re-entries after a failed
+    /// recovery probe).
+    #[must_use]
+    pub fn safe_mode_entries(&self) -> u64 {
+        self.safe_entries
+    }
+
+    /// Sensor readings the plausibility filter rejected or flagged stale.
+    #[must_use]
+    pub fn sensor_rejections(&self) -> u64 {
+        self.sensor_rejections
     }
 
     /// Timestamped trail of non-trivial actions (harvest/return/switch) —
@@ -242,6 +364,181 @@ impl AumController {
     fn deviation(&self, ttft_ratio: f64, tpot_ratio: f64) -> f64 {
         self.u_high * ttft_ratio + self.u_low * tpot_ratio
     }
+
+    /// Plausibility filter: a reading further than [`PLAUSIBLE_FACTOR`]
+    /// from the median of the last [`SENSOR_WINDOW`] readings is rejected
+    /// and the median substituted. The raw reading still enters the
+    /// history, so a genuine level shift becomes the new median within a
+    /// few intervals and is trusted again — only isolated spikes (noise
+    /// faults, torn reads) are suppressed.
+    fn plausible(&mut self, sensor: &'static str, observed: f64, now: SimTime) -> f64 {
+        let hist = if sensor == "recent_ttft_p90" {
+            &mut self.ttft_hist
+        } else {
+            &mut self.tpot_hist
+        };
+        let median = if hist.len() >= 3 {
+            let mut sorted: Vec<f64> = hist.iter().copied().collect();
+            sorted.sort_by(f64::total_cmp);
+            Some(sorted[sorted.len() / 2])
+        } else {
+            None
+        };
+        if hist.len() == SENSOR_WINDOW {
+            hist.pop_front();
+        }
+        hist.push_back(observed);
+        if let Some(med) = median {
+            let implausible = med > 1e-6
+                && (observed > med * PLAUSIBLE_FACTOR || observed < med / PLAUSIBLE_FACTOR);
+            if implausible {
+                self.sensor_rejections += 1;
+                self.tracer.emit(now, || Event::SensorRejected {
+                    sensor: sensor.to_string(),
+                    observed,
+                    substituted: med,
+                    reason: format!(
+                        "outside {PLAUSIBLE_FACTOR}x band around \
+                         median-of-last-{SENSOR_WINDOW} {med:.4}"
+                    ),
+                });
+                return med;
+            }
+        }
+        observed
+    }
+
+    /// Stale-readback detection: a dropped-out sensor path repeats frames
+    /// bit-for-bit. Flagged once per streak (telemetry + counter); the
+    /// frozen values are internally consistent, so decisions continue on
+    /// them for a grace period — past [`STALE_HOLD_INTERVALS`] the
+    /// controller holds its bucket instead (see `decide`).
+    fn detect_stale(&mut self, state: &SystemState) {
+        let bits = [
+            state.recent_ttft_p50.to_bits(),
+            state.recent_ttft_p90.to_bits(),
+            state.recent_tpot_p50.to_bits(),
+            state.recent_tpot_p90.to_bits(),
+            state.power_w.to_bits(),
+            state.bw_utilization.to_bits(),
+        ];
+        if self.last_sensor_bits == Some(bits) {
+            self.stale_streak += 1;
+            if self.stale_streak == STALE_INTERVALS {
+                self.sensor_rejections += 1;
+                self.tracer.emit(state.now, || Event::SensorRejected {
+                    sensor: "all".to_string(),
+                    observed: state.recent_ttft_p90,
+                    substituted: state.recent_ttft_p90,
+                    reason: format!(
+                        "bit-identical readback for {STALE_INTERVALS} intervals: \
+                         sensor dropout suspected"
+                    ),
+                });
+            }
+        } else {
+            self.stale_streak = 0;
+            self.last_sensor_bits = Some(bits);
+        }
+    }
+
+    /// Arms the post-action cooldown with exponential backoff: a direction
+    /// flip (harvest↔return) doubles the wait — oscillation under faulted
+    /// sensors burns exponentially fewer actions — while calm
+    /// same-direction actions decay the level back toward the base.
+    fn arm_cooldown(&mut self, violating: bool) {
+        if self.last_violating == Some(!violating) {
+            self.backoff_level = (self.backoff_level + 1).min(MAX_BACKOFF_LEVEL);
+        } else if !violating && self.backoff_level > 0 {
+            self.backoff_level -= 1;
+        }
+        self.last_violating = Some(violating);
+        self.cooldown = COOLDOWN_INTERVALS << self.backoff_level;
+    }
+
+    /// Advances the graceful-degradation state machine on the current
+    /// breach pressure and performs entry actions on transition
+    /// (safe mode: shed BE by falling back to the profiler's conservative
+    /// division with zero harvesting).
+    fn step_resilience(&mut self, now: SimTime, d_ttft: f64, d_tpot: f64) {
+        self.mode_age = self.mode_age.saturating_add(1);
+        if self.mode != ResilienceMode::SafeMode {
+            self.since_safe_exit = self.since_safe_exit.saturating_add(1);
+        }
+        let n = self.breach_window.len();
+        if n < MIN_PRESSURE_SAMPLES {
+            return;
+        }
+        let pressure = self.breach_window.iter().filter(|b| **b).count() as f64 / n as f64;
+        use ResilienceMode as M;
+        let next = match self.mode {
+            M::Normal if pressure >= DEGRADE_PRESSURE => Some((
+                M::Degraded,
+                format!("breach pressure {pressure:.2} >= {DEGRADE_PRESSURE}: harvesting frozen"),
+            )),
+            M::Degraded if pressure >= SAFE_PRESSURE => Some((
+                M::SafeMode,
+                format!(
+                    "breach pressure {pressure:.2} >= {SAFE_PRESSURE}: shedding BE, \
+                     falling back to the profiler's conservative division"
+                ),
+            )),
+            M::Degraded if pressure <= CALM_PRESSURE && self.mode_age >= 4 => {
+                Some((M::Normal, format!("breach pressure {pressure:.2} subsided")))
+            }
+            M::SafeMode
+                if pressure <= RECOVER_PRESSURE
+                    && self.mode_age >= (SAFE_DWELL_INTERVALS << self.safe_relapses) =>
+            {
+                Some((
+                    M::Recovering,
+                    format!(
+                        "breach pressure {pressure:.2} <= {RECOVER_PRESSURE}: \
+                         probing harvest capacity (dwell {} intervals)",
+                        SAFE_DWELL_INTERVALS << self.safe_relapses
+                    ),
+                ))
+            }
+            M::Recovering if pressure > RECOVER_PRESSURE => Some((
+                M::SafeMode,
+                format!("renewed breach pressure {pressure:.2} during recovery probe"),
+            )),
+            M::Recovering if pressure <= CALM_PRESSURE && self.mode_age >= 16 => Some((
+                M::Normal,
+                format!("recovery held for {} intervals", self.mode_age),
+            )),
+            _ => None,
+        };
+        if let Some((to, reason)) = next {
+            let from = self.mode;
+            self.mode = to;
+            self.mode_age = 0;
+            self.tracer
+                .emit(now, || Event::SafeModeTransition { from, to, reason });
+            match to {
+                M::SafeMode => {
+                    self.safe_entries += 1;
+                    self.safe_relapses = if self.since_safe_exit <= RELAPSE_WINDOW {
+                        (self.safe_relapses + 1).min(MAX_RELAPSE_LEVEL)
+                    } else {
+                        0
+                    };
+                    self.current = (self.model.conservative_division(d_ttft, d_tpot), 0);
+                    self.harvest_ceiling = 0;
+                    self.ceiling_calm = 0;
+                    self.cooldown = 0;
+                    self.calm_streak = 0;
+                    self.backoff_level = MAX_BACKOFF_LEVEL;
+                }
+                M::Recovering => {
+                    self.since_safe_exit = 0;
+                    self.backoff_level = 2;
+                    self.calm_streak = 0;
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 impl ResourceManager for AumController {
@@ -281,20 +578,30 @@ impl ResourceManager for AumController {
             slo_l
         };
 
-        if self.cooldown > 0 {
+        let cooling = self.cooldown > 0;
+        if cooling {
             self.cooldown -= 1;
-            return self.decision_for(self.current);
         }
         // No measurements yet: stay on the switcher's initial choice.
         if state.recent_tpot_p90 <= 0.0 && state.recent_ttft_p90 <= 0.0 {
             return self.decision_for(self.current);
         }
 
-        // --- Stage 3: collision-aware monitoring. ---
-        let ttft_m = state.recent_ttft_p90.max(1e-4);
+        // --- Resilience: sensor distrust. ---
+        self.detect_stale(state);
+        if self.stale_streak >= STALE_HOLD_INTERVALS {
+            return self.decision_for(self.current);
+        }
+        let ttft_m = self
+            .plausible("recent_ttft_p90", state.recent_ttft_p90, state.now)
+            .max(1e-4);
         // The TPOT SLO constrains per-request *averages*; the recent token
         // median is the robust online proxy for that average.
-        let tpot_m = state.recent_tpot_p50.max(1e-4);
+        let tpot_m = self
+            .plausible("recent_tpot_p50", state.recent_tpot_p50, state.now)
+            .max(1e-4);
+
+        // --- Stage 3: collision-aware monitoring. ---
         let meeting = ttft_m <= slo_h && tpot_m <= slo_l;
         if ttft_m > slo_h {
             self.tracer.emit(state.now, || Event::SloBreach {
@@ -309,6 +616,21 @@ impl ResourceManager for AumController {
                 observed_secs: tpot_m,
                 budget_secs: slo_l,
             });
+        }
+
+        // --- Resilience: breach-pressure state machine. ---
+        if self.breach_window.len() == PRESSURE_WINDOW {
+            self.breach_window.pop_front();
+        }
+        self.breach_window.push_back(!meeting);
+        self.step_resilience(state.now, d_ttft, d_tpot);
+        if self.mode == ResilienceMode::SafeMode {
+            // Safe mode holds the conservative fallback: no tuning, no
+            // switching, BE shed, until pressure subsides.
+            return self.decision_for(self.current);
+        }
+        if cooling {
+            return self.decision_for(self.current);
         }
 
         // Online refinement: fold measurements into the current bucket.
@@ -327,7 +649,21 @@ impl ResourceManager for AumController {
 
         if meeting {
             self.calm_streak += 1;
+            // A calm stretch slowly re-opens the harvest ceiling, one rung
+            // per CEILING_DECAY_INTERVALS — the slow half of the hysteresis.
+            if self.harvest_ceiling + 1 < self.model.cfg_count {
+                self.ceiling_calm += 1;
+                if self.ceiling_calm >= CEILING_DECAY_INTERVALS {
+                    self.harvest_ceiling += 1;
+                    self.ceiling_calm = 0;
+                }
+            }
             if self.calm_streak < HARVEST_PATIENCE {
+                return self.decision_for(self.current);
+            }
+            if self.mode == ResilienceMode::Degraded {
+                // Degraded: recent breach pressure says the headroom is not
+                // trustworthy — hold position instead of harvesting into it.
                 return self.decision_for(self.current);
             }
             // Aggressive direction: harvest using average predictions.
@@ -339,7 +675,13 @@ impl ResourceManager for AumController {
                 // slack is transient and must not admit divisions whose
                 // steady state violates the deadline. A 5% margin keeps the
                 // settled point off the knife edge.
-                let next = self.model.best_bucket(slo_h, 0.95 * d_tpot);
+                // The switcher's cfg is clamped to the harvest ceiling so a
+                // headroom-driven switch cannot leapfrog the ladder's
+                // hysteresis straight back into a config that just burned us.
+                let next = {
+                    let (d, c) = self.model.best_bucket(slo_h, 0.95 * d_tpot);
+                    (d, c.min(self.harvest_ceiling))
+                };
                 if next != self.current {
                     let from = self.current;
                     self.current = next;
@@ -363,11 +705,14 @@ impl ResourceManager for AumController {
                             ),
                         },
                     );
-                    self.cooldown = COOLDOWN_INTERVALS;
+                    self.arm_cooldown(false);
                     switched = true;
                 }
             }
-            if !switched && self.current.1 + 1 < self.model.cfg_count {
+            if !switched
+                && self.current.1 + 1 < self.model.cfg_count
+                && self.current.1 < self.harvest_ceiling
+            {
                 // One ladder step, admitted on *average* predictions.
                 let candidate = (self.current.0, self.current.1 + 1);
                 let b = self.model.bucket(candidate.0, candidate.1);
@@ -394,11 +739,12 @@ impl ResourceManager for AumController {
                             ),
                         },
                     );
-                    self.cooldown = COOLDOWN_INTERVALS;
+                    self.arm_cooldown(false);
                 }
             }
         } else {
             self.calm_streak = 0;
+            self.ceiling_calm = 0;
             // Conservative direction: return resources using tail predictions.
             let delta = self.deviation(ttft_m / slo_h, tpot_m / slo_l);
             let cur = self.model.bucket(self.current.0, self.current.1);
@@ -412,6 +758,9 @@ impl ResourceManager for AumController {
                 if next != self.current {
                     let from = self.current;
                     self.current = next;
+                    // Violating action: remember that harvesting past the
+                    // destination rung just failed.
+                    self.harvest_ceiling = self.harvest_ceiling.min(next.1);
                     self.switches += 1;
                     let reason = if structurally_bad {
                         format!(
@@ -442,7 +791,7 @@ impl ResourceManager for AumController {
                             reason,
                         },
                     );
-                    self.cooldown = COOLDOWN_INTERVALS;
+                    self.arm_cooldown(true);
                     return self.decision_for(self.current);
                 }
             }
@@ -452,6 +801,9 @@ impl ResourceManager for AumController {
                 // whose loss hurt it most recently.
                 let from_cfg = self.current.1;
                 self.current = (self.current.0, self.current.1 - 1);
+                // Violating action: the rung we just stepped off burned us —
+                // cap the ladder at the rung below it.
+                self.harvest_ceiling = self.harvest_ceiling.min(self.current.1);
                 self.tunes += 1;
                 let reason = if ttft_m > slo_h {
                     format!("TTFT p90 {ttft_m:.3}s > SLO_H {slo_h:.3}s")
@@ -470,7 +822,7 @@ impl ResourceManager for AumController {
                         reason,
                     },
                 );
-                self.cooldown = COOLDOWN_INTERVALS;
+                self.arm_cooldown(true);
             }
         }
         self.decision_for(self.current)

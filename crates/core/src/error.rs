@@ -2,13 +2,17 @@
 
 use core::fmt;
 
-/// Errors returned by AUM's fallible APIs (AUV-model persistence).
+/// Errors returned by AUM's fallible APIs (AUV-model persistence,
+/// fault-plan validation).
 #[derive(Debug)]
 pub enum AumError {
     /// Filesystem error while reading or writing a model artifact.
     Io(std::io::Error),
     /// The model artifact could not be (de)serialized.
     Serde(serde_json::Error),
+    /// A fault plan is malformed (bad parameters or timing) — experiments
+    /// reject it cleanly instead of aborting the process.
+    FaultPlan(String),
 }
 
 impl fmt::Display for AumError {
@@ -16,6 +20,7 @@ impl fmt::Display for AumError {
         match self {
             AumError::Io(e) => write!(f, "model artifact io error: {e}"),
             AumError::Serde(e) => write!(f, "model artifact encoding error: {e}"),
+            AumError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }
@@ -25,7 +30,14 @@ impl std::error::Error for AumError {
         match self {
             AumError::Io(e) => Some(e),
             AumError::Serde(e) => Some(e),
+            AumError::FaultPlan(_) => None,
         }
+    }
+}
+
+impl From<aum_platform::state::BandwidthDegradeError> for AumError {
+    fn from(e: aum_platform::state::BandwidthDegradeError) -> Self {
+        AumError::FaultPlan(e.to_string())
     }
 }
 

@@ -29,7 +29,7 @@ use aum_platform::power::ActivityClass;
 use aum_platform::smt::smt_impact;
 use aum_platform::spec::PlatformSpec;
 use aum_platform::state::{PlatformSim, RegionLoad, SmtSibling};
-use aum_platform::topology::AuUsageLevel;
+use aum_platform::topology::{AuUsageLevel, ProcessorDivision};
 use aum_platform::units::GbPerSec;
 use aum_sim::rng::DetRng;
 use aum_sim::series::TimeSeries;
@@ -38,27 +38,17 @@ use aum_sim::telemetry::{Event, MetricsRegistry, MetricsSnapshot, Tracer};
 use aum_sim::time::{SimDuration, SimTime};
 use aum_workloads::be::{BeKind, BeProfile};
 
+use crate::error::AumError;
 use crate::manager::{ResourceManager, SystemState};
 use crate::prices::{e_cpu, Prices};
+
+pub use crate::fault::{Fault, FaultEvent, FaultPlan};
 
 /// Load indices in the platform step.
 const IDX_HIGH: usize = 0;
 const IDX_LOW: usize = 1;
 const IDX_NONE: usize = 2;
 const IDX_SIBLING: usize = 3;
-
-/// A platform fault injected mid-run (robustness studies).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum Fault {
-    /// Memory bandwidth collapses to the given fraction of spec at `at_secs`
-    /// (a DIMM failure / RAS throttling event).
-    BandwidthDegrade {
-        /// When the fault strikes, seconds.
-        at_secs: f64,
-        /// Remaining bandwidth fraction, `(0, 1]`.
-        frac: f64,
-    },
-}
 
 /// Configuration of one co-location experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,9 +70,11 @@ pub struct ExperimentConfig {
     /// Time profile of the offered rate (diurnal/step studies).
     #[serde(default)]
     pub rate_profile: RateProfile,
-    /// Platform fault injected mid-run, if any.
+    /// Scripted platform faults injected mid-run (empty = healthy run).
+    /// Legacy single-`fault` JSON configs deserialize into a one-event
+    /// plan; see [`FaultPlan`].
     #[serde(default)]
-    pub fault: Option<Fault>,
+    pub fault: FaultPlan,
     /// Efficiency prices.
     pub prices: Prices,
     /// Served model.
@@ -103,7 +95,7 @@ impl ExperimentConfig {
             seed: 42,
             rate: None,
             rate_profile: RateProfile::Constant,
-            fault: None,
+            fault: FaultPlan::none(),
             prices: Prices::paper_default(),
             model: ModelConfig::llama2_7b(),
         }
@@ -190,26 +182,63 @@ fn effective_ways(au: u32, shared: u32, total: u32, be_present: bool) -> (u32, u
 /// # Panics
 ///
 /// Panics if the manager returns a division that does not cover the
-/// platform's cores.
+/// platform's cores, or if the config's fault plan is malformed (use
+/// [`try_run_experiment`] for a clean error).
 pub fn run_experiment(cfg: &ExperimentConfig, manager: &mut dyn ResourceManager) -> Outcome {
     run_experiment_traced(cfg, manager, Tracer::disabled())
+}
+
+/// Fallible variant of [`run_experiment`]: a malformed [`FaultPlan`]
+/// surfaces as [`AumError::FaultPlan`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`AumError::FaultPlan`] when the config's fault plan fails
+/// validation.
+pub fn try_run_experiment(
+    cfg: &ExperimentConfig,
+    manager: &mut dyn ResourceManager,
+) -> Result<Outcome, AumError> {
+    try_run_experiment_traced(cfg, manager, Tracer::disabled())
 }
 
 /// Runs one experiment under `manager` with a trace handle threaded through
 /// the whole stack: the engine (request lifecycle, iterations), the
 /// platform (frequency/thermal transitions), the manager (decisions with
-/// reasons) and this harness itself (RDT reallocations). With
-/// `Tracer::disabled()` this is exactly [`run_experiment`].
+/// reasons) and this harness itself (RDT reallocations, fault injection).
+/// With `Tracer::disabled()` this is exactly [`run_experiment`].
 ///
 /// # Panics
 ///
 /// Panics if the manager returns a division that does not cover the
-/// platform's cores.
+/// platform's cores, or if the config's fault plan is malformed (use
+/// [`try_run_experiment_traced`] for a clean error).
 pub fn run_experiment_traced(
     cfg: &ExperimentConfig,
     manager: &mut dyn ResourceManager,
     tracer: Tracer,
 ) -> Outcome {
+    try_run_experiment_traced(cfg, manager, tracer)
+        .unwrap_or_else(|e| panic!("experiment failed: {e}"))
+}
+
+/// Fallible variant of [`run_experiment_traced`].
+///
+/// # Errors
+///
+/// Returns [`AumError::FaultPlan`] when the config's fault plan fails
+/// validation (e.g. a bandwidth fraction outside `(0, 1]` from malformed
+/// JSON).
+///
+/// # Panics
+///
+/// Panics if the manager returns a division that does not cover the
+/// platform's cores.
+pub fn try_run_experiment_traced(
+    cfg: &ExperimentConfig,
+    manager: &mut dyn ResourceManager,
+    tracer: Tracer,
+) -> Result<Outcome, AumError> {
     let spec = &cfg.platform;
     let total_cores = spec.total_cores();
     let rate = cfg.rate.unwrap_or_else(|| cfg.scenario.default_rate());
@@ -266,14 +295,120 @@ pub fn run_experiment_traced(
     let mut registry = MetricsRegistry::new();
     let mut last_alloc: Option<aum_platform::rdt::RdtAllocation> = None;
 
-    let mut fault_pending = cfg.fault;
+    // --- Fault plane. ---
+    // The plan is validated up front so a malformed script (e.g. from
+    // hand-edited JSON) fails the run cleanly before any work happens, and
+    // events scheduled past the run window are warned about rather than
+    // silently dropped.
+    cfg.fault.validate().map_err(AumError::FaultPlan)?;
+    let duration_secs = cfg.duration.as_secs_f64();
+    #[derive(Clone, Copy)]
+    enum FaultEdge {
+        Apply,
+        Revert,
+    }
+    let mut fault_schedule: Vec<(f64, usize, FaultEdge)> = Vec::new();
+    for (i, ev) in cfg.fault.events.iter().enumerate() {
+        if ev.at_secs >= duration_secs {
+            tracer.emit(SimTime::ZERO, || Event::FaultOutsideWindow {
+                kind: ev.fault.kind_label().to_string(),
+                at_secs: ev.at_secs,
+                duration_secs,
+            });
+            continue;
+        }
+        fault_schedule.push((ev.at_secs, i, FaultEdge::Apply));
+        if let Some(rec) = ev.recover_at_secs {
+            if rec < duration_secs {
+                fault_schedule.push((rec, i, FaultEdge::Revert));
+            }
+        }
+    }
+    // Stable sort: same-instant edges keep script order.
+    fault_schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(core::cmp::Ordering::Equal));
+    let mut fault_cursor = 0usize;
+    let mut fault_active = vec![false; cfg.fault.events.len()];
+    let mut sensor_rng = rng.stream("sensor-faults");
+    let mut frozen_sensors: Option<SystemState> = None;
+    // What the RDT MSRs actually hold vs. what the manager last requested:
+    // under an RdtWriteFailure the two diverge.
+    let mut applied_alloc: Option<aum_platform::rdt::RdtAllocation> = None;
+    let mut rdt_pending: std::collections::VecDeque<(usize, aum_platform::rdt::RdtAllocation)> =
+        std::collections::VecDeque::new();
+
     for step in 0..steps {
         let now = SimTime::ZERO + dt * step as u64;
         let until = now + dt;
-        if let Some(Fault::BandwidthDegrade { at_secs, frac }) = fault_pending {
-            if now.as_secs_f64() >= at_secs {
-                platform.degrade_bandwidth(frac);
-                fault_pending = None;
+
+        // --- 0. Fault plane: fire every edge due at this boundary, in
+        // script order (multi-event exactness: nothing is skipped, nothing
+        // fires twice). ---
+        let now_secs = now.as_secs_f64();
+        let mut faults_changed = false;
+        while fault_cursor < fault_schedule.len() && fault_schedule[fault_cursor].0 <= now_secs {
+            let (_, idx, edge) = fault_schedule[fault_cursor];
+            fault_cursor += 1;
+            faults_changed = true;
+            let ev = &cfg.fault.events[idx];
+            match edge {
+                FaultEdge::Apply => {
+                    fault_active[idx] = true;
+                    tracer.emit(now, || Event::FaultInjected {
+                        kind: ev.fault.kind_label().to_string(),
+                        detail: ev.fault.detail(),
+                    });
+                }
+                FaultEdge::Revert => {
+                    fault_active[idx] = false;
+                    tracer.emit(now, || Event::FaultRecovered {
+                        kind: ev.fault.kind_label().to_string(),
+                    });
+                }
+            }
+        }
+        if faults_changed {
+            // Recompose platform-side effects from what is active now;
+            // overlapping faults combine by worst effect per subsystem.
+            let mut bw_frac = 1.0f64;
+            let mut cooling = 0.0f64;
+            let mut lock: Option<AuUsageLevel> = None;
+            for (ev, active) in cfg.fault.events.iter().zip(&fault_active) {
+                if !*active {
+                    continue;
+                }
+                match ev.fault {
+                    Fault::BandwidthDegrade { frac } => bw_frac = bw_frac.min(frac),
+                    Fault::ThermalRunaway { severity } => cooling = cooling.max(severity),
+                    Fault::FrequencyLicenseLock { level } => {
+                        lock = Some(worse_license(lock, level));
+                    }
+                    _ => {}
+                }
+            }
+            platform.degrade_bandwidth(bw_frac)?;
+            platform.set_cooling_loss(cooling);
+            platform.set_license_lock(lock);
+        }
+        // Harness-side fault state for this interval.
+        let mut offline_cores = 0usize;
+        let mut be_surge = 1.0f64;
+        let mut sensor_sigma = 0.0f64;
+        let mut sensor_dropout = false;
+        let mut rdt_failure: Option<u32> = None;
+        for (ev, active) in cfg.fault.events.iter().zip(&fault_active) {
+            if !*active {
+                continue;
+            }
+            match ev.fault {
+                Fault::CoreOffline { count } => offline_cores += count,
+                Fault::BeSurge { factor } => be_surge *= factor,
+                Fault::SensorNoise { sigma } => sensor_sigma = sensor_sigma.max(sigma),
+                Fault::SensorDropout => sensor_dropout = true,
+                Fault::RdtWriteFailure { delay_intervals } => {
+                    rdt_failure =
+                        Some(rdt_failure.map_or(delay_intervals, |d| d.min(delay_intervals)));
+                }
+                _ => {}
             }
         }
 
@@ -303,6 +438,32 @@ pub fn run_experiment_traced(
             power_w: last_power,
             bw_utilization: last_bw_util,
         };
+        // --- 1b. Sensor faults corrupt what the manager observes (the
+        // ground truth driving the engine/platform stays intact). ---
+        let state = if sensor_dropout {
+            // Stale readback: the manager keeps seeing the last frame from
+            // before the dropout, only the clock advances.
+            let frozen = frozen_sensors.get_or_insert_with(|| state.clone());
+            let mut stale = frozen.clone();
+            stale.now = now;
+            stale
+        } else {
+            frozen_sensors = None;
+            let mut state = state;
+            if sensor_sigma > 0.0 {
+                // Multiplicative lognormal noise on the continuous sensors:
+                // stays positive, is unbiased in log space, and scales with
+                // the reading's magnitude like real measurement jitter.
+                let mut jitter = |v: f64| v * sensor_rng.normal(0.0, sensor_sigma).exp();
+                state.recent_ttft_p50 = jitter(state.recent_ttft_p50);
+                state.recent_ttft_p90 = jitter(state.recent_ttft_p90);
+                state.recent_tpot_p50 = jitter(state.recent_tpot_p50);
+                state.recent_tpot_p90 = jitter(state.recent_tpot_p90);
+                state.power_w = jitter(state.power_w);
+                state.bw_utilization = jitter(state.bw_utilization);
+            }
+            state
+        };
         let decision = manager.decide(&state);
         let div = decision.division;
         assert_eq!(
@@ -311,7 +472,33 @@ pub fn run_experiment_traced(
             "{}: division {div} does not cover the {total_cores}-core platform",
             manager.name()
         );
-        let alloc = decision.allocation;
+        // CoreOffline shadows the division the platform actually runs: the
+        // manager's view stays full-width (it cannot see the dead cores),
+        // the hardware comes up short.
+        let div = apply_core_offline(div, offline_cores);
+        // --- 1c. RDT write path: under an RdtWriteFailure the requested
+        // allocation is silently dropped (delay 0) or lands late; the
+        // hardware keeps its previous programming meanwhile. ---
+        let requested = decision.allocation;
+        let alloc = match rdt_failure {
+            None => {
+                rdt_pending.clear();
+                applied_alloc = Some(requested);
+                requested
+            }
+            Some(0) => applied_alloc.unwrap_or(requested),
+            Some(delay) => {
+                let due = step + delay as usize;
+                if rdt_pending.back().map(|&(_, a)| a) != Some(requested) {
+                    rdt_pending.push_back((due, requested));
+                }
+                while rdt_pending.front().is_some_and(|&(d, _)| d <= step) {
+                    let (_, a) = rdt_pending.pop_front().expect("front exists");
+                    applied_alloc = Some(a);
+                }
+                applied_alloc.unwrap_or(requested)
+            }
+        };
         if let Some(prev) = last_alloc {
             if prev != alloc {
                 tracer.emit(now, || Event::RdtReallocation {
@@ -385,7 +572,7 @@ pub fn run_experiment_traced(
             RegionLoad::idle(AuUsageLevel::None, 0),
         ];
         if let Some(be) = &be_profile {
-            let fluct = be.fluctuation(now.as_secs_f64());
+            let fluct = be.demand_multiplier(now_secs, be_surge);
             if div.cores(AuUsageLevel::None) > 0 {
                 let cores = div.cores(AuUsageLevel::None);
                 loads[IDX_NONE] = RegionLoad {
@@ -541,7 +728,7 @@ pub fn run_experiment_traced(
     let avg_power = energy_j / secs;
     let gamma = cfg.be.map_or(0.0, Prices::gamma);
     tracer.flush();
-    Outcome {
+    Ok(Outcome {
         scheme: manager.name().to_owned(),
         slo: engine.slo_report(),
         prefill_tps: p_h,
@@ -556,7 +743,45 @@ pub fn run_experiment_traced(
         freq_low,
         power: power_series,
         metrics: registry.into_history(),
+    })
+}
+
+/// Picks the worse of two license locks: a High lock caps frequency lower
+/// than a Low lock, so overlapping lock faults pin to the slowest class.
+fn worse_license(current: Option<AuUsageLevel>, new: AuUsageLevel) -> AuUsageLevel {
+    fn rank(l: AuUsageLevel) -> u8 {
+        match l {
+            AuUsageLevel::None => 0,
+            AuUsageLevel::Low => 1,
+            AuUsageLevel::High => 2,
+        }
     }
+    match current {
+        Some(c) if rank(c) >= rank(new) => c,
+        _ => new,
+    }
+}
+
+/// Removes `count` cores from a division: spare (None) cores go first,
+/// then decode (Low), then prefill (High); each AU region keeps at least
+/// one core so serving degrades instead of disappearing outright.
+fn apply_core_offline(div: ProcessorDivision, count: usize) -> ProcessorDivision {
+    if count == 0 {
+        return div;
+    }
+    let mut high = div.cores(AuUsageLevel::High);
+    let mut low = div.cores(AuUsageLevel::Low);
+    let mut none = div.cores(AuUsageLevel::None);
+    let mut remaining = count;
+    let take = |region: &mut usize, floor: usize, remaining: &mut usize| {
+        let taken = region.saturating_sub(floor).min(*remaining);
+        *region -= taken;
+        *remaining -= taken;
+    };
+    take(&mut none, 0, &mut remaining);
+    take(&mut low, 1, &mut remaining);
+    take(&mut high, 1, &mut remaining);
+    ProcessorDivision::new(high, low, none)
 }
 
 /// Quantiles over the most recent `window` of an iterator of length `len`.
@@ -576,7 +801,6 @@ mod tests {
     use crate::manager::Decision;
     use aum_llm::engine::EngineMode;
     use aum_platform::rdt::{RdtAllocation, ResourceVector};
-    use aum_platform::topology::ProcessorDivision;
 
     /// A static manager for harness tests.
     struct Static {

@@ -1,0 +1,419 @@
+//! Scripted fault-injection plane.
+//!
+//! The paper's promise (§VI–VII) is a controller that keeps SLOs intact
+//! when the platform misbehaves. This module scripts that misbehaviour: a
+//! [`FaultPlan`] is an ordered list of timed [`FaultEvent`]s, each naming a
+//! [`Fault`] with an activation time and an optional recovery time. The
+//! experiment harness (`crate::experiment`) replays the plan exactly at
+//! control-interval boundaries, emitting `FaultInjected` / `FaultRecovered`
+//! telemetry, and warns (`FaultOutsideWindow`) about events scheduled past
+//! the run window instead of silently dropping them.
+//!
+//! The taxonomy covers every failure mode the platform model already
+//! simulates — memory RAS events, cooling loss, stuck license firmware,
+//! dead cores, failed RDT MSR writes, best-effort load spikes, and lying
+//! or frozen sensors. Faults against the same subsystem compose by taking
+//! the *worst* active effect (minimum bandwidth fraction, maximum cooling
+//! loss, lowest license class), so overlapping chaos scripts stay
+//! physically meaningful.
+//!
+//! Serde back-compat: older configs carried
+//! `"fault": {"BandwidthDegrade": {"at_secs": 120.0, "frac": 0.6}}` or
+//! `"fault": null`. [`FaultPlan`]'s hand-written `Deserialize` accepts both
+//! legacy shapes alongside the new `{"events": [...]}` form, so existing
+//! experiment JSON keeps loading.
+
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
+
+use aum_platform::topology::AuUsageLevel;
+
+/// One platform failure mode the fault plane can inject.
+///
+/// Parameters describe the fault's magnitude only; *when* it strikes and
+/// heals lives on the enclosing [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Memory bandwidth collapses to `frac` of the platform spec — a DIMM
+    /// failure or memory-RAS throttling event. Recovery restores the full
+    /// pool.
+    BandwidthDegrade {
+        /// Remaining bandwidth fraction, `(0, 1]`.
+        frac: f64,
+    },
+    /// Package cooling loss (failed fan / blocked airflow): every region
+    /// accumulates ambient heat regardless of load and — unlike the healthy
+    /// Fig 6b hotspot — AU license caps no longer protect High/Low regions
+    /// from thermal throttling.
+    ThermalRunaway {
+        /// Cooling-loss severity: 1.0 alone holds a reservoir exactly at
+        /// the throttle-on threshold; above 1 throttles even idle regions.
+        severity: f64,
+    },
+    /// PCU/firmware bug pins every AU core's license class, so e.g. AVX
+    /// decode cores run at the AMX license frequency. None-AU cores hold no
+    /// license and are unaffected.
+    FrequencyLicenseLock {
+        /// The stuck license level.
+        level: AuUsageLevel,
+    },
+    /// Physical cores drop out of the schedulable set (MCE offlining).
+    /// Cores are removed from the None region first, then Low, then High,
+    /// always leaving at least one core per serving region.
+    CoreOffline {
+        /// Number of cores taken offline.
+        count: usize,
+    },
+    /// CAT/MBA reconfiguration writes fail: the manager's allocation
+    /// requests either vanish silently (`delay_intervals = 0`) or take
+    /// effect late. The platform keeps running on the last allocation that
+    /// actually landed.
+    RdtWriteFailure {
+        /// Control intervals a write is delayed by; `0` = writes are
+        /// silently dropped for the fault's duration.
+        delay_intervals: u32,
+    },
+    /// The best-effort co-runner's offered load spikes, multiplying its
+    /// duty/bandwidth demand.
+    BeSurge {
+        /// Demand multiplier; `> 1` is a surge.
+        factor: f64,
+    },
+    /// Multiplicative noise on the manager's sensor readings (latency
+    /// percentiles, power, bandwidth utilization) — a flaky PMU. Noise is
+    /// drawn from the experiment's deterministic RNG.
+    SensorNoise {
+        /// Standard deviation of the log-normal multiplicative noise.
+        sigma: f64,
+    },
+    /// Sensor readback freezes: the manager keeps seeing the last values
+    /// observed before the fault struck.
+    SensorDropout,
+}
+
+impl Fault {
+    /// Stable label for telemetry and reports.
+    #[must_use]
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Fault::BandwidthDegrade { .. } => "BandwidthDegrade",
+            Fault::ThermalRunaway { .. } => "ThermalRunaway",
+            Fault::FrequencyLicenseLock { .. } => "FrequencyLicenseLock",
+            Fault::CoreOffline { .. } => "CoreOffline",
+            Fault::RdtWriteFailure { .. } => "RdtWriteFailure",
+            Fault::BeSurge { .. } => "BeSurge",
+            Fault::SensorNoise { .. } => "SensorNoise",
+            Fault::SensorDropout => "SensorDropout",
+        }
+    }
+
+    /// Human-readable parameter summary for telemetry.
+    #[must_use]
+    pub fn detail(&self) -> String {
+        match self {
+            Fault::BandwidthDegrade { frac } => {
+                format!("bandwidth to {:.0}% of spec", frac * 100.0)
+            }
+            Fault::ThermalRunaway { severity } => format!("cooling loss severity {severity:.2}"),
+            Fault::FrequencyLicenseLock { level } => format!("AU license pinned to {level:?}"),
+            Fault::CoreOffline { count } => format!("{count} cores offline"),
+            Fault::RdtWriteFailure { delay_intervals: 0 } => "RDT writes silently dropped".into(),
+            Fault::RdtWriteFailure { delay_intervals } => {
+                format!("RDT writes delayed {delay_intervals} intervals")
+            }
+            Fault::BeSurge { factor } => format!("BE load x{factor:.2}"),
+            Fault::SensorNoise { sigma } => format!("sensor noise sigma {sigma:.2}"),
+            Fault::SensorDropout => "sensor readback frozen".into(),
+        }
+    }
+
+    /// Checks the fault's parameters are physically meaningful.
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            Fault::BandwidthDegrade { frac } => {
+                if frac > 0.0 && frac <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "BandwidthDegrade frac must be in (0, 1], got {frac}"
+                    ))
+                }
+            }
+            Fault::ThermalRunaway { severity } => {
+                if severity.is_finite() && severity >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "ThermalRunaway severity must be finite and >= 0, got {severity}"
+                    ))
+                }
+            }
+            Fault::BeSurge { factor } => {
+                if factor.is_finite() && factor > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "BeSurge factor must be finite and positive, got {factor}"
+                    ))
+                }
+            }
+            Fault::SensorNoise { sigma } => {
+                if sigma.is_finite() && sigma >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "SensorNoise sigma must be finite and >= 0, got {sigma}"
+                    ))
+                }
+            }
+            Fault::CoreOffline { count: 0 } => Err("CoreOffline count must be > 0".into()),
+            Fault::FrequencyLicenseLock { .. }
+            | Fault::CoreOffline { .. }
+            | Fault::RdtWriteFailure { .. }
+            | Fault::SensorDropout => Ok(()),
+        }
+    }
+}
+
+/// One scheduled fault: what, when, and (optionally) until when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Activation time, seconds from run start. The harness applies the
+    /// fault at the first control-interval boundary `t >= at_secs`.
+    pub at_secs: f64,
+    /// The failure mode.
+    pub fault: Fault,
+    /// Recovery time, seconds; the fault's effect is reversed at the first
+    /// boundary `t >= recover_at_secs`. `None` = permanent.
+    #[serde(default)]
+    pub recover_at_secs: Option<f64>,
+}
+
+impl FaultEvent {
+    /// A permanent fault striking at `at_secs`.
+    #[must_use]
+    pub fn permanent(at_secs: f64, fault: Fault) -> Self {
+        FaultEvent {
+            at_secs,
+            fault,
+            recover_at_secs: None,
+        }
+    }
+
+    /// A fault active over `[at_secs, recover_at_secs)`.
+    #[must_use]
+    pub fn windowed(at_secs: f64, recover_at_secs: f64, fault: Fault) -> Self {
+        FaultEvent {
+            at_secs,
+            fault,
+            recover_at_secs: Some(recover_at_secs),
+        }
+    }
+}
+
+/// An ordered script of timed fault events — the chaos run's screenplay.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The scripted events, sorted by activation time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A healthy run: no faults.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan of the given events, sorted by activation time (stable for
+    /// ties, so same-instant events apply in authoring order).
+    #[must_use]
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| {
+            a.at_secs
+                .partial_cmp(&b.at_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        FaultPlan { events }
+    }
+
+    /// A single-event plan.
+    #[must_use]
+    pub fn single(event: FaultEvent) -> Self {
+        FaultPlan {
+            events: vec![event],
+        }
+    }
+
+    /// Whether the plan schedules anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every event for physically meaningful parameters and sane
+    /// timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed event.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            if !(ev.at_secs.is_finite() && ev.at_secs >= 0.0) {
+                return Err(format!(
+                    "event {i}: at_secs must be finite and >= 0, got {}",
+                    ev.at_secs
+                ));
+            }
+            if let Some(rec) = ev.recover_at_secs {
+                if !(rec.is_finite() && rec > ev.at_secs) {
+                    return Err(format!(
+                        "event {i}: recover_at_secs must be finite and > at_secs ({}), got {rec}",
+                        ev.at_secs
+                    ));
+                }
+            }
+            ev.fault.validate().map_err(|e| format!("event {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn to_content(&self) -> Content {
+        if self.events.is_empty() {
+            // Keep the healthy default rendering as `"fault": null`, the
+            // shape pre-FaultPlan configs used.
+            return Content::Null;
+        }
+        Content::Map(vec![(
+            "events".to_string(),
+            Content::Seq(self.events.iter().map(Serialize::to_content).collect()),
+        )])
+    }
+}
+
+/// Variant names of [`Fault`] recognized in the legacy single-fault shape.
+const FAULT_VARIANTS: [&str; 8] = [
+    "BandwidthDegrade",
+    "ThermalRunaway",
+    "FrequencyLicenseLock",
+    "CoreOffline",
+    "RdtWriteFailure",
+    "BeSurge",
+    "SensorNoise",
+    "SensorDropout",
+];
+
+impl Deserialize for FaultPlan {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let events: Vec<FaultEvent> = match content {
+            // Old configs: `"fault": null`.
+            Content::Null => Vec::new(),
+            // New shape: `{"events": [...]}`.
+            Content::Map(entries) if content_get(entries, "events").is_some() => {
+                let seq = content_get(entries, "events").expect("checked");
+                match seq {
+                    Content::Seq(items) => items
+                        .iter()
+                        .map(FaultEvent::from_content)
+                        .collect::<Result<_, _>>()?,
+                    other => return Err(DeError::expected("sequence", "FaultPlan.events", other)),
+                }
+            }
+            // Bare list of events.
+            Content::Seq(items) => items
+                .iter()
+                .map(FaultEvent::from_content)
+                .collect::<Result<_, _>>()?,
+            // Legacy single-fault shape, externally tagged:
+            // `{"BandwidthDegrade": {"at_secs": 120.0, "frac": 0.6}}`.
+            // The timing field lived inside the variant body back then, so
+            // it is lifted out here; the Fault derive ignores the extra key.
+            Content::Map(entries)
+                if entries.len() == 1 && FAULT_VARIANTS.contains(&entries[0].0.as_str()) =>
+            {
+                let fault = Fault::from_content(content)?;
+                let at_secs = match &entries[0].1 {
+                    Content::Map(body) => match content_get(body, "at_secs") {
+                        Some(v) => f64::from_content(v)?,
+                        None => 0.0,
+                    },
+                    _ => 0.0,
+                };
+                vec![FaultEvent::permanent(at_secs, fault)]
+            }
+            // Legacy unit-variant string (future-proofing the same shape).
+            Content::Str(_) => vec![FaultEvent::permanent(0.0, Fault::from_content(content)?)],
+            other => return Err(DeError::expected("fault plan", "FaultPlan", other)),
+        };
+        let plan = FaultPlan::new(events);
+        plan.validate()
+            .map_err(|e| DeError::custom(format!("invalid FaultPlan: {e}")))?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_sort_events_by_time() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::permanent(200.0, Fault::SensorDropout),
+            FaultEvent::windowed(50.0, 80.0, Fault::BeSurge { factor: 2.0 }),
+        ]);
+        assert_eq!(plan.events[0].at_secs, 50.0);
+        assert_eq!(plan.events[1].at_secs, 200.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let bad = [
+            Fault::BandwidthDegrade { frac: 0.0 },
+            Fault::BandwidthDegrade { frac: 1.5 },
+            Fault::ThermalRunaway { severity: -1.0 },
+            Fault::BeSurge { factor: 0.0 },
+            Fault::SensorNoise { sigma: f64::NAN },
+            Fault::CoreOffline { count: 0 },
+        ];
+        for fault in bad {
+            let plan = FaultPlan::single(FaultEvent::permanent(1.0, fault));
+            assert!(plan.validate().is_err(), "{fault:?} must be rejected");
+        }
+        let ok = FaultPlan::single(FaultEvent::permanent(
+            1.0,
+            Fault::BandwidthDegrade { frac: 0.5 },
+        ));
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_timing() {
+        let negative = FaultPlan::single(FaultEvent::permanent(-1.0, Fault::SensorDropout));
+        assert!(negative.validate().is_err());
+        let inverted = FaultPlan::single(FaultEvent::windowed(10.0, 5.0, Fault::SensorDropout));
+        assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn labels_and_details_cover_every_kind() {
+        let all = [
+            Fault::BandwidthDegrade { frac: 0.6 },
+            Fault::ThermalRunaway { severity: 1.2 },
+            Fault::FrequencyLicenseLock {
+                level: AuUsageLevel::High,
+            },
+            Fault::CoreOffline { count: 8 },
+            Fault::RdtWriteFailure { delay_intervals: 0 },
+            Fault::RdtWriteFailure { delay_intervals: 4 },
+            Fault::BeSurge { factor: 2.5 },
+            Fault::SensorNoise { sigma: 0.4 },
+            Fault::SensorDropout,
+        ];
+        for f in all {
+            assert!(!f.kind_label().is_empty());
+            assert!(!f.detail().is_empty());
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //!   variants AU-UP / AU-FI / AU-RB (Table V);
 //! - [`experiment`]: the co-location harness coupling the platform, AU,
 //!   LLM-serving and co-runner substrates;
+//! - [`fault`]: the scripted fault-injection plane ([`fault::FaultPlan`])
+//!   driving chaos runs through that harness;
 //! - [`prices`] / [`tco`]: the weighted efficiency objective and the
 //!   §VII-E total-cost-of-ownership analysis;
 //! - [`manager`]: the [`manager::ResourceManager`] trait every scheme
@@ -63,6 +65,7 @@ pub mod cluster;
 pub mod controller;
 pub mod error;
 pub mod experiment;
+pub mod fault;
 pub mod manager;
 pub mod prices;
 pub mod profiler;
@@ -70,7 +73,8 @@ pub mod tco;
 
 pub use controller::AumController;
 pub use error::AumError;
-pub use experiment::{run_experiment, ExperimentConfig, Outcome};
+pub use experiment::{run_experiment, try_run_experiment, ExperimentConfig, Outcome};
+pub use fault::{Fault, FaultEvent, FaultPlan};
 pub use manager::{Decision, ResourceManager, StaticManager, SystemState};
 pub use prices::{e_cpu, Prices};
 pub use profiler::{build_model, AuvModel, Bucket, ProfilerConfig};

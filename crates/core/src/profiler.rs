@@ -163,6 +163,30 @@ impl AuvModel {
         })
     }
 
+    /// The most SLO-defensive division: at the un-harvested configuration
+    /// (`cfg 0`, everything to the LLM), the division minimizing the worst
+    /// normalized profiled tail. This is the safe-mode fallback — it
+    /// deliberately ignores efficiency, because a controller that no longer
+    /// trusts its telemetry or its platform must optimize for survival.
+    #[must_use]
+    pub fn conservative_division(&self, ttft_budget: f64, tpot_budget: f64) -> usize {
+        // An unattainable budget (e.g. the cc TTFT, §VII-C) is relaxed to
+        // 1.2× its achievable floor, exactly as in [`Self::best_bucket`] —
+        // otherwise the hopeless axis dominates the normalized score and
+        // the attainable one gets sacrificed for nothing.
+        let tb = ttft_budget.max(self.ttft_floor() * 1.2);
+        let pb = tpot_budget.max(self.tpot_floor() * 1.2);
+        (0..self.div_count)
+            .min_by(|&a, &b| {
+                let score = |d: usize| {
+                    let bk = self.bucket(d, 0);
+                    (bk.ttft_p90 / tb).max(bk.tpot_p90 / pb)
+                };
+                score(a).partial_cmp(&score(b)).expect("finite tails")
+            })
+            .expect("model has divisions")
+    }
+
     /// Serializes the model to a JSON file (the paper's ≈15 MB artifact).
     ///
     /// # Errors
@@ -336,7 +360,7 @@ pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
                     seed: cfg.seed.wrapping_add(rep as u64 * 101),
                     rate: cfg.rate,
                     rate_profile: aum_llm::traces::RateProfile::Constant,
-                    fault: None,
+                    fault: crate::fault::FaultPlan::none(),
                     prices: cfg.prices,
                     model: aum_llm::config::ModelConfig::llama2_7b(),
                 };

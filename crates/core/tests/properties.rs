@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
+use aum::baselines::AllAu;
 use aum::controller::AumController;
+use aum::experiment::{run_experiment, ExperimentConfig, Fault, FaultEvent, FaultPlan};
 use aum::manager::{ResourceManager, SystemState};
 use aum::prices::{e_cpu, Prices};
 use aum::profiler::{build_model, AuvModel, ProfilerConfig};
@@ -104,6 +106,38 @@ proptest! {
                 && b.tpot_p90 < chosen.tpot_p90 - 1e-12;
             prop_assert!(!dominates, "switcher picked a dominated bucket");
         }
+    }
+
+    #[test]
+    fn deeper_bandwidth_faults_never_improve_slos(seed in 0u64..4, frac_hi in 0.70f64..0.95) {
+        // Monotonicity of the fault plane: a strictly worse bandwidth
+        // collapse (well-separated fractions, same injection time) must not
+        // yield a better decode SLO under a static manager. Short runs and
+        // few cases keep this affordable.
+        let spec = PlatformSpec::gen_a();
+        let frac_lo = frac_hi - 0.35;
+        let faulted = |frac: f64| {
+            let mut cfg = ExperimentConfig::paper_default(spec.clone(), Scenario::Chatbot, None);
+            cfg.duration = SimDuration::from_secs(60);
+            cfg.seed = 42 + seed;
+            cfg.fault = FaultPlan::single(FaultEvent::permanent(
+                15.0,
+                Fault::BandwidthDegrade { frac },
+            ));
+            run_experiment(&cfg, &mut AllAu::new(&spec))
+        };
+        let milder = faulted(frac_hi);
+        let deeper = faulted(frac_lo);
+        prop_assert!(
+            deeper.slo.tpot_guarantee <= milder.slo.tpot_guarantee + 1e-9,
+            "deeper fault {} must not beat milder {} on TPOT guarantee: {} vs {}",
+            frac_lo, frac_hi, deeper.slo.tpot_guarantee, milder.slo.tpot_guarantee
+        );
+        prop_assert!(
+            deeper.decode_tps <= milder.decode_tps * 1.02 + 1e-9,
+            "deeper fault must not serve meaningfully more decode tokens: {} vs {}",
+            deeper.decode_tps, milder.decode_tps
+        );
     }
 
     #[test]

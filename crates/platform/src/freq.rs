@@ -53,6 +53,12 @@ pub struct FrequencyGovernor {
     stress_floor_avx: Ghz,
     stress_floor_amx: Ghz,
     tdp: Watts,
+    /// Fault-injected license pin: when set, every AU region (Low/High) is
+    /// treated as holding this license class regardless of the instructions
+    /// it actually retires — a stuck firmware/PCU state. None-AU regions
+    /// retire no AU instructions and hold no license, so they are immune.
+    #[serde(default)]
+    license_lock: Option<AuUsageLevel>,
 }
 
 /// Runtime conditions a region's frequency depends on.
@@ -85,6 +91,27 @@ impl FrequencyGovernor {
             stress_floor_avx: Ghz(avx_license.value() - 0.3),
             stress_floor_amx: Ghz(amx_license.value() - STRESS_HEADROOM),
             tdp: spec.tdp,
+            license_lock: None,
+        }
+    }
+
+    /// Pins (or releases, with `None`) the license class of every AU
+    /// region — the `FrequencyLicenseLock` fault.
+    pub fn set_license_lock(&mut self, lock: Option<AuUsageLevel>) {
+        self.license_lock = lock;
+    }
+
+    /// The current fault-injected license pin, if any.
+    #[must_use]
+    pub fn license_lock(&self) -> Option<AuUsageLevel> {
+        self.license_lock
+    }
+
+    /// The license class a region effectively holds under the lock.
+    fn effective_level(&self, level: AuUsageLevel) -> AuUsageLevel {
+        match (self.license_lock, level) {
+            (Some(lock), AuUsageLevel::Low | AuUsageLevel::High) => lock,
+            _ => level,
         }
     }
 
@@ -113,6 +140,7 @@ impl FrequencyGovernor {
     #[must_use]
     pub fn region_frequency(&self, level: AuUsageLevel, cond: FreqConditions) -> Ghz {
         let stress = cond.power_stress.clamp(0.0, 1.0);
+        let level = self.effective_level(level);
         let base = match level {
             AuUsageLevel::None => self.turbo.value(),
             AuUsageLevel::Low => {
@@ -271,6 +299,25 @@ mod tests {
             },
         );
         assert!(f.value() >= 0.4);
+    }
+
+    #[test]
+    fn license_lock_pins_au_regions_and_spares_none() {
+        let mut g = gov();
+        let low_healthy = g.region_frequency(AuUsageLevel::Low, FreqConditions::default());
+        g.set_license_lock(Some(AuUsageLevel::High));
+        let low_locked = g.region_frequency(AuUsageLevel::Low, FreqConditions::default());
+        let high_locked = g.region_frequency(AuUsageLevel::High, FreqConditions::default());
+        let none_locked = g.region_frequency(AuUsageLevel::None, FreqConditions::default());
+        assert!(low_locked < low_healthy, "Low must sink to the AMX curve");
+        assert!((low_locked.value() - high_locked.value()).abs() < 1e-9);
+        assert!(
+            (none_locked.value() - 3.2).abs() < 1e-9,
+            "None holds no license"
+        );
+        g.set_license_lock(None);
+        let low_released = g.region_frequency(AuUsageLevel::Low, FreqConditions::default());
+        assert!((low_released.value() - low_healthy.value()).abs() < 1e-9);
     }
 
     #[test]

@@ -33,6 +33,28 @@ use crate::units::{GbPerSec, Ghz, Watts};
 /// normalized against when computing license power stress.
 const STRESS_REF_FRAC: f64 = 0.25;
 
+/// A bandwidth-degradation request outside the physical range `(0, 1]`.
+///
+/// Returned (not panicked) so a malformed fault plan read from JSON fails
+/// the experiment cleanly; `aum::error::AumError` wraps this in core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthDegradeError {
+    /// The rejected fraction.
+    pub frac: f64,
+}
+
+impl std::fmt::Display for BandwidthDegradeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bandwidth degradation fraction must be in (0, 1], got {}",
+            self.frac
+        )
+    }
+}
+
+impl std::error::Error for BandwidthDegradeError {}
+
 /// A best-effort thread occupying the hyperthread siblings of a region's
 /// cores (the SMT-AU deployment). Siblings contribute power — and therefore
 /// license stress and heat — at a reduced SMT efficiency, without occupying
@@ -242,16 +264,31 @@ impl PlatformSim {
 
     /// Degrades the memory pool to `frac` of the *spec* bandwidth — a DIMM
     /// failure or memory-RAS event. Used by fault-injection experiments.
+    /// `frac = 1.0` restores the healthy pool (fault recovery).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < frac <= 1`.
-    pub fn degrade_bandwidth(&mut self, frac: f64) {
-        assert!(
-            frac > 0.0 && frac <= 1.0,
-            "degradation fraction must be in (0,1]"
-        );
+    /// Returns [`BandwidthDegradeError`] unless `0 < frac <= 1` and finite,
+    /// leaving the pool untouched — a malformed `FaultPlan` must not abort
+    /// the process.
+    pub fn degrade_bandwidth(&mut self, frac: f64) -> Result<(), BandwidthDegradeError> {
+        if !(frac > 0.0 && frac <= 1.0) {
+            return Err(BandwidthDegradeError { frac });
+        }
         self.pool = BandwidthPool::new(self.spec.mem_bw * frac);
+        Ok(())
+    }
+
+    /// Sets the thermal cooling-loss severity (the `ThermalRunaway` fault);
+    /// `0.0` restores healthy cooling.
+    pub fn set_cooling_loss(&mut self, severity: f64) {
+        self.thermal.set_cooling_loss(severity);
+    }
+
+    /// Pins (or with `None`, releases) the AU license class — the
+    /// `FrequencyLicenseLock` fault.
+    pub fn set_license_lock(&mut self, lock: Option<AuUsageLevel>) {
+        self.governor.set_license_lock(lock);
     }
 
     /// Advances the platform by `dt` under the given loads and returns the
@@ -598,7 +635,7 @@ mod tests {
             .step(SimDuration::from_millis(100), &[decode_load(48)])
             .bw_grants[0]
             .granted;
-        s.degrade_bandwidth(0.5);
+        s.degrade_bandwidth(0.5).expect("valid fraction");
         let after = s
             .step(SimDuration::from_millis(100), &[decode_load(48)])
             .bw_grants[0]
@@ -614,9 +651,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "degradation fraction")]
-    fn zero_degradation_rejected() {
-        sim().degrade_bandwidth(0.0);
+    fn out_of_range_degradation_is_a_typed_error() {
+        let mut s = sim();
+        let healthy = s.pool().peak();
+        for bad in [0.0, -0.25, 1.5, f64::NAN, f64::INFINITY] {
+            let err = s.degrade_bandwidth(bad).expect_err("must reject");
+            assert!(err.to_string().contains("(0, 1]"), "{err}");
+        }
+        assert_eq!(s.pool().peak(), healthy, "pool untouched after rejects");
+        s.degrade_bandwidth(0.5).expect("valid");
+        s.degrade_bandwidth(1.0)
+            .expect("recovery restores the pool");
+        assert_eq!(s.pool().peak(), healthy);
+    }
+
+    #[test]
+    fn degradation_recovers_to_spec_bandwidth() {
+        let mut s = sim();
+        let before = s
+            .step(SimDuration::from_millis(100), &[decode_load(48)])
+            .bw_grants[0]
+            .granted;
+        s.degrade_bandwidth(0.5).expect("valid");
+        s.degrade_bandwidth(1.0).expect("valid");
+        let after = s
+            .step(SimDuration::from_millis(100), &[decode_load(48)])
+            .bw_grants[0]
+            .granted;
+        assert!((after.value() - before.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_hooks_reach_thermal_and_governor() {
+        let mut s = sim();
+        s.set_cooling_loss(1.5);
+        assert!(s.thermal().cooling_loss() > 0.0);
+        s.set_license_lock(Some(AuUsageLevel::High));
+        assert_eq!(s.governor().license_lock(), Some(AuUsageLevel::High));
+        let snap = s.step(SimDuration::from_millis(100), &[decode_load(48)]);
+        assert!(
+            snap.freqs[0].value() < 2.6,
+            "locked decode region must run at the AMX curve, got {}",
+            snap.freqs[0].value()
+        );
+        s.set_cooling_loss(0.0);
+        s.set_license_lock(None);
+        assert_eq!(s.governor().license_lock(), None);
     }
 
     #[test]

@@ -95,6 +95,12 @@ impl Reservoir {
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ThermalState {
     regions: [Reservoir; 3],
+    /// Cooling-loss severity injected by the fault plane: 0 is a healthy
+    /// package; 1.0 adds — on every region, independent of load — exactly
+    /// the heat influx that holds a reservoir at the throttle-on threshold
+    /// in steady state. Values above 1 throttle even an idle region.
+    #[serde(default)]
+    cooling_loss: f64,
 }
 
 /// Heat influx description for one region during a time step.
@@ -127,7 +133,8 @@ impl ThermalState {
     /// mentioned cool down.
     pub fn advance(&mut self, dt: SimDuration, heats: &[RegionHeat]) {
         let dt_secs = dt.as_secs_f64();
-        let mut influx = [0.0f64; 3];
+        let ambient = self.cooling_loss.max(0.0) * (THROTTLE_ON / TAU_SECS);
+        let mut influx = [ambient; 3];
         for h in heats {
             let cluster = hotspot_factor(h.busy_core_frac);
             influx[idx(h.level)] +=
@@ -138,6 +145,18 @@ impl ThermalState {
         }
     }
 
+    /// Sets the cooling-loss severity (fault injection). `0.0` restores a
+    /// healthy package; negative values are clamped to healthy.
+    pub fn set_cooling_loss(&mut self, severity: f64) {
+        self.cooling_loss = severity.max(0.0);
+    }
+
+    /// Current cooling-loss severity.
+    #[must_use]
+    pub fn cooling_loss(&self) -> f64 {
+        self.cooling_loss
+    }
+
     /// Frequency drop currently requested for a region.
     ///
     /// Only None-AU regions throttle: AU license classes already cap the
@@ -145,9 +164,13 @@ impl ThermalState {
     /// hotspot threshold — which matches the paper's observation that the
     /// abrupt drops appear on compute-intensive *shared* cores (Fig 6b)
     /// while AU cores follow their license frequencies (Fig 6a).
+    ///
+    /// That immunity assumes intact package cooling: under an injected
+    /// cooling loss ([`ThermalState::set_cooling_loss`]) every region's
+    /// reservoir can trip the throttle, AU license caps notwithstanding.
     #[must_use]
     pub fn drop_for(&self, level: AuUsageLevel) -> Ghz {
-        if level != AuUsageLevel::None {
+        if level != AuUsageLevel::None && self.cooling_loss <= 0.0 {
             return Ghz(0.0);
         }
         Ghz(self.regions[idx(level)].drop_ghz())
@@ -237,6 +260,28 @@ mod tests {
             t.advance(SimDuration::from_millis(500), &[mild]);
         }
         assert_eq!(t.drop_for(AuUsageLevel::None).value(), 0.0);
+    }
+
+    #[test]
+    fn cooling_loss_throttles_all_regions_then_recovers() {
+        let mut t = ThermalState::new();
+        t.set_cooling_loss(1.5);
+        for _ in 0..100 {
+            t.advance(SimDuration::from_millis(500), &[]);
+        }
+        for level in AuUsageLevel::ALL {
+            assert!(
+                t.drop_for(level).value() > 0.0,
+                "cooling loss must defeat the AU license cap for {level:?}"
+            );
+        }
+        t.set_cooling_loss(0.0);
+        for _ in 0..100 {
+            t.advance(SimDuration::from_millis(500), &[]);
+        }
+        for level in AuUsageLevel::ALL {
+            assert_eq!(t.drop_for(level).value(), 0.0);
+        }
     }
 
     #[test]

@@ -73,6 +73,25 @@ pub enum SlackVerdict {
     Violating,
 }
 
+/// The controller's resilience state (safe-mode state machine).
+///
+/// Transitions are driven by persistent SLO breach pressure and sensor
+/// distrust; see `aum::controller` for the machine itself. Lives here so
+/// [`Event::SafeModeTransition`] can carry a typed state without a
+/// cross-crate dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResilienceMode {
+    /// Healthy: the full Algorithm-1 loop (harvest/tune/switch) runs.
+    Normal,
+    /// Elevated breach pressure: harvesting is frozen, returns still run.
+    Degraded,
+    /// Persistent breach pressure: BE allocation shed, conservative
+    /// division pinned.
+    SafeMode,
+    /// Pressure cleared: probing resources back toward Normal.
+    Recovering,
+}
+
 /// What kind of action a controller decision took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DecisionKind {
@@ -193,6 +212,50 @@ pub enum Event {
         /// Allocation-configuration index of the finished cell.
         config: usize,
     },
+    /// The fault plane activated a scripted fault.
+    FaultInjected {
+        /// Stable fault-kind label, e.g. `"BandwidthDegrade"`.
+        kind: String,
+        /// Human-readable parameters, e.g. `"frac 0.60"`.
+        detail: String,
+    },
+    /// A scripted fault's recovery point was reached and its effect undone.
+    FaultRecovered {
+        /// Stable fault-kind label of the recovered fault.
+        kind: String,
+    },
+    /// A scripted fault event falls outside the run window and will never
+    /// fire — a mis-authored `FaultPlan`, warned rather than silently
+    /// dropped.
+    FaultOutsideWindow {
+        /// Stable fault-kind label of the skipped event.
+        kind: String,
+        /// When the event was scheduled, seconds.
+        at_secs: f64,
+        /// The run duration it missed, seconds.
+        duration_secs: f64,
+    },
+    /// The controller's plausibility filter rejected a sensor reading and
+    /// substituted a filtered value.
+    SensorRejected {
+        /// Which observation, e.g. `"ttft_p90"`, `"tpot_p50"`.
+        sensor: String,
+        /// The implausible raw reading.
+        observed: f64,
+        /// The value used instead (median-of-last-k).
+        substituted: f64,
+        /// Why it was rejected, e.g. `"outlier"` or `"stale"`.
+        reason: String,
+    },
+    /// The controller's resilience state machine changed state.
+    SafeModeTransition {
+        /// State before.
+        from: ResilienceMode,
+        /// State after.
+        to: ResilienceMode,
+        /// What drove the transition, e.g. `"breach pressure 9/16"`.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -209,6 +272,11 @@ impl Event {
             Event::RdtReallocation { .. } => "RdtReallocation",
             Event::ControllerDecision { .. } => "ControllerDecision",
             Event::ProfilerProgress { .. } => "ProfilerProgress",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::FaultRecovered { .. } => "FaultRecovered",
+            Event::FaultOutsideWindow { .. } => "FaultOutsideWindow",
+            Event::SensorRejected { .. } => "SensorRejected",
+            Event::SafeModeTransition { .. } => "SafeModeTransition",
         }
     }
 }
@@ -762,6 +830,29 @@ mod tests {
                 total: 20,
                 division: 1,
                 config: 0,
+            },
+            Event::FaultInjected {
+                kind: "ThermalRunaway".to_string(),
+                detail: "influx 12.0 W-equivalent".to_string(),
+            },
+            Event::FaultRecovered {
+                kind: "BandwidthDegrade".to_string(),
+            },
+            Event::FaultOutsideWindow {
+                kind: "BeSurge".to_string(),
+                at_secs: 400.0,
+                duration_secs: 300.0,
+            },
+            Event::SensorRejected {
+                sensor: "tpot_p50".to_string(),
+                observed: 1.9,
+                substituted: 0.062,
+                reason: "outlier".to_string(),
+            },
+            Event::SafeModeTransition {
+                from: ResilienceMode::Degraded,
+                to: ResilienceMode::SafeMode,
+                reason: "breach pressure 12/16 with cfg floor reached".to_string(),
             },
         ];
         for event in variants {

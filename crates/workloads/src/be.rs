@@ -171,10 +171,23 @@ impl BeProfile {
     /// are steady. Returns a deterministic demand multiplier at time `t`.
     #[must_use]
     pub fn fluctuation(&self, t_secs: f64) -> f64 {
-        match self.kind {
+        self.demand_multiplier(t_secs, 1.0)
+    }
+
+    /// Demand multiplier at time `t` under a load surge of factor `surge`
+    /// (`1.0` = nominal; the `BeSurge` fault raises it). The surge scales
+    /// the whole demand — duty cycle and bandwidth appetite — while the
+    /// app's intrinsic fluctuation rides on top, so a surged SPECjbb still
+    /// swings. Results stay positive and are clamped to a physical ceiling
+    /// (a core cannot exceed 100% duty by more than the queue-burst factor
+    /// the profiles are calibrated for).
+    #[must_use]
+    pub fn demand_multiplier(&self, t_secs: f64, surge: f64) -> f64 {
+        let base = match self.kind {
             BeKind::SpecJbb => 1.0 + 0.35 * (t_secs * 0.7).sin() + 0.15 * (t_secs * 2.9).cos(),
             _ => 1.0,
-        }
+        };
+        (base * surge.max(0.0)).clamp(0.0, 4.0)
     }
 }
 
@@ -283,6 +296,20 @@ mod tests {
             "jbb should swing, got {spread:?}"
         );
         assert!(spread.0 > 0.3, "fluctuation stays positive");
+    }
+
+    #[test]
+    fn surge_scales_demand_and_is_clamped() {
+        let jbb = BeProfile::of(BeKind::SpecJbb);
+        let olap = BeProfile::of(BeKind::Olap);
+        assert_eq!(olap.demand_multiplier(3.0, 1.0), 1.0);
+        assert_eq!(olap.demand_multiplier(3.0, 2.5), 2.5);
+        assert_eq!(olap.demand_multiplier(3.0, 100.0), 4.0, "ceiling");
+        assert_eq!(olap.demand_multiplier(3.0, -1.0), 0.0, "no negatives");
+        let t = 1.7;
+        let nominal = jbb.demand_multiplier(t, 1.0);
+        let surged = jbb.demand_multiplier(t, 1.8);
+        assert!((surged - (nominal * 1.8).clamp(0.0, 4.0)).abs() < 1e-12);
     }
 
     #[test]

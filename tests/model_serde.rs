@@ -4,9 +4,11 @@
 //! §VII-D).
 
 use aum::experiment::ExperimentConfig;
+use aum::fault::{Fault, FaultEvent, FaultPlan};
 use aum::profiler::{build_model, AuvModel, ProfilerConfig};
 use aum_llm::traces::Scenario;
 use aum_platform::spec::PlatformSpec;
+use aum_platform::topology::AuUsageLevel;
 use aum_workloads::be::BeKind;
 
 #[test]
@@ -58,6 +60,87 @@ fn experiment_config_round_trips_as_json() {
     let json = serde_json::to_string(&cfg).expect("encode");
     let back: ExperimentConfig = serde_json::from_str(&json).expect("decode");
     assert_eq!(back, cfg);
+}
+
+#[test]
+fn fault_plan_round_trips_inside_a_config() {
+    let mut cfg = ExperimentConfig::paper_default(
+        PlatformSpec::gen_a(),
+        Scenario::Chatbot,
+        Some(BeKind::SpecJbb),
+    );
+    cfg.fault = FaultPlan::new(vec![
+        FaultEvent::windowed(10.0, 50.0, Fault::BandwidthDegrade { frac: 0.6 }),
+        FaultEvent::permanent(80.0, Fault::SensorNoise { sigma: 0.3 }),
+        FaultEvent::permanent(
+            90.0,
+            Fault::FrequencyLicenseLock {
+                level: AuUsageLevel::High,
+            },
+        ),
+        FaultEvent::permanent(95.0, Fault::SensorDropout),
+    ]);
+    let json = serde_json::to_string(&cfg).expect("encode");
+    let back: ExperimentConfig = serde_json::from_str(&json).expect("decode");
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn healthy_config_renders_fault_as_null() {
+    let cfg = ExperimentConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, None);
+    let json = serde_json::to_string(&cfg).expect("encode");
+    assert!(
+        json.contains("\"fault\":null") || json.contains("\"fault\": null"),
+        "an empty plan keeps the legacy null rendering: {json}"
+    );
+    let back: ExperimentConfig = serde_json::from_str(&json).expect("decode");
+    assert!(back.fault.is_empty());
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn legacy_single_fault_configs_still_parse() {
+    // Pre-FaultPlan configs carried `"fault": {"BandwidthDegrade":
+    // {"at_secs": ..., "frac": ...}}` (an `Option<Fault>` with the timing
+    // inside the variant). They must deserialize into a one-event plan.
+    let legacy = r#"{"BandwidthDegrade":{"at_secs":120.0,"frac":0.6}}"#;
+    let plan: FaultPlan = serde_json::from_str(legacy).expect("legacy decode");
+    assert_eq!(plan.events.len(), 1);
+    assert!((plan.events[0].at_secs - 120.0).abs() < 1e-12);
+    assert_eq!(plan.events[0].recover_at_secs, None);
+    assert!(
+        matches!(plan.events[0].fault, Fault::BandwidthDegrade { frac } if (frac - 0.6).abs() < 1e-12)
+    );
+
+    // The same shape embedded in a full config.
+    let healthy = ExperimentConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, None);
+    let json = serde_json::to_string(&healthy).expect("encode");
+    let legacy_cfg = json.replace(
+        "\"fault\":null",
+        "\"fault\":{\"BandwidthDegrade\":{\"at_secs\":120.0,\"frac\":0.6}}",
+    );
+    assert_ne!(legacy_cfg, json, "replacement must have happened");
+    let back: ExperimentConfig = serde_json::from_str(&legacy_cfg).expect("legacy config decode");
+    assert_eq!(back.fault.events.len(), 1);
+}
+
+#[test]
+fn malformed_fault_plans_are_rejected() {
+    for bad in [
+        // Negative injection time.
+        r#"{"events":[{"at_secs":-1.0,"fault":{"BandwidthDegrade":{"frac":0.5}}}]}"#,
+        // Out-of-range bandwidth fraction.
+        r#"{"events":[{"at_secs":10.0,"fault":{"BandwidthDegrade":{"frac":1.5}}}]}"#,
+        // Recovery before injection.
+        r#"{"events":[{"at_secs":10.0,"recover_at_secs":5.0,"fault":"SensorDropout"}]}"#,
+        // Unknown fault kind.
+        r#"{"events":[{"at_secs":10.0,"fault":{"MeteorStrike":{}}}]}"#,
+    ] {
+        assert!(
+            serde_json::from_str::<FaultPlan>(bad).is_err(),
+            "must reject: {bad}"
+        );
+    }
 }
 
 #[test]
