@@ -167,6 +167,76 @@ impl TopDown {
             memory,
         }
     }
+
+    /// Splits a unit of busy work by boundedness for the attribution
+    /// ledger (`aum_sim::attrib`), under the given runtime pressure.
+    ///
+    /// The signature's *base* memory-bound slots split across the cache
+    /// hierarchy via [`MemoryBoundBreakdown`]. Runtime pressure dilates the
+    /// affected stall components linearly — a grant slowed `s`× stretches
+    /// every DRAM stall `s`×, a partition amplifying traffic `a`× stretches
+    /// LLC stalls `a`× — and the dilation mass beyond the calm signature is
+    /// reported separately as `contention`, so the ledger can blame the
+    /// co-runner rather than the workload. (This deliberately does *not*
+    /// route through [`under_pressure`], whose backend-bound cap saturates
+    /// for already-memory-bound signatures and would swallow large
+    /// slowdowns — wall time has no such ceiling.) Everything that is not
+    /// a memory stall — retiring, frontend, bad speculation and core-bound
+    /// serialization — counts as `compute`: instruction-window
+    /// serialization is a property of AU execution itself (Fig 8a), not of
+    /// the shared memory system.
+    ///
+    /// [`under_pressure`]: TopDown::under_pressure
+    #[must_use]
+    pub fn work_split(&self, bw_slowdown: f64, llc_amplification: f64) -> WorkSplit {
+        let bw = bw_slowdown.max(1.0);
+        let amp = llc_amplification.max(1.0);
+        let base_mem = self.memory_bound();
+        let l1 = base_mem * self.memory.l1;
+        let l2 = base_mem * self.memory.l2;
+        let llc = base_mem * self.memory.llc;
+        let dram = base_mem * self.memory.dram;
+        let compute = (1.0 - base_mem).max(0.0);
+        let contention = dram * (bw - 1.0) + llc * (amp - 1.0);
+        let sum = compute + l1 + l2 + llc + dram + contention;
+        WorkSplit {
+            compute: compute / sum,
+            l1: l1 / sum,
+            l2: l2 / sum,
+            llc: llc / sum,
+            dram: dram / sum,
+            contention: contention / sum,
+        }
+    }
+}
+
+/// How a unit of busy work divides by boundedness, normalized to sum
+/// to 1 — the shape [`TopDown::work_split`] hands to the attribution
+/// ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkSplit {
+    /// Productive / in-core fraction (retiring, frontend, speculation,
+    /// core-bound serialization).
+    pub compute: f64,
+    /// L1-bound fraction of the workload's own memory stalls.
+    pub l1: f64,
+    /// L2-bound fraction.
+    pub l2: f64,
+    /// LLC-bound fraction.
+    pub llc: f64,
+    /// DRAM-bound fraction.
+    pub dram: f64,
+    /// Memory stalls added by runtime pressure (co-runner contention on
+    /// bandwidth and LLC capacity) beyond the base signature.
+    pub contention: f64,
+}
+
+impl WorkSplit {
+    /// Sum of all components (1 up to rounding).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.compute + self.l1 + self.l2 + self.llc + self.dram + self.contention
+    }
 }
 
 /// The workloads Fig 7 characterizes.
@@ -465,5 +535,36 @@ mod tests {
     fn display_names() {
         assert_eq!(format!("{}", SignatureKind::Gemm), "GEMM");
         assert_eq!(format!("{}", SignatureKind::Ads), "ads");
+    }
+
+    #[test]
+    fn work_split_sums_to_one() {
+        let spec = gen_a();
+        for kind in [
+            SignatureKind::Gemm,
+            SignatureKind::Prefill,
+            SignatureKind::Decode,
+            SignatureKind::Mcf,
+            SignatureKind::Ads,
+        ] {
+            let w = signature(kind, &spec).work_split(1.7, 1.4);
+            assert!((w.sum() - 1.0).abs() < 1e-12, "{kind}: {}", w.sum());
+            for v in [w.compute, w.l1, w.l2, w.llc, w.dram, w.contention] {
+                assert!(v >= 0.0, "{kind}: negative component");
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_becomes_contention_not_dram() {
+        let t = signature(SignatureKind::Decode, &gen_a());
+        let calm = t.work_split(1.0, 1.0);
+        let pressured = t.work_split(2.0, 1.0);
+        assert!(calm.contention.abs() < 1e-12, "no pressure, no contention");
+        assert!(pressured.contention > 0.05, "bandwidth pressure must show");
+        // The workload's own DRAM share is diluted, not inflated — the
+        // *added* stalls land on the co-runner's account.
+        assert!(pressured.dram < calm.dram + 1e-12);
+        assert!(pressured.compute < calm.compute);
     }
 }

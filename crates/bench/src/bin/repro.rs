@@ -5,16 +5,25 @@
 //!   repro all                        run everything in paper order
 //!   repro list                       list experiment ids
 //!   repro chaos [--quick]            fault-matrix resilience study
+//!   repro attrib <study> [--quick]   time/energy attribution ledger report
+//!                                    (study: `fig14` or `chaos`)
 //!   repro trace-summary <file>       explain a telemetry trace
+//!   repro trace-diff <a> <b>         attribution delta between two traces
 //!
 //! Flags (only valid when running experiments):
-//!   --out <dir>     additionally write one .txt artifact per experiment
-//!   --trace <file>  stream telemetry from AUM-scheme runs and profiler
-//!                   sweeps to <file> as JSON lines
-//!   --quick         (chaos only) acceptance-critical fault subset, short
-//!                   runs — the CI smoke configuration
+//!   --out <dir>          additionally write one .txt artifact per experiment
+//!   --trace <file>       stream telemetry from AUM-scheme runs and profiler
+//!                        sweeps to <file> as JSON lines
+//!   --quick              (chaos/attrib) short runs — the CI smoke
+//!                        configuration
+//!   --metrics-out <file> (attrib only) write the run's final metrics
+//!                        snapshot + ledger in Prometheus text format
+//!   --threshold <pp>     (trace-diff only) regression threshold in
+//!                        percentage points of time share (default 2.0)
 //!
 //! `repro chaos` exits 1 if any SLO guarantee in the matrix is non-finite.
+//! `repro attrib` exits 1 on an attribution-ledger conservation violation.
+//! `repro trace-diff` exits 1 when any cause shifts by ≥ the threshold.
 //!
 //! Unknown or malformed arguments are rejected with exit code 2.
 
@@ -28,19 +37,25 @@ enum Command {
     All,
     One(String),
     Chaos { quick: bool },
+    Attrib { study: String, quick: bool },
     TraceSummary(PathBuf),
+    TraceDiff { a: PathBuf, b: PathBuf },
 }
 
 struct Cli {
     command: Command,
     out_dir: Option<PathBuf>,
     trace: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    threshold: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut positionals: Vec<&str> = Vec::new();
     let mut out_dir = None;
     let mut trace = None;
+    let mut metrics_out = None;
+    let mut threshold = None;
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +71,28 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = args.get(i + 1).ok_or("--trace requires a file path")?;
                 if trace.replace(PathBuf::from(v)).is_some() {
                     return Err("--trace given twice".into());
+                }
+                i += 2;
+            }
+            "--metrics-out" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or("--metrics-out requires a file path")?;
+                if metrics_out.replace(PathBuf::from(v)).is_some() {
+                    return Err("--metrics-out given twice".into());
+                }
+                i += 2;
+            }
+            "--threshold" => {
+                let v = args.get(i + 1).ok_or("--threshold requires a number")?;
+                let parsed: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--threshold: `{v}` is not a number"))?;
+                if !parsed.is_finite() || parsed < 0.0 {
+                    return Err("--threshold must be a finite non-negative number".into());
+                }
+                if threshold.replace(parsed).is_some() {
+                    return Err("--threshold given twice".into());
                 }
                 i += 2;
             }
@@ -77,22 +114,42 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         ["list"] => Command::List,
         ["all"] => Command::All,
         ["chaos"] => Command::Chaos { quick },
+        ["attrib", study] => Command::Attrib {
+            study: (*study).to_owned(),
+            quick,
+        },
+        ["attrib"] => return Err("attrib requires a study name (fig14 or chaos)".into()),
         ["trace-summary", file] => Command::TraceSummary(PathBuf::from(file)),
         ["trace-summary"] => return Err("trace-summary requires a file".into()),
+        ["trace-diff", a, b] => Command::TraceDiff {
+            a: PathBuf::from(a),
+            b: PathBuf::from(b),
+        },
+        ["trace-diff", ..] => return Err("trace-diff requires two trace files".into()),
         [id] => Command::One((*id).to_owned()),
         [_, extra, ..] => return Err(format!("unexpected argument `{extra}`")),
     };
-    if quick && !matches!(command, Command::Chaos { .. }) {
-        return Err("--quick is only valid with the chaos command".into());
+    if quick && !matches!(command, Command::Chaos { .. } | Command::Attrib { .. }) {
+        return Err("--quick is only valid with the chaos and attrib commands".into());
+    }
+    if metrics_out.is_some() && !matches!(command, Command::Attrib { .. }) {
+        return Err("--metrics-out is only valid with the attrib command".into());
+    }
+    if threshold.is_some() && !matches!(command, Command::TraceDiff { .. }) {
+        return Err("--threshold is only valid with the trace-diff command".into());
     }
     match command {
-        Command::List | Command::TraceSummary(_) if out_dir.is_some() || trace.is_some() => {
+        Command::List | Command::TraceSummary(_) | Command::TraceDiff { .. }
+            if out_dir.is_some() || trace.is_some() =>
+        {
             Err("--out/--trace are only valid when running experiments".into())
         }
         command => Ok(Cli {
             command,
             out_dir,
             trace,
+            metrics_out,
+            threshold,
         }),
     }
 }
@@ -103,7 +160,12 @@ fn main() {
     let usage = || {
         eprintln!("usage: repro <id>|all|list [--out <dir>] [--trace <file.jsonl>]");
         eprintln!("       repro chaos [--quick] [--out <dir>] [--trace <file.jsonl>]");
+        eprintln!(
+            "       repro attrib <fig14|chaos> [--quick] [--metrics-out <file.prom>] \
+             [--out <dir>] [--trace <file.jsonl>]"
+        );
         eprintln!("       repro trace-summary <file.jsonl>");
+        eprintln!("       repro trace-diff <a.jsonl> <b.jsonl> [--threshold <pp>]");
         eprintln!(
             "ids: {}",
             experiments
@@ -176,6 +238,54 @@ fn main() {
             if run.degenerate {
                 eprintln!("error: chaos matrix produced non-finite SLO guarantees");
                 exit_code = 1;
+            }
+        }
+        Command::Attrib { study, quick } => {
+            let t = Instant::now();
+            match aum_bench::attribution::run_study(study, *quick) {
+                Ok(report) => {
+                    emit(&format!("attrib-{study}"), &report.text, t.elapsed());
+                    if let Some(path) = &cli.metrics_out {
+                        if let Err(e) = std::fs::write(path, &report.prom) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            exit_code = 1;
+                        } else {
+                            eprintln!("metrics: {}", path.display());
+                        }
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    exit_code = 1;
+                }
+            }
+        }
+        Command::TraceDiff { a, b } => {
+            let read_trace = |path: &PathBuf| -> Result<Vec<_>, String> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                parse_jsonl(&text).map_err(|e| format!("malformed trace {}: {e}", path.display()))
+            };
+            let threshold = cli
+                .threshold
+                .unwrap_or(aum_bench::attribution::DEFAULT_THRESHOLD_PP);
+            match read_trace(a).and_then(|ra| read_trace(b).map(|rb| (ra, rb))) {
+                Ok((ra, rb)) => match aum_bench::attribution::trace_diff(&ra, &rb, threshold) {
+                    Ok(diff) => {
+                        print!("{}", diff.text);
+                        if diff.regression {
+                            exit_code = 1;
+                        }
+                    }
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        std::process::exit(1);
+                    }
+                },
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    std::process::exit(1);
+                }
             }
         }
         Command::One(id) => match experiments.iter().find(|(n, _)| n == id) {

@@ -11,6 +11,8 @@
 //! - [`extensions`]: bucket-granularity ablation, the §VIII cluster
 //!   extension, and precision/topology studies;
 //! - [`chaos`]: the fault-matrix resilience study (`repro chaos`);
+//! - [`attribution`]: the attribution-ledger study and trace diff
+//!   (`repro attrib`, `repro trace-diff`);
 //! - [`common`]: scheme construction and model caching.
 //!
 //! Run `cargo run -p aum-bench --release --bin repro -- all` (or a single
@@ -20,6 +22,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod attribution;
 pub mod chaos;
 pub mod charact;
 pub mod common;

@@ -55,7 +55,52 @@ pub fn summarize(records: &[TraceRecord]) -> String {
 
     out.push_str(&event_counts(records));
     out.push_str(&decision_stats(records));
+    out.push_str(&attribution_stats(records));
     out.push_str(&timeline(records));
+    out
+}
+
+/// Aggregate attribution over `AttributionSample` events: total time share
+/// per cause across every sampled region, plus the dominant loss. Absent
+/// when the trace carries no samples (pre-ledger traces).
+fn attribution_stats(records: &[TraceRecord]) -> String {
+    use aum_sim::attrib::CauseVec;
+
+    let mut total = CauseVec::zero();
+    let mut samples = 0usize;
+    for r in records {
+        if let Event::AttributionSample { time, .. } = &r.event {
+            total.accumulate(time);
+            samples += 1;
+        }
+    }
+    if samples == 0 {
+        return String::new();
+    }
+    let sum = total.sum();
+    let mut out = String::from("\nattribution (time share across sampled regions):\n");
+    let mut shares: Vec<_> = total.iter().filter(|(_, v)| *v > 0.0).collect();
+    shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let line = shares
+        .iter()
+        .map(|(c, v)| {
+            format!(
+                "{} {:.1}%",
+                c.label(),
+                v / sum.max(f64::MIN_POSITIVE) * 100.0
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" | ");
+    let _ = writeln!(out, "  {samples} samples: {line}");
+    if let Some((cause, v)) = total.dominant_loss(sum) {
+        let _ = writeln!(
+            out,
+            "  dominant loss: {} ({:.1}% of attributed time)",
+            cause.label(),
+            v / sum.max(f64::MIN_POSITIVE) * 100.0
+        );
+    }
     out
 }
 
@@ -402,6 +447,37 @@ mod tests {
     #[test]
     fn empty_trace_is_reported_not_crashed() {
         assert!(summarize(&[]).contains("empty trace"));
+    }
+
+    #[test]
+    fn attribution_samples_get_their_own_section() {
+        use aum_sim::attrib::{Cause, CauseVec, Region};
+        let mut time = CauseVec::zero();
+        time.add(Cause::Compute, 0.3);
+        time.add(Cause::MemDram, 0.2);
+        let records = vec![rec(
+            0.5,
+            Event::AttributionSample {
+                region: Region::AuLow,
+                dt_secs: 0.5,
+                time,
+                energy: time,
+            },
+        )];
+        let s = summarize(&records);
+        assert!(s.contains("attribution (time share"), "{s}");
+        assert!(s.contains("compute 60.0%"), "{s}");
+        assert!(s.contains("dominant loss: mem-dram (40.0%"), "{s}");
+        // Traces without samples omit the section entirely.
+        assert!(!summarize(&[rec(
+            1.0,
+            Event::RequestFinished {
+                id: 1,
+                generated: 1,
+                mean_tpot_secs: 0.01
+            }
+        )])
+        .contains("attribution"));
     }
 
     #[test]

@@ -550,6 +550,10 @@ impl ResourceManager for AumController {
         self.tracer = tracer;
     }
 
+    fn resilience(&self) -> Option<ResilienceMode> {
+        Some(self.resilience_mode())
+    }
+
     fn decide(&mut self, state: &SystemState) -> Decision {
         let slo = state.scenario.slo();
         let d_ttft = slo.ttft.as_secs_f64();

@@ -3,7 +3,7 @@
 use core::fmt;
 
 /// Errors returned by AUM's fallible APIs (AUV-model persistence,
-/// fault-plan validation).
+/// fault-plan validation, attribution-ledger conservation).
 #[derive(Debug)]
 pub enum AumError {
     /// Filesystem error while reading or writing a model artifact.
@@ -13,6 +13,10 @@ pub enum AumError {
     /// A fault plan is malformed (bad parameters or timing) — experiments
     /// reject it cleanly instead of aborting the process.
     FaultPlan(String),
+    /// The run's attribution ledger failed a conservation invariant
+    /// (attributed time ≠ wall time or attributed joules ≠ modeled energy
+    /// beyond [`aum_sim::attrib::EPSILON`]).
+    Attribution(aum_sim::attrib::ConservationError),
 }
 
 impl fmt::Display for AumError {
@@ -21,6 +25,7 @@ impl fmt::Display for AumError {
             AumError::Io(e) => write!(f, "model artifact io error: {e}"),
             AumError::Serde(e) => write!(f, "model artifact encoding error: {e}"),
             AumError::FaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            AumError::Attribution(e) => write!(f, "attribution ledger violation: {e}"),
         }
     }
 }
@@ -31,7 +36,14 @@ impl std::error::Error for AumError {
             AumError::Io(e) => Some(e),
             AumError::Serde(e) => Some(e),
             AumError::FaultPlan(_) => None,
+            AumError::Attribution(e) => Some(e),
         }
+    }
+}
+
+impl From<aum_sim::attrib::ConservationError> for AumError {
+    fn from(e: aum_sim::attrib::ConservationError) -> Self {
+        AumError::Attribution(e)
     }
 }
 

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use aum_au::topdown::{signature, SignatureKind};
 use aum_au::unit::Precision;
 use aum_llm::config::ModelConfig;
 use aum_llm::engine::{
@@ -28,13 +29,14 @@ use aum_llm::traces::{RateProfile, Scenario, TraceGenerator};
 use aum_platform::power::ActivityClass;
 use aum_platform::smt::smt_impact;
 use aum_platform::spec::PlatformSpec;
-use aum_platform::state::{PlatformSim, RegionLoad, SmtSibling};
+use aum_platform::state::{PlatformSim, RegionLoad, SmtSibling, SMT_POWER_FACTOR};
 use aum_platform::topology::{AuUsageLevel, ProcessorDivision};
 use aum_platform::units::GbPerSec;
+use aum_sim::attrib::{self, IntervalLedger, Ledger, RegionSample, WorkFractions};
 use aum_sim::rng::DetRng;
 use aum_sim::series::TimeSeries;
 use aum_sim::stats::Samples;
-use aum_sim::telemetry::{Event, MetricsRegistry, MetricsSnapshot, Tracer};
+use aum_sim::telemetry::{Event, MetricsRegistry, MetricsSnapshot, ResilienceMode, Tracer};
 use aum_sim::time::{SimDuration, SimTime};
 use aum_workloads::be::{BeKind, BeProfile};
 
@@ -136,6 +138,11 @@ pub struct Outcome {
     /// per-interval latency quantiles.
     #[serde(default)]
     pub metrics: Vec<MetricsSnapshot>,
+    /// Per-interval, per-region time/energy attribution (see
+    /// [`aum_sim::attrib`]). Verified against the conservation invariants
+    /// before the run returns; pre-ledger outcomes deserialize empty.
+    #[serde(default)]
+    pub ledger: Ledger,
 }
 
 impl Outcome {
@@ -294,6 +301,7 @@ pub fn try_run_experiment_traced(
 
     let mut registry = MetricsRegistry::new();
     let mut last_alloc: Option<aum_platform::rdt::RdtAllocation> = None;
+    let mut ledger = Ledger::new();
 
     // --- Fault plane. ---
     // The plan is validated up front so a malformed script (e.g. from
@@ -594,6 +602,14 @@ pub fn try_run_experiment_traced(
                 loads[IDX_SIBLING].bw_cap = alloc.shared.mem_bw_frac;
             }
         }
+        // Thermal drops must be read *before* the step: `PlatformSim::step`
+        // resolves this interval's frequencies against the pre-advance
+        // thermal state, and the attribution ledger charges the same drop.
+        let pre_drop = [
+            platform.thermal().drop_for(AuUsageLevel::High).value(),
+            platform.thermal().drop_for(AuUsageLevel::Low).value(),
+            platform.thermal().drop_for(AuUsageLevel::None).value(),
+        ];
         let snap = platform.step(dt, &loads);
 
         // --- 3. Advance the serving engine with granted resources. ---
@@ -684,6 +700,144 @@ pub fn try_run_experiment_traced(
             be_units += units;
         }
 
+        // --- Attribution ledger. ---
+        // Decompose this interval's package power into per-region static
+        // and dynamic watts, mirroring `PlatformSim`'s power closure term
+        // by term: the ledger rows must re-derive `snap.power` so the
+        // energy-conservation check cross-validates two independent
+        // summations of the same model.
+        let pm = platform.power_model();
+        let idle_w = pm.idle_core_power().value();
+        // Indexed AuHigh / AuLow / Shared / Uncore.
+        let mut static_w = [0.0f64; 4];
+        let mut dynamic_w = [0.0f64; 4];
+        let mut claimed = 0usize;
+        for (i, l) in loads.iter().enumerate() {
+            let r = match i {
+                IDX_HIGH => 0,
+                IDX_LOW => 1,
+                _ => 2,
+            };
+            claimed += l.cores;
+            let core_w = pm.core_power(snap.freqs[i], l.class, l.duty).value();
+            static_w[r] += idle_w * l.cores as f64;
+            dynamic_w[r] += (core_w - idle_w) * l.cores as f64;
+            if let Some(sib) = l.smt_sibling {
+                // Sibling-thread BE work runs on AU cores but belongs to
+                // the shared class's account.
+                dynamic_w[2] += (pm.core_power(snap.freqs[i], sib.class, sib.duty).value()
+                    - idle_w)
+                    * SMT_POWER_FACTOR
+                    * l.cores as f64;
+            }
+        }
+        // Cores no load claims (e.g. offlined by a fault) idle on the
+        // shared account; the uncore splits into its static floor plus the
+        // bandwidth-proportional remainder.
+        static_w[2] += idle_w * total_cores.saturating_sub(claimed) as f64;
+        static_w[3] += pm.uncore_power(0.0).value();
+        dynamic_w[3] += pm.uncore_power(snap.bw_utilization).value() - pm.uncore_power(0.0).value();
+
+        let turbo = platform.governor().turbo().value();
+        let to_fractions = |w: aum_au::topdown::WorkSplit| WorkFractions {
+            compute: w.compute,
+            l1: w.l1,
+            l2: w.l2,
+            llc: w.llc,
+            dram: w.dram,
+            contention: w.contention,
+        };
+        let au_work = |kind: SignatureKind, idx: usize, amp: f64| -> WorkFractions {
+            let split =
+                signature(kind, spec).work_split(snap.bw_grants[idx].slowdown.max(1.0), amp);
+            let mut w = to_fractions(split);
+            if !be_present {
+                // No co-runner: pool pressure is self-inflicted (prefill
+                // and decode competing), not contention.
+                w.dram += w.contention;
+                w.contention = 0.0;
+            }
+            w
+        };
+        let (shared_busy, shared_work) = match &be_profile {
+            Some(be) if div.cores(AuUsageLevel::None) > 0 || decision.smt_sharing => {
+                let (duty, idx) = if div.cores(AuUsageLevel::None) > 0 {
+                    (1.0, IDX_NONE)
+                } else {
+                    (0.9, IDX_SIBLING)
+                };
+                let kind = match be.activity {
+                    ActivityClass::MemoryBound => SignatureKind::Mcf,
+                    _ => SignatureKind::Ads,
+                };
+                let split =
+                    signature(kind, spec).work_split(snap.bw_grants[idx].slowdown.max(1.0), 1.0);
+                (duty, to_fractions(split))
+            }
+            _ => (0.0, WorkFractions::all_compute()),
+        };
+        let shed = manager.resilience() == Some(ResilienceMode::SafeMode);
+        let region_samples = [
+            RegionSample {
+                region: attrib::Region::AuHigh,
+                busy_frac: prefill_duty,
+                freq_ghz: snap.freqs[IDX_HIGH].value(),
+                unlicensed_ghz: turbo,
+                thermal_drop_ghz: pre_drop[0],
+                work: au_work(SignatureKind::Prefill, IDX_HIGH, prefill_amp),
+                static_j: static_w[0] * dt_secs,
+                dynamic_j: dynamic_w[0] * dt_secs,
+                shed: false,
+            },
+            RegionSample {
+                region: attrib::Region::AuLow,
+                busy_frac: decode_duty,
+                freq_ghz: snap.freqs[IDX_LOW].value(),
+                unlicensed_ghz: turbo,
+                thermal_drop_ghz: pre_drop[1],
+                work: au_work(SignatureKind::Decode, IDX_LOW, decode_amp),
+                static_j: static_w[1] * dt_secs,
+                dynamic_j: dynamic_w[1] * dt_secs,
+                shed: false,
+            },
+            RegionSample {
+                region: attrib::Region::Shared,
+                busy_frac: shared_busy,
+                freq_ghz: snap.freqs[IDX_NONE].value(),
+                unlicensed_ghz: turbo,
+                thermal_drop_ghz: pre_drop[2],
+                work: shared_work,
+                static_j: static_w[2] * dt_secs,
+                dynamic_j: dynamic_w[2] * dt_secs,
+                shed,
+            },
+            RegionSample {
+                region: attrib::Region::Uncore,
+                busy_frac: snap.bw_utilization.clamp(0.0, 1.0),
+                freq_ghz: 1.0,
+                unlicensed_ghz: 1.0,
+                thermal_drop_ghz: 0.0,
+                work: WorkFractions::all_dram(),
+                static_j: static_w[3] * dt_secs,
+                dynamic_j: dynamic_w[3] * dt_secs,
+                shed: false,
+            },
+        ];
+        let interval =
+            IntervalLedger::build(now, dt_secs, snap.power.value() * dt_secs, &region_samples);
+        if tracer.is_enabled() {
+            for row in &interval.regions {
+                let (region, time, energy) = (row.region, row.time, row.energy);
+                tracer.emit(now, || Event::AttributionSample {
+                    region,
+                    dt_secs,
+                    time,
+                    energy,
+                });
+            }
+        }
+        ledger.intervals.push(interval);
+
         // --- Accounting. ---
         energy_j += snap.power.value() * dt_secs;
         prefill_tokens += stats.prefill_tokens;
@@ -727,6 +881,9 @@ pub fn try_run_experiment_traced(
     let p_n = be_units / secs;
     let avg_power = energy_j / secs;
     let gamma = cfg.be.map_or(0.0, Prices::gamma);
+    // Conservation gate: a ledger that does not close is a modeling bug,
+    // not a reporting nuisance — fail the run with the typed violation.
+    ledger.verify(attrib::EPSILON)?;
     tracer.flush();
     Ok(Outcome {
         scheme: manager.name().to_owned(),
@@ -743,6 +900,7 @@ pub fn try_run_experiment_traced(
         freq_low,
         power: power_series,
         metrics: registry.into_history(),
+        ledger,
     })
 }
 

@@ -10,7 +10,7 @@ use aum_llm::engine::EngineMode;
 use aum_llm::traces::Scenario;
 use aum_platform::rdt::RdtAllocation;
 use aum_platform::topology::ProcessorDivision;
-use aum_sim::telemetry::Tracer;
+use aum_sim::telemetry::{ResilienceMode, Tracer};
 use aum_sim::time::{SimDuration, SimTime};
 use aum_workloads::be::BeKind;
 
@@ -78,6 +78,14 @@ pub trait ResourceManager {
     /// ([`aum_sim::telemetry::Event::ControllerDecision`]). Managers without
     /// internal reasoning worth tracing keep this default no-op.
     fn attach_tracer(&mut self, _tracer: Tracer) {}
+
+    /// The manager's current resilience state, if it has one. The
+    /// attribution ledger uses this to label deliberately shed capacity
+    /// as [`aum_sim::attrib::Cause::SafeModeShed`] rather than plain idle.
+    /// Managers without a resilience layer keep this default.
+    fn resilience(&self) -> Option<ResilienceMode> {
+        None
+    }
 }
 
 /// A manager that always returns the same decision — used by the background

@@ -138,6 +138,22 @@ impl PowerModel {
             .value();
         Watts(per_core * self.cores as f64 + self.uncore_base + self.uncore_bw)
     }
+
+    /// Static (leakage + clock-tree) power of one idle core. Subtracting
+    /// this from [`core_power`](Self::core_power) isolates the dynamic
+    /// component — the attribution ledger splits the two.
+    #[must_use]
+    pub fn idle_core_power(&self) -> Watts {
+        Watts(self.idle_per_core)
+    }
+
+    /// Uncore (mesh + memory-controller) power at the given fraction of
+    /// sustainable memory bandwidth in use. `uncore_power(0.0)` is the
+    /// uncore's static floor.
+    #[must_use]
+    pub fn uncore_power(&self, bw_utilization: f64) -> Watts {
+        Watts(self.uncore_base + self.uncore_bw * bw_utilization.clamp(0.0, 1.0))
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +208,40 @@ mod tests {
         let none = m.platform_power(&[], 0.0).value();
         // 96 idle cores + uncore base (2 sockets).
         assert!((none - (96.0 * 0.85 + 56.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors_reconstruct_platform_power() {
+        // The attribution ledger re-derives package power from the static
+        // and dynamic pieces; the accessors must decompose exactly.
+        let m = model();
+        let groups = [
+            CoreGroupPower {
+                cores: 32,
+                freq: Ghz(2.5),
+                class: ActivityClass::Amx,
+                duty: 0.95,
+            },
+            CoreGroupPower {
+                cores: 40,
+                freq: Ghz(3.1),
+                class: ActivityClass::Avx,
+                duty: 0.9,
+            },
+        ];
+        let bw = 0.7;
+        let idle = m.idle_core_power().value();
+        let mut rebuilt = 96.0 * idle + m.uncore_power(bw).value();
+        for g in &groups {
+            rebuilt += (m.core_power(g.freq, g.class, g.duty).value() - idle) * g.cores as f64;
+        }
+        let reference = m.platform_power(&groups, bw).value();
+        assert!(
+            (rebuilt - reference).abs() < 1e-9,
+            "rebuilt {rebuilt} vs reference {reference}"
+        );
+        assert!((m.uncore_power(0.0).value() - 56.0).abs() < 1e-12);
+        assert!(m.uncore_power(2.0).value() <= m.uncore_power(1.0).value() + 1e-12);
     }
 
     #[test]

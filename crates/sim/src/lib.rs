@@ -11,6 +11,10 @@
 //! - [`telemetry`]: typed event tracing ([`telemetry::Event`],
 //!   [`telemetry::TraceSink`], [`telemetry::Tracer`]) and a metrics
 //!   registry snapshotted per control interval;
+//! - [`attrib`]: per-interval, per-region time/energy attribution ledger
+//!   with conservation invariants ([`attrib::Ledger`]);
+//! - [`prom`]: Prometheus text-format rendering of metrics snapshots and
+//!   attribution ledgers;
 //! - [`report`]: aligned text tables used by the `repro` harness.
 //!
 //! Everything above this crate (platform model, LLM engine, AUM itself) is
@@ -46,7 +50,9 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod attrib;
 pub mod event;
+pub mod prom;
 pub mod report;
 pub mod rng;
 pub mod series;
@@ -54,6 +60,9 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use attrib::{
+    Cause, CauseVec, ConservationError, IntervalLedger, Ledger, Region, RegionSample,
+};
 pub use event::{EventId, EventQueue};
 pub use rng::DetRng;
 pub use stats::{Histogram, Samples, Summary};

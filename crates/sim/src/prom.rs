@@ -1,0 +1,207 @@
+//! Prometheus text-format (exposition format v0.0.4) rendering.
+//!
+//! `repro attrib <study> --metrics-out <file.prom>` writes the final
+//! [`MetricsSnapshot`](crate::telemetry::MetricsSnapshot) plus the run's
+//! attribution [`Ledger`](crate::attrib::Ledger) in the plain-text format
+//! every Prometheus-compatible scraper understands, so external tooling
+//! can ingest simulator runs without parsing our JSONL traces.
+//!
+//! Only the subset of the format we need is implemented: `# HELP` /
+//! `# TYPE` headers, `counter` and `gauge` types, and `{label="value"}`
+//! label sets. Metric names are sanitized to `[a-zA-Z0-9_:]` (the
+//! registry's `"tpot_secs/p50"` becomes `tpot_secs_p50`).
+
+use core::fmt::Write as _;
+
+use crate::attrib::{Ledger, Region};
+use crate::telemetry::MetricsSnapshot;
+
+/// Replaces every character outside Prometheus's metric-name alphabet
+/// with `_`, and prefixes a `_` if the name starts with a digit.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a metrics snapshot: every counter as a `counter` metric, every
+/// gauge as a `gauge`, plus `aum_snapshot_sim_seconds` marking when the
+/// snapshot was taken.
+#[must_use]
+pub fn render_registry(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP aum_snapshot_sim_seconds Simulated time of this metrics snapshot."
+    );
+    let _ = writeln!(out, "# TYPE aum_snapshot_sim_seconds gauge");
+    let _ = writeln!(
+        out,
+        "aum_snapshot_sim_seconds {}",
+        fmt_f64(snapshot.at.as_secs_f64())
+    );
+    for (name, value) in snapshot.counters.iter() {
+        let metric = sanitize_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Counter `{name}` from the AUM metrics registry."
+        );
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, value) in snapshot.gauges.iter() {
+        let metric = sanitize_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Gauge `{name}` from the AUM metrics registry."
+        );
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", fmt_f64(*value));
+    }
+    out
+}
+
+/// Renders an attribution ledger as whole-run totals:
+/// `aum_attrib_seconds_total{region,cause}` and
+/// `aum_attrib_joules_total{region,cause}` rows for every non-zero cell,
+/// plus `aum_attrib_wall_seconds` and `aum_attrib_energy_joules`
+/// conservation targets.
+#[must_use]
+pub fn render_ledger(ledger: &Ledger) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP aum_attrib_wall_seconds Wall time covered by the attribution ledger."
+    );
+    let _ = writeln!(out, "# TYPE aum_attrib_wall_seconds gauge");
+    let _ = writeln!(
+        out,
+        "aum_attrib_wall_seconds {}",
+        fmt_f64(ledger.wall_secs())
+    );
+    let _ = writeln!(
+        out,
+        "# HELP aum_attrib_energy_joules Modeled package energy covered by the attribution ledger."
+    );
+    let _ = writeln!(out, "# TYPE aum_attrib_energy_joules gauge");
+    let _ = writeln!(
+        out,
+        "aum_attrib_energy_joules {}",
+        fmt_f64(ledger.energy_j())
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP aum_attrib_seconds_total Attributed seconds by region and cause."
+    );
+    let _ = writeln!(out, "# TYPE aum_attrib_seconds_total counter");
+    for region in Region::ALL {
+        for (cause, secs) in ledger.region_time(region).iter() {
+            if secs != 0.0 {
+                let _ = writeln!(
+                    out,
+                    "aum_attrib_seconds_total{{region=\"{}\",cause=\"{}\"}} {}",
+                    region.label(),
+                    cause.label(),
+                    fmt_f64(secs)
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP aum_attrib_joules_total Attributed joules by region and cause."
+    );
+    let _ = writeln!(out, "# TYPE aum_attrib_joules_total counter");
+    for region in Region::ALL {
+        for (cause, joules) in ledger.region_energy(region).iter() {
+            if joules != 0.0 {
+                let _ = writeln!(
+                    out,
+                    "aum_attrib_joules_total{{region=\"{}\",cause=\"{}\"}} {}",
+                    region.label(),
+                    cause.label(),
+                    fmt_f64(joules)
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::{IntervalLedger, RegionSample, WorkFractions};
+    use crate::time::SimTime;
+
+    #[test]
+    fn sanitize_maps_slashes_and_leading_digits() {
+        assert_eq!(sanitize_name("tpot_secs/p50"), "tpot_secs_p50");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn registry_rendering_has_headers_and_rows() {
+        let mut registry = crate::telemetry::MetricsRegistry::new();
+        registry.counter_add("decisions", 3);
+        registry.gauge_set("tpot_secs/p50", 0.031);
+        let snap = registry.snapshot(SimTime::from_secs(2));
+        let text = render_registry(snap);
+        assert!(text.contains("# TYPE decisions counter"));
+        assert!(text.contains("decisions 3"));
+        assert!(text.contains("# TYPE tpot_secs_p50 gauge"));
+        assert!(text.contains("tpot_secs_p50 0.031"));
+        assert!(text.contains("aum_snapshot_sim_seconds 2"));
+    }
+
+    #[test]
+    fn ledger_rendering_labels_regions_and_causes() {
+        let sample = RegionSample {
+            region: crate::attrib::Region::AuHigh,
+            busy_frac: 1.0,
+            freq_ghz: 3.2,
+            unlicensed_ghz: 3.2,
+            thermal_drop_ghz: 0.0,
+            work: WorkFractions {
+                compute: 0.5,
+                dram: 0.5,
+                ..Default::default()
+            },
+            static_j: 5.0,
+            dynamic_j: 15.0,
+            shed: false,
+        };
+        let ledger = Ledger {
+            intervals: vec![IntervalLedger::build(SimTime::ZERO, 1.0, 20.0, &[sample])],
+        };
+        let text = render_ledger(&ledger);
+        assert!(text.contains("aum_attrib_seconds_total{region=\"au-high\",cause=\"compute\"} 0.5"));
+        assert!(
+            text.contains("aum_attrib_seconds_total{region=\"au-high\",cause=\"mem-dram\"} 0.5")
+        );
+        assert!(text.contains("aum_attrib_joules_total{region=\"au-high\",cause=\"compute\"}"));
+        assert!(text.contains("aum_attrib_wall_seconds 1"));
+        assert!(text.contains("aum_attrib_energy_joules 20"));
+        // zero cells are suppressed
+        assert!(!text.contains("cause=\"safe-mode-shed\""));
+    }
+}

@@ -104,8 +104,9 @@ pub enum DecisionKind {
 }
 
 /// One notable occurrence somewhere in the sim→platform→LLM→controller
-/// stack. Variants carry primitives only, so the serialized schema is
-/// stable and needs no cross-crate types.
+/// stack. Variants carry primitives (plus same-crate value types like
+/// [`crate::attrib::CauseVec`]), so the serialized schema is stable and
+/// needs no cross-crate types.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
     /// The engine admitted a request into the running batch.
@@ -256,6 +257,19 @@ pub enum Event {
         /// What drove the transition, e.g. `"breach pressure 9/16"`.
         reason: String,
     },
+    /// One region's attribution-ledger row for one control interval (see
+    /// [`crate::attrib`]). Emitted per region per interval when tracing is
+    /// on; `repro trace-diff` aligns two runs on these records.
+    AttributionSample {
+        /// The platform region attributed.
+        region: crate::attrib::Region,
+        /// Interval length, seconds.
+        dt_secs: f64,
+        /// Seconds by cause (sums to `dt_secs`).
+        time: crate::attrib::CauseVec,
+        /// Joules by cause.
+        energy: crate::attrib::CauseVec,
+    },
 }
 
 impl Event {
@@ -277,6 +291,7 @@ impl Event {
             Event::FaultOutsideWindow { .. } => "FaultOutsideWindow",
             Event::SensorRejected { .. } => "SensorRejected",
             Event::SafeModeTransition { .. } => "SafeModeTransition",
+            Event::AttributionSample { .. } => "AttributionSample",
         }
     }
 }
@@ -408,10 +423,19 @@ impl Drop for JsonlSink {
 /// a file-backed sink in `OrderingSink` yields a stream that is monotonic
 /// in sim time within each flushed segment; the experiment harness flushes
 /// once per run, so a single-run trace is globally monotonic.
+///
+/// **Stability guarantee**: records with equal [`SimTime`] are forwarded in
+/// emission order. The tie-break is a monotonic per-sink sequence number
+/// assigned at [`TraceSink::record`] time (it persists across flush
+/// boundaries), so the ordering is deterministic by construction rather
+/// than by relying on the sort algorithm's stability — `repro trace-diff`
+/// alignment depends on two same-seed runs serializing byte-identical
+/// streams.
 #[derive(Debug)]
 pub struct OrderingSink<S: TraceSink> {
     inner: S,
-    pending: Vec<TraceRecord>,
+    seq: u64,
+    pending: Vec<(u64, TraceRecord)>,
 }
 
 impl<S: TraceSink> OrderingSink<S> {
@@ -419,6 +443,7 @@ impl<S: TraceSink> OrderingSink<S> {
     pub fn new(inner: S) -> Self {
         OrderingSink {
             inner,
+            seq: 0,
             pending: Vec::new(),
         }
     }
@@ -429,8 +454,8 @@ impl<S: TraceSink> OrderingSink<S> {
     }
 
     fn forward(&mut self) {
-        self.pending.sort_by_key(|r| r.at);
-        for record in std::mem::take(&mut self.pending) {
+        self.pending.sort_by_key(|(seq, r)| (r.at, *seq));
+        for (_, record) in std::mem::take(&mut self.pending) {
             self.inner.record(&record);
         }
     }
@@ -438,7 +463,8 @@ impl<S: TraceSink> OrderingSink<S> {
 
 impl<S: TraceSink> TraceSink for OrderingSink<S> {
     fn record(&mut self, record: &TraceRecord) {
-        self.pending.push(record.clone());
+        self.pending.push((self.seq, record.clone()));
+        self.seq += 1;
     }
 
     fn flush_sink(&mut self) {
@@ -543,15 +569,21 @@ impl Tracer {
 }
 
 /// One point-in-time capture of the registry, taken per control interval.
+///
+/// The maps are `Arc`-shared with the registry's internal caches: an
+/// interval in which no counter (or gauge) changed reuses the previous
+/// snapshot's allocation instead of cloning every entry, so a long run's
+/// history costs O(changed intervals), not O(intervals × map size). The
+/// `telemetry_overhead` bench's `registry_snapshot_10k` case asserts this.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// When the snapshot was taken.
     pub at: SimTime,
     /// Monotonic counters at that time.
-    pub counters: BTreeMap<String, u64>,
+    pub counters: Arc<BTreeMap<String, u64>>,
     /// Instantaneous gauges, plus histogram quantiles materialized as
     /// `"<name>/p50"`, `"<name>/p90"`, `"<name>/p99"` entries.
-    pub gauges: BTreeMap<String, f64>,
+    pub gauges: Arc<BTreeMap<String, f64>>,
 }
 
 /// Lightweight metrics registry: named counters, gauges and histograms,
@@ -562,6 +594,12 @@ pub struct MetricsRegistry {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Samples>,
     history: Vec<MetricsSnapshot>,
+    /// Snapshot of `counters` as of the last `snapshot()` call, reused
+    /// while no counter mutates. `None` = dirty.
+    counters_cache: Option<Arc<BTreeMap<String, u64>>>,
+    /// Same for `gauges` (only usable when no histogram quantiles need
+    /// materializing into the snapshot).
+    gauges_cache: Option<Arc<BTreeMap<String, f64>>>,
 }
 
 impl MetricsRegistry {
@@ -573,6 +611,7 @@ impl MetricsRegistry {
 
     /// Adds `delta` to a monotonic counter.
     pub fn counter_add(&mut self, name: &str, delta: u64) {
+        self.counters_cache = None;
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
@@ -584,6 +623,7 @@ impl MetricsRegistry {
 
     /// Sets an instantaneous gauge.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges_cache = None;
         self.gauges.insert(name.to_string(), value);
     }
 
@@ -604,19 +644,38 @@ impl MetricsRegistry {
     /// Captures the current state into the time series and returns the
     /// snapshot. Histograms contribute p50/p90/p99 gauges and reset, so
     /// each snapshot describes one interval's distribution.
+    ///
+    /// Quiet intervals are cheap: when no counter (or gauge/histogram)
+    /// changed since the previous snapshot, the new snapshot shares the
+    /// previous one's map allocation via `Arc` instead of deep-cloning it.
     pub fn snapshot(&mut self, at: SimTime) -> &MetricsSnapshot {
-        let mut gauges = self.gauges.clone();
-        for (name, samples) in &self.histograms {
-            if !samples.is_empty() {
-                gauges.insert(format!("{name}/p50"), samples.quantile(0.50));
-                gauges.insert(format!("{name}/p90"), samples.quantile(0.90));
-                gauges.insert(format!("{name}/p99"), samples.quantile(0.99));
+        let counters = self
+            .counters_cache
+            .get_or_insert_with(|| Arc::new(self.counters.clone()))
+            .clone();
+        let gauges = if self.histograms.values().any(|s| !s.is_empty()) {
+            // Quantile gauges are per-interval, so this snapshot's gauge
+            // map necessarily differs from the plain gauge state — build
+            // it fresh and leave the cache dirty.
+            let mut gauges = self.gauges.clone();
+            for (name, samples) in &self.histograms {
+                if !samples.is_empty() {
+                    gauges.insert(format!("{name}/p50"), samples.quantile(0.50));
+                    gauges.insert(format!("{name}/p90"), samples.quantile(0.90));
+                    gauges.insert(format!("{name}/p99"), samples.quantile(0.99));
+                }
             }
-        }
+            self.gauges_cache = None;
+            Arc::new(gauges)
+        } else {
+            self.gauges_cache
+                .get_or_insert_with(|| Arc::new(self.gauges.clone()))
+                .clone()
+        };
         self.histograms.clear();
         self.history.push(MetricsSnapshot {
             at,
-            counters: self.counters.clone(),
+            counters,
             gauges,
         });
         self.history.last().expect("just pushed")
@@ -854,6 +913,21 @@ mod tests {
                 to: ResilienceMode::SafeMode,
                 reason: "breach pressure 12/16 with cfg floor reached".to_string(),
             },
+            Event::AttributionSample {
+                region: crate::attrib::Region::AuLow,
+                dt_secs: 0.5,
+                time: {
+                    let mut v = crate::attrib::CauseVec::zero();
+                    v.add(crate::attrib::Cause::Compute, 0.3);
+                    v.add(crate::attrib::Cause::MemDram, 0.2);
+                    v
+                },
+                energy: {
+                    let mut v = crate::attrib::CauseVec::zero();
+                    v.add(crate::attrib::Cause::Compute, 40.0);
+                    v
+                },
+            },
         ];
         for event in variants {
             let json = serde_json::to_string(&event).expect("serialize");
@@ -886,5 +960,71 @@ mod tests {
         let json = serde_json::to_string(&snap).expect("serialize snapshot");
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse back");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn ordering_sink_keeps_emission_order_for_ties_across_flushes() {
+        // Regression test for trace-diff determinism: duplicate timestamps
+        // must forward in emission order, including when the tied records
+        // span several flush boundaries (the per-sink sequence number is
+        // monotonic for the sink's whole lifetime, not per segment).
+        let progress = |completed| Event::ProfilerProgress {
+            completed,
+            total: 8,
+            division: 0,
+            config: 0,
+        };
+        let t = SimTime::from_secs(5);
+        let (tracer, sink) = Tracer::shared(OrderingSink::new(MemorySink::new()));
+        tracer.emit(t, || progress(1));
+        tracer.emit(t, || progress(2));
+        tracer.flush();
+        tracer.emit(t, || progress(3));
+        tracer.emit(t, || progress(4));
+        tracer.flush();
+        tracer.emit(t, || progress(5));
+        tracer.flush();
+        let seen: Vec<Event> = sink
+            .lock()
+            .expect("sink lock")
+            .inner()
+            .records()
+            .iter()
+            .map(|r| r.event.clone())
+            .collect();
+        assert_eq!(
+            seen,
+            (1..=5).map(progress).collect::<Vec<_>>(),
+            "equal-SimTime records must keep emission order"
+        );
+    }
+
+    #[test]
+    fn quiet_snapshots_share_map_allocations() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("requests_finished", 3);
+        reg.gauge_set("power_w", 212.5);
+        let s1 = reg.snapshot(SimTime::from_secs(1)).clone();
+        // Nothing changed: the next snapshot must reuse both allocations.
+        let s2 = reg.snapshot(SimTime::from_secs(2)).clone();
+        assert!(Arc::ptr_eq(&s1.counters, &s2.counters));
+        assert!(Arc::ptr_eq(&s1.gauges, &s2.gauges));
+
+        // A counter bump invalidates only the counter cache.
+        reg.counter_add("requests_finished", 1);
+        let s3 = reg.snapshot(SimTime::from_secs(3)).clone();
+        assert!(!Arc::ptr_eq(&s2.counters, &s3.counters));
+        assert!(Arc::ptr_eq(&s2.gauges, &s3.gauges));
+        assert_eq!(s3.counters["requests_finished"], 4);
+
+        // Histogram quantiles force a fresh gauge map for that interval
+        // only; the cache repopulates from the plain gauges afterwards.
+        reg.observe("tpot_secs", 0.05);
+        let s4 = reg.snapshot(SimTime::from_secs(4)).clone();
+        assert!(s4.gauges.contains_key("tpot_secs/p50"));
+        let s5 = reg.snapshot(SimTime::from_secs(5)).clone();
+        assert!(!s5.gauges.contains_key("tpot_secs/p50"));
+        assert!(!Arc::ptr_eq(&s4.gauges, &s5.gauges));
+        assert!(Arc::ptr_eq(&s4.counters, &s5.counters));
     }
 }

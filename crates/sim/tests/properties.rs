@@ -2,10 +2,75 @@
 
 use proptest::prelude::*;
 
+use aum_sim::attrib::{
+    Cause, IntervalLedger, Ledger, Region, RegionSample, WorkFractions, EPSILON,
+};
 use aum_sim::event::EventQueue;
 use aum_sim::rng::DetRng;
 use aum_sim::stats::{Histogram, Samples, Summary};
 use aum_sim::time::{SimDuration, SimTime};
+
+/// An arbitrary (possibly degenerate) work split — negatives and all-zero
+/// vectors included, which `RegionSample` construction must normalize.
+fn work_fractions() -> impl Strategy<Value = WorkFractions> {
+    (
+        -0.2f64..2.0,
+        -0.2f64..1.0,
+        -0.2f64..1.0,
+        -0.2f64..1.0,
+        -0.2f64..2.0,
+        -0.2f64..1.0,
+    )
+        .prop_map(|(compute, l1, l2, llc, dram, contention)| WorkFractions {
+            compute,
+            l1,
+            l2,
+            llc,
+            dram,
+            contention,
+        })
+}
+
+/// An arbitrary region sample with physically-plausible ranges plus edge
+/// cases (zero busy, thermal drop exceeding the license gap, shed on/off).
+fn region_sample(region: Region) -> impl Strategy<Value = RegionSample> {
+    (
+        0.0f64..=1.0,
+        0.4f64..4.0,
+        0.4f64..4.0,
+        0.0f64..2.0,
+        work_fractions(),
+        0.0f64..500.0,
+        0.0f64..2000.0,
+        any::<bool>(),
+    )
+        .prop_map(
+            move |(busy_frac, freq_ghz, unlicensed_ghz, thermal_drop_ghz, work, s, d, shed)| {
+                RegionSample {
+                    region,
+                    busy_frac,
+                    freq_ghz,
+                    unlicensed_ghz,
+                    thermal_drop_ghz,
+                    work,
+                    static_j: s,
+                    dynamic_j: d,
+                    shed,
+                }
+            },
+        )
+}
+
+/// A full interval's worth of samples, one per region.
+fn interval_samples() -> impl Strategy<Value = Vec<RegionSample>> {
+    (
+        region_sample(Region::AuHigh),
+        region_sample(Region::AuLow),
+        region_sample(Region::Shared),
+        region_sample(Region::Uncore),
+    )
+        .prop_map(|(a, b, c, d)| vec![a, b, c, d])
+}
 
 proptest! {
     #[test]
@@ -147,5 +212,61 @@ proptest! {
         for _ in 0..16 {
             prop_assert_eq!(a.next_f64().to_bits(), b.next_f64().to_bits());
         }
+    }
+
+    #[test]
+    fn ledger_conserves_time_and_energy_for_any_samples(
+        intervals in prop::collection::vec((interval_samples(), 1e-3f64..10.0), 1..20),
+    ) {
+        let mut ledger = Ledger::new();
+        let mut at = SimTime::ZERO;
+        for (samples, dt_secs) in &intervals {
+            let energy_j: f64 = samples.iter().map(|s| s.static_j + s.dynamic_j).sum();
+            ledger.intervals.push(IntervalLedger::build(at, *dt_secs, energy_j, samples));
+            at += SimDuration::from_secs_f64(*dt_secs);
+        }
+        // The two hard invariants hold for arbitrary inputs: attributed
+        // time sums to wall time and attributed joules to modeled energy,
+        // within the relative epsilon, with no negative cell.
+        prop_assert!(ledger.verify(EPSILON).is_ok());
+        for iv in &ledger.intervals {
+            for region in &iv.regions {
+                prop_assert!((region.time.sum() - iv.dt_secs).abs() <= EPSILON * iv.dt_secs.max(1.0));
+                for (cause, v) in region.time.iter().chain(region.energy.iter()) {
+                    prop_assert!(v >= 0.0, "negative {cause} attribution: {v}");
+                }
+            }
+            prop_assert!(
+                (iv.attributed_energy() - iv.energy_j).abs() <= EPSILON * iv.energy_j.abs().max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_shed_labelling_and_serde_round_trip(
+        samples in interval_samples(),
+        dt_secs in 1e-3f64..5.0,
+    ) {
+        let energy_j: f64 = samples.iter().map(|s| s.static_j + s.dynamic_j).sum();
+        let mut ledger = Ledger::new();
+        ledger.intervals.push(IntervalLedger::build(SimTime::ZERO, dt_secs, energy_j, &samples));
+        // Off time lands on exactly the cause the sample's shed flag names.
+        let iv = &ledger.intervals[0];
+        for (sample, region) in samples.iter().zip(iv.regions.iter()) {
+            let (labelled, opposite) = if sample.shed {
+                (Cause::SafeModeShed, Cause::Idle)
+            } else {
+                (Cause::Idle, Cause::SafeModeShed)
+            };
+            let off = (1.0 - sample.busy_frac) * dt_secs;
+            prop_assert!(region.time.get(labelled) >= off - EPSILON * dt_secs.max(1.0) - 1e-9);
+            prop_assert!(region.time.get(opposite) <= EPSILON * dt_secs.max(1.0) + 1e-9);
+        }
+        // Serialization preserves the ledger bit-for-bit semantics.
+        let json = serde_json::to_string(&ledger).expect("ledger serializes");
+        let back: Ledger = serde_json::from_str(&json).expect("ledger deserializes");
+        prop_assert!(back.verify(EPSILON).is_ok());
+        prop_assert!((back.wall_secs() - ledger.wall_secs()).abs() < 1e-12);
+        prop_assert!((back.energy_j() - ledger.energy_j()).abs() < 1e-12);
     }
 }
