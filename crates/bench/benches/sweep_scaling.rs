@@ -1,0 +1,49 @@
+//! Sweep-executor scaling on the profiler grid: the same 8-cell
+//! (division × allocation) sweep at jobs ∈ {1, 2, 4, 8}.
+//!
+//! The acceptance target is ≥ 2× wall-clock speedup at 4 jobs on a
+//! machine with ≥ 4 hardware threads (CI runners). On fewer cores the
+//! higher-jobs rows converge to the serial row instead of improving —
+//! the grid stays deterministic either way, which is the point.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aum::profiler::{build_model, ProfilerConfig};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_sim::exec;
+use aum_sim::time::SimDuration;
+use aum_workloads::be::BeKind;
+
+/// A 4×2 grid (8 cells, 1 repetition, short runs): big enough that every
+/// jobs level has work for all workers, small enough for Criterion.
+fn grid_config() -> ProfilerConfig {
+    let mut cfg =
+        ProfilerConfig::paper_default(PlatformSpec::gen_a(), Scenario::Chatbot, BeKind::SpecJbb);
+    cfg.divisions.truncate(4);
+    cfg.allocations.truncate(2);
+    cfg.repetitions = 2;
+    cfg.run_duration = SimDuration::from_secs(60);
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = grid_config();
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4, 8] {
+        let name = format!("profiler_grid_jobs{jobs}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                exec::set_jobs(jobs);
+                let model = build_model(black_box(&cfg));
+                exec::set_jobs(0);
+                model.buckets.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

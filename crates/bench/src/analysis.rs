@@ -60,7 +60,7 @@ pub fn overhead() -> String {
     let mut out = String::from("Management overheads of AUM (§VII-D)\n\n");
 
     // Offline profiling cost across the evaluation grid.
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let t0 = Instant::now();
     for scenario in Scenario::ALL {
         let _ = cache.model(&spec, scenario, BeKind::SpecJbb);
@@ -120,20 +120,20 @@ pub fn overhead() -> String {
 #[must_use]
 pub fn tco() -> String {
     let spec = PlatformSpec::gen_a();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let excl = scheme_outcome(
         Scheme::AllAu,
         &spec,
         Scenario::Chatbot,
         BeKind::SpecJbb,
-        &mut cache,
+        &cache,
     );
     let aum = scheme_outcome(
         Scheme::Aum,
         &spec,
         Scenario::Chatbot,
         BeKind::SpecJbb,
-        &mut cache,
+        &cache,
     );
     let gain = aum.efficiency / excl.efficiency;
     let mut t = TextTable::new(["configuration", "perf/CapEx vs GPU", "perf/W vs GPU"]);

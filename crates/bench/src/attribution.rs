@@ -92,14 +92,8 @@ fn study_config(study: &str, quick: bool) -> Result<(ExperimentConfig, BeKind), 
 /// exits 1 on either.
 pub fn run_study(study: &str, quick: bool) -> Result<StudyReport, String> {
     let (cfg, be) = study_config(study, quick)?;
-    let mut cache = ModelCache::new();
-    let mut mgr = make_manager(
-        Scheme::Aum,
-        &cfg.platform,
-        cfg.scenario,
-        Some(be),
-        &mut cache,
-    );
+    let cache = ModelCache::new();
+    let mut mgr = make_manager(Scheme::Aum, &cfg.platform, cfg.scenario, Some(be), &cache);
     let (tracer, sink) = Tracer::shared(OrderingSink::new(MemorySink::new()));
     let outcome = try_run_experiment_traced(&cfg, mgr.as_mut(), tracer)
         .map_err(|e| format!("attrib study '{study}' failed: {e}"))?;
@@ -350,8 +344,11 @@ pub fn trace_diff(
     b: &[TraceRecord],
     threshold_pp: f64,
 ) -> Result<TraceDiff, String> {
-    let by_time_a = attribution_by_time(a);
-    let by_time_b = attribution_by_time(b);
+    // The two traces reduce independently — a 2-cell sweep halves the
+    // dominant cost of diffing two large JSONL traces when jobs ≥ 2.
+    let mut reduced = aum_sim::exec::sweep(vec![a, b], |_, t| attribution_by_time(t));
+    let by_time_b = reduced.pop().expect("two cells in, two out");
+    let by_time_a = reduced.pop().expect("two cells in, two out");
     if by_time_a.is_empty() {
         return Err(
             "trace A has no attribution samples (was it produced by `repro attrib`?)".into(),

@@ -14,6 +14,10 @@
 //!   --out <dir>          additionally write one .txt artifact per experiment
 //!   --trace <file>       stream telemetry from AUM-scheme runs and profiler
 //!                        sweeps to <file> as JSON lines
+//!   --jobs <N>           worker threads for sweep cells (default: the
+//!                        `AUM_JOBS` env var, else available parallelism;
+//!                        `--jobs 1` runs serially — outputs are
+//!                        byte-identical at every N)
 //!   --quick              (chaos/attrib) short runs — the CI smoke
 //!                        configuration
 //!   --metrics-out <file> (attrib only) write the run's final metrics
@@ -48,6 +52,7 @@ struct Cli {
     trace: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     threshold: Option<f64>,
+    jobs: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -56,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut trace = None;
     let mut metrics_out = None;
     let mut threshold = None;
+    let mut jobs = None;
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -93,6 +99,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 if threshold.replace(parsed).is_some() {
                     return Err("--threshold given twice".into());
+                }
+                i += 2;
+            }
+            "--jobs" => {
+                let v = args.get(i + 1).ok_or("--jobs requires a worker count")?;
+                let parsed: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: `{v}` is not a positive integer"))?;
+                if parsed == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                if jobs.replace(parsed).is_some() {
+                    return Err("--jobs given twice".into());
                 }
                 i += 2;
             }
@@ -138,6 +157,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if threshold.is_some() && !matches!(command, Command::TraceDiff { .. }) {
         return Err("--threshold is only valid with the trace-diff command".into());
     }
+    if jobs.is_some() && matches!(command, Command::List | Command::TraceSummary(_)) {
+        return Err("--jobs is only valid for commands that run sweeps".into());
+    }
     match command {
         Command::List | Command::TraceSummary(_) | Command::TraceDiff { .. }
             if out_dir.is_some() || trace.is_some() =>
@@ -150,6 +172,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             trace,
             metrics_out,
             threshold,
+            jobs,
         }),
     }
 }
@@ -158,14 +181,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = aum_bench::experiments();
     let usage = || {
-        eprintln!("usage: repro <id>|all|list [--out <dir>] [--trace <file.jsonl>]");
-        eprintln!("       repro chaos [--quick] [--out <dir>] [--trace <file.jsonl>]");
+        eprintln!("usage: repro <id>|all|list [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]");
+        eprintln!("       repro chaos [--quick] [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]");
         eprintln!(
             "       repro attrib <fig14|chaos> [--quick] [--metrics-out <file.prom>] \
-             [--out <dir>] [--trace <file.jsonl>]"
+             [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]"
         );
         eprintln!("       repro trace-summary <file.jsonl>");
-        eprintln!("       repro trace-diff <a.jsonl> <b.jsonl> [--threshold <pp>]");
+        eprintln!("       repro trace-diff <a.jsonl> <b.jsonl> [--threshold <pp>] [--jobs <N>]");
         eprintln!(
             "ids: {}",
             experiments
@@ -183,6 +206,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(n) = cli.jobs {
+        aum_sim::exec::set_jobs(n);
+    }
     if let Some(dir) = &cli.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -206,13 +232,33 @@ fn main() {
         aum_bench::common::install_tracer(tracer);
         handle
     });
+    // Wall-clock timing goes to stderr so stdout stays byte-identical
+    // across runs and worker counts (the CI serial-vs-parallel gate
+    // `cmp`s captured stdout).
     let emit = |name: &str, out: &str, elapsed: std::time::Duration| {
-        println!("==== {name} ({elapsed:?}) ====\n{out}");
+        println!("==== {name} ====\n{out}");
+        eprintln!("{name}: completed in {elapsed:?}");
         if let Some(dir) = &cli.out_dir {
             let path = dir.join(format!("{name}.txt"));
             if let Err(e) = std::fs::write(&path, out) {
                 eprintln!("cannot write {}: {e}", path.display());
             }
+        }
+    };
+    // Per-study executor accounting: speedup = summed cell compute time /
+    // sweep wall time. Printed to stderr so stdout artifacts stay
+    // byte-identical across worker counts.
+    let report_speedup = |name: &str, before: &aum_sim::exec::ExecStats| {
+        let d = aum_sim::exec::stats().since(before);
+        if d.cells > 0 {
+            eprintln!(
+                "{name}: {} sweep cells, busy {:.2?} / wall {:.2?}, speedup {:.2}x (jobs {})",
+                d.cells,
+                d.busy,
+                d.wall,
+                d.speedup(),
+                aum_sim::exec::jobs()
+            );
         }
     };
     let mut exit_code = 0;
@@ -226,15 +272,19 @@ fn main() {
             let t0 = Instant::now();
             for (name, run) in &experiments {
                 let t = Instant::now();
+                let before = aum_sim::exec::stats();
                 let out = run();
                 emit(name, &out, t.elapsed());
+                report_speedup(name, &before);
             }
             eprintln!("total: {:?}", t0.elapsed());
         }
         Command::Chaos { quick } => {
             let t = Instant::now();
+            let before = aum_sim::exec::stats();
             let run = aum_bench::chaos::run(*quick);
             emit("chaos", &run.text, t.elapsed());
+            report_speedup("chaos", &before);
             if run.degenerate {
                 eprintln!("error: chaos matrix produced non-finite SLO guarantees");
                 exit_code = 1;
@@ -242,9 +292,11 @@ fn main() {
         }
         Command::Attrib { study, quick } => {
             let t = Instant::now();
+            let before = aum_sim::exec::stats();
             match aum_bench::attribution::run_study(study, *quick) {
                 Ok(report) => {
                     emit(&format!("attrib-{study}"), &report.text, t.elapsed());
+                    report_speedup(&format!("attrib-{study}"), &before);
                     if let Some(path) = &cli.metrics_out {
                         if let Err(e) = std::fs::write(path, &report.prom) {
                             eprintln!("cannot write {}: {e}", path.display());
@@ -291,8 +343,10 @@ fn main() {
         Command::One(id) => match experiments.iter().find(|(n, _)| n == id) {
             Some((name, run)) => {
                 let t = Instant::now();
+                let before = aum_sim::exec::stats();
                 let out = run();
                 emit(name, &out, t.elapsed());
+                report_speedup(name, &before);
             }
             None => {
                 eprintln!("error: unknown experiment `{id}`");

@@ -166,12 +166,16 @@ fn slo_score(out: &Outcome) -> f64 {
 }
 
 /// Runs one scheme under one plan; the second return is the controller's
-/// safe-mode entry count (always 0 for the static baselines).
+/// safe-mode entry count (always 0 for the static baselines). `tracer` is
+/// the per-cell capture handed out by the sweep executor — only the AUM
+/// cell streams into it (matching the figure harness), so `repro chaos
+/// --trace` shows AUM's fault and safe-mode events without baseline noise.
 fn run_scheme(
     scheme: ChaosScheme,
     plan: &FaultPlan,
     duration_secs: u64,
-    cache: &mut ModelCache,
+    cache: &ModelCache,
+    tracer: &Tracer,
 ) -> (Outcome, u64) {
     let spec = PlatformSpec::gen_a();
     // ALL-AU serves exclusively by definition; the managed schemes carry
@@ -187,10 +191,7 @@ fn run_scheme(
     match scheme {
         ChaosScheme::Aum => {
             let mut ctl = AumController::new(cache.model(&spec, Scenario::Chatbot, BeKind::Olap));
-            // Only the controller under study streams telemetry (matching
-            // the figure harness), so `repro chaos --trace` shows AUM's
-            // fault and safe-mode events without baseline noise.
-            let out = run_experiment_traced(&cfg, &mut ctl, harness_tracer());
+            let out = run_experiment_traced(&cfg, &mut ctl, tracer.clone());
             let entries = ctl.safe_mode_entries();
             (out, entries)
         }
@@ -208,19 +209,37 @@ fn run_scheme(
 /// Runs the fault matrix and renders the retention report.
 #[must_use]
 pub fn run(quick: bool) -> ChaosRun {
+    run_with(quick, &ModelCache::new())
+}
+
+/// [`run`] against a caller-supplied model cache — the parallel-determinism
+/// suite passes a smoke-scale cache so the identical matrix/executor code
+/// path stays testable in debug builds.
+#[must_use]
+pub fn run_with(quick: bool, cache: &ModelCache) -> ChaosRun {
     let (duration, t0, t1) = if quick {
         (120u64, 30.0, 90.0)
     } else {
         (240u64, 60.0, 180.0)
     };
-    let mut cache = ModelCache::new();
     let scenarios = scenarios(t0, t1, quick);
 
+    // Build the single AUV model serially before any parallel dispatch, so
+    // the profiler's (internally parallel, order-merged) trace lands ahead
+    // of every cell stream.
+    let spec = PlatformSpec::gen_a();
+    cache.warm([(&spec, Scenario::Chatbot, BeKind::Olap)]);
+
     // Healthy baselines: one per scheme, same seed and duration.
-    let healthy: Vec<(ChaosScheme, Outcome)> = ChaosScheme::ALL
-        .iter()
-        .map(|&s| (s, run_scheme(s, &FaultPlan::none(), duration, &mut cache).0))
-        .collect();
+    let healthy: Vec<(ChaosScheme, Outcome)> = aum_sim::exec::sweep_traced(
+        &harness_tracer(),
+        ChaosScheme::ALL.to_vec(),
+        |_, s, tracer| run_scheme(s, &FaultPlan::none(), duration, cache, &tracer).0,
+    )
+    .into_iter()
+    .zip(ChaosScheme::ALL)
+    .map(|(o, s)| (s, o))
+    .collect();
 
     let mut out = String::new();
     let mode = if quick { "quick" } else { "full" };
@@ -254,11 +273,22 @@ pub fn run(quick: bool) -> ChaosRun {
         );
     }
 
+    // The whole fault × scheme matrix is independent cells; dispatch it
+    // through the sweep executor in (scenario, scheme) order.
+    let matrix_cells: Vec<(usize, ChaosScheme)> = (0..scenarios.len())
+        .flat_map(|i| ChaosScheme::ALL.map(move |s| (i, s)))
+        .collect();
+    let matrix: Vec<(Outcome, u64)> =
+        aum_sim::exec::sweep_traced(&harness_tracer(), matrix_cells, |_, (i, scheme), tracer| {
+            run_scheme(scheme, &scenarios[i].plan, duration, cache, &tracer)
+        });
+    let mut matrix_iter = matrix.into_iter();
+
     let mut degenerate = false;
     for sc in &scenarios {
         let mut cells: Vec<(ChaosScheme, Cell)> = Vec::new();
         for &(scheme, ref base) in &healthy {
-            let (faulted, safe_entries) = run_scheme(scheme, &sc.plan, duration, &mut cache);
+            let (faulted, safe_entries) = matrix_iter.next().expect("matrix covers every cell");
             let score = slo_score(&faulted);
             let retention = score / slo_score(base).max(1e-9);
             let cell = Cell {

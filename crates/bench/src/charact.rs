@@ -56,30 +56,37 @@ pub fn table1() -> String {
 #[must_use]
 pub fn fig4() -> String {
     let spec = PlatformSpec::gen_c();
+    // (app, sweep label, shown value, (dimension, cores, batch)) cells in
+    // report order; `au_acceleration` is pure, so the sweep executor runs
+    // them concurrently and hands results back in this exact order.
+    type Fig4Cell = (AuApp, &'static str, usize, (usize, usize, usize));
+    let cells: Vec<Fig4Cell> = AuApp::ALL
+        .into_iter()
+        .flat_map(|app| {
+            let dims = [128usize, 256, 512, 1024]
+                .into_iter()
+                .map(move |d| (app, "dimension", d, (d, 8, 16)));
+            let cores = [2usize, 8, 32, 120]
+                .into_iter()
+                .map(move |c| (app, "cores", c, (512, c, 16)));
+            let batches = [1usize, 8, 64]
+                .into_iter()
+                .map(move |bs| (app, "batch", bs, (512, 8, bs)));
+            dims.chain(cores).chain(batches)
+        })
+        .collect();
+    let rows_per_app = cells.len() / AuApp::ALL.len();
+    let speedups = aum_sim::exec::sweep(cells.clone(), |_, (app, _, _, (d, c, bs))| {
+        au_acceleration(&spec, app, d, c, bs)
+    });
     let mut out =
         String::from("Fig 4: AU acceleration of AI workloads on GenC (× vs AU-disabled)\n");
-    for app in AuApp::ALL {
+    for (app_idx, app) in AuApp::ALL.into_iter().enumerate() {
         let mut t = TextTable::new(["sweep", "value", "speedup"]);
-        for d in [128usize, 256, 512, 1024] {
-            t.row([
-                "dimension".into(),
-                d.to_string(),
-                fmt3(au_acceleration(&spec, app, d, 8, 16)),
-            ]);
-        }
-        for c in [2usize, 8, 32, 120] {
-            t.row([
-                "cores".into(),
-                c.to_string(),
-                fmt3(au_acceleration(&spec, app, 512, c, 16)),
-            ]);
-        }
-        for bs in [1usize, 8, 64] {
-            t.row([
-                "batch".into(),
-                bs.to_string(),
-                fmt3(au_acceleration(&spec, app, 512, 8, bs)),
-            ]);
+        let base = app_idx * rows_per_app;
+        for row in 0..rows_per_app {
+            let (_, label, value, _) = cells[base + row];
+            t.row([label.into(), value.to_string(), fmt3(speedups[base + row])]);
         }
         out.push_str(&format!("\n[{app}]\n{}", t.render()));
     }

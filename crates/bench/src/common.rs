@@ -1,8 +1,8 @@
 //! Shared infrastructure of the reproduction harness: scheme construction,
 //! AUV-model caching, and experiment execution.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use aum::baselines::{AllAu, AuFi, AuRb, AuUp, RpAu, SmtAu};
 use aum::controller::AumController;
@@ -12,28 +12,48 @@ use aum::profiler::{build_model_traced, AuvModel, ProfilerConfig};
 use aum_llm::traces::Scenario;
 use aum_platform::spec::PlatformSpec;
 use aum_sim::telemetry::Tracer;
+use aum_sim::time::SimDuration;
 use aum_workloads::be::BeKind;
 
-thread_local! {
-    /// The harness-wide tracer consulted by AUM-scheme runs and profiler
-    /// sweeps. Disabled by default; `repro --trace <file>` installs a
-    /// [`aum_sim::telemetry::JsonlSink`]-backed tracer here.
-    static HARNESS_TRACER: RefCell<Tracer> = RefCell::new(Tracer::disabled());
-}
+/// The harness-wide tracer consulted by AUM-scheme runs and profiler
+/// sweeps. Disabled by default; `repro --trace <file>` installs a
+/// [`aum_sim::telemetry::JsonlSink`]-backed tracer here. Process-global
+/// (not thread-local) so sweep-executor worker threads observe it too.
+static HARNESS_TRACER: Mutex<Option<Tracer>> = Mutex::new(None);
 
 /// Installs the tracer consulted by subsequent AUM-scheme experiment runs
-/// and profiling sweeps on this thread. Baseline schemes stay untraced so a
-/// figure-wide trace stays bounded and focused on the controller under
-/// study.
+/// and profiling sweeps. Baseline schemes stay untraced so a figure-wide
+/// trace stays bounded and focused on the controller under study.
 pub fn install_tracer(tracer: Tracer) {
-    HARNESS_TRACER.with(|t| *t.borrow_mut() = tracer);
+    *HARNESS_TRACER.lock().expect("harness tracer lock") = Some(tracer);
 }
 
 /// The currently installed harness tracer (disabled unless
 /// [`install_tracer`] was called).
 #[must_use]
 pub fn harness_tracer() -> Tracer {
-    HARNESS_TRACER.with(|t| t.borrow().clone())
+    HARNESS_TRACER
+        .lock()
+        .expect("harness tracer lock")
+        .clone()
+        .unwrap_or_else(Tracer::disabled)
+}
+
+/// Process-wide platform-name intern table. Platform specs are a handful of
+/// static presets, so a linear scan under a mutex is cheaper than hashing
+/// the name — and interning makes every [`ModelCache`] key `Copy`, so cache
+/// hits allocate nothing.
+static PLATFORM_NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Interns a platform name, returning its stable dense id.
+#[must_use]
+pub fn intern_platform(name: &str) -> usize {
+    let mut names = PLATFORM_NAMES.lock().expect("platform intern lock");
+    if let Some(id) = names.iter().position(|n| n == name) {
+        return id;
+    }
+    names.push(name.to_string());
+    names.len() - 1
 }
 
 /// The seven evaluated schemes (paper Table V).
@@ -82,37 +102,92 @@ impl Scheme {
     }
 }
 
+/// Cache key: interned platform id + scenario + co-runner. `Copy`, so
+/// lookups are allocation-free (the old key cloned `spec.name` per call).
+type CacheKey = (usize, Scenario, BeKind);
+
 /// Caches profiled AUV models across experiments (one offline profile can
 /// drive thousands of cores, §VII-D).
-#[derive(Default)]
+///
+/// Concurrency-safe: lookups take `&self`, the map lock is held only long
+/// enough to fetch/insert a per-key latch, and the actual profiling sweep
+/// runs under the key's [`OnceLock`] — concurrent requests for the *same*
+/// model block until the single build finishes, while requests for
+/// *different* models proceed independently. Models are returned as
+/// [`Arc<AuvModel>`] clones (pointer bumps), never deep bucket copies.
 pub struct ModelCache {
-    models: HashMap<(String, Scenario, BeKind), AuvModel>,
+    models: Mutex<HashMap<CacheKey, Arc<OnceLock<Arc<AuvModel>>>>>,
+    /// Builds the profiling sweep for a key — `paper_default` in studies;
+    /// tests substitute `ProfilerConfig::smoke` to keep runtimes sane while
+    /// exercising the identical cache/executor code path.
+    profile: fn(PlatformSpec, Scenario, BeKind) -> ProfilerConfig,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache::new()
+    }
 }
 
 impl ModelCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache profiling at paper scale.
     #[must_use]
     pub fn new() -> Self {
-        ModelCache::default()
+        Self::with_profile(ProfilerConfig::paper_default)
+    }
+
+    /// Creates an empty cache with a custom profiling-sweep factory.
+    #[must_use]
+    pub fn with_profile(profile: fn(PlatformSpec, Scenario, BeKind) -> ProfilerConfig) -> Self {
+        ModelCache {
+            models: Mutex::new(HashMap::new()),
+            profile,
+        }
     }
 
     /// Returns (building if necessary) the AUV model for a configuration.
-    pub fn model(&mut self, spec: &PlatformSpec, scenario: Scenario, be: BeKind) -> AuvModel {
-        self.models
-            .entry((spec.name.clone(), scenario, be))
-            .or_insert_with(|| {
-                build_model_traced(
-                    &ProfilerConfig::paper_default(spec.clone(), scenario, be),
-                    harness_tracer(),
-                )
-            })
-            .clone()
+    ///
+    /// The build itself is traced through the harness tracer and
+    /// parallelized internally by the profiler's sweep; callers that
+    /// dispatch traced cells through the executor should [`Self::warm`]
+    /// every needed model first so profiler events keep their serial
+    /// position in the merged trace.
+    pub fn model(&self, spec: &PlatformSpec, scenario: Scenario, be: BeKind) -> Arc<AuvModel> {
+        let key = (intern_platform(&spec.name), scenario, be);
+        let slot = {
+            let mut models = self.models.lock().expect("model cache lock");
+            Arc::clone(models.entry(key).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| {
+            Arc::new(build_model_traced(
+                &(self.profile)(spec.clone(), scenario, be),
+                harness_tracer(),
+            ))
+        }))
+    }
+
+    /// Eagerly builds the models for every listed configuration, in order.
+    /// Called before a parallel study sweep so cells only ever *hit* the
+    /// cache and the profiler's own trace events land deterministically
+    /// ahead of the study's.
+    pub fn warm<'a>(
+        &self,
+        configs: impl IntoIterator<Item = (&'a PlatformSpec, Scenario, BeKind)>,
+    ) {
+        for (spec, scenario, be) in configs {
+            let _ = self.model(spec, scenario, be);
+        }
     }
 
     /// Total profiling executions performed so far.
     #[must_use]
     pub fn total_runs(&self) -> usize {
-        self.models.values().map(|m| m.profiling_runs).sum()
+        self.models
+            .lock()
+            .expect("model cache lock")
+            .values()
+            .filter_map(|slot| slot.get().map(|m| m.profiling_runs))
+            .sum()
     }
 }
 
@@ -122,7 +197,7 @@ pub fn make_manager(
     spec: &PlatformSpec,
     scenario: Scenario,
     be: Option<BeKind>,
-    cache: &mut ModelCache,
+    cache: &ModelCache,
 ) -> Box<dyn ResourceManager> {
     match scheme {
         Scheme::AllAu => Box::new(AllAu::new(spec)),
@@ -145,7 +220,7 @@ pub fn scheme_outcome(
     spec: &PlatformSpec,
     scenario: Scenario,
     be: BeKind,
-    cache: &mut ModelCache,
+    cache: &ModelCache,
 ) -> Outcome {
     scheme_outcome_with_rate(scheme, spec, scenario, be, None, cache)
 }
@@ -158,7 +233,31 @@ pub fn scheme_outcome_with_rate(
     scenario: Scenario,
     be: BeKind,
     rate: Option<f64>,
-    cache: &mut ModelCache,
+    cache: &ModelCache,
+) -> Outcome {
+    let tracer = if scheme == Scheme::Aum {
+        harness_tracer()
+    } else {
+        Tracer::disabled()
+    };
+    scheme_outcome_cell(scheme, spec, scenario, be, rate, None, cache, &tracer)
+}
+
+/// The fully-parameterized scheme cell: explicit tracer (so parallel sweep
+/// cells can capture into per-cell sinks) and optional duration override
+/// (so the determinism tests drive the exact study code path at reduced
+/// scale). `rate = None` uses the scenario default; `duration = None` uses
+/// the paper default.
+#[allow(clippy::too_many_arguments)]
+pub fn scheme_outcome_cell(
+    scheme: Scheme,
+    spec: &PlatformSpec,
+    scenario: Scenario,
+    be: BeKind,
+    rate: Option<f64>,
+    duration: Option<SimDuration>,
+    cache: &ModelCache,
+    tracer: &Tracer,
 ) -> Outcome {
     let be_opt = if scheme == Scheme::AllAu {
         None
@@ -167,9 +266,12 @@ pub fn scheme_outcome_with_rate(
     };
     let mut cfg = ExperimentConfig::paper_default(spec.clone(), scenario, be_opt);
     cfg.rate = rate;
+    if let Some(d) = duration {
+        cfg.duration = d;
+    }
     let mut mgr = make_manager(scheme, spec, scenario, be_opt, cache);
     let tracer = if scheme == Scheme::Aum {
-        harness_tracer()
+        tracer.clone()
     } else {
         Tracer::disabled()
     };

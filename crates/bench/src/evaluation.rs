@@ -1,16 +1,54 @@
 //! Evaluation experiments: Table III, Fig 14-18.
 
 use aum::controller::AumController;
-use aum::experiment::{run_experiment, ExperimentConfig};
+use aum::experiment::{run_experiment, ExperimentConfig, Outcome};
 use aum::profiler::{build_model, ProfilerConfig};
 use aum_llm::traces::Scenario;
 use aum_platform::freq::FrequencyGovernor;
 use aum_platform::spec::PlatformSpec;
 use aum_platform::topology::AuUsageLevel;
 use aum_sim::report::{fmt3, fmt_pct, TextTable};
+use aum_sim::time::SimDuration;
 use aum_workloads::be::BeKind;
 
-use crate::common::{scheme_outcome, ModelCache, Scheme};
+use crate::common::{harness_tracer, scheme_outcome, scheme_outcome_cell, ModelCache, Scheme};
+
+/// Runs a (scenario × co-runner × scheme) grid of scheme cells through the
+/// parallel sweep executor, returning outcomes in grid order (scenario
+/// major, then co-runner, then scheme). The AUV models every AUM cell
+/// needs are built serially first ([`ModelCache::warm`]), so the profiler
+/// trace keeps its deterministic position ahead of the per-cell streams
+/// that [`aum_sim::exec::sweep_traced`] merges in grid order.
+///
+/// Fig 14/16/17 run this at paper scale; the parallel-determinism suite
+/// drives the *same* code path at reduced duration, which is why the
+/// duration override lives here.
+pub fn scheme_grid(
+    spec: &PlatformSpec,
+    scenarios: &[Scenario],
+    bes: &[BeKind],
+    schemes: &[Scheme],
+    duration: Option<SimDuration>,
+    cache: &ModelCache,
+) -> Vec<Outcome> {
+    if schemes.contains(&Scheme::Aum) {
+        cache.warm(
+            scenarios
+                .iter()
+                .flat_map(|&sc| bes.iter().map(move |&be| (spec, sc, be))),
+        );
+    }
+    let cells: Vec<(Scenario, BeKind, Scheme)> = scenarios
+        .iter()
+        .flat_map(|&sc| {
+            bes.iter()
+                .flat_map(move |&be| schemes.iter().map(move |&s| (sc, be, s)))
+        })
+        .collect();
+    aum_sim::exec::sweep_traced(&harness_tracer(), cells, |_, (sc, be, scheme), tracer| {
+        scheme_outcome_cell(scheme, spec, sc, be, None, duration, cache, &tracer)
+    })
+}
 
 /// Table III: an example bucket of the AUV model — per-usage-level core
 /// ranges, frequencies, resource tuple, and average/tail performance.
@@ -80,25 +118,34 @@ pub fn table3() -> String {
 #[must_use]
 pub fn fig14() -> String {
     let spec = PlatformSpec::gen_a();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let cb_base = scheme_outcome(
         Scheme::AllAu,
         &spec,
         Scenario::Chatbot,
         BeKind::SpecJbb,
-        &mut cache,
+        &cache,
     )
     .efficiency;
+    let grid = scheme_grid(
+        &spec,
+        &Scenario::ALL,
+        &BeKind::ALL,
+        &Scheme::ALL,
+        None,
+        &cache,
+    );
     let mut out =
         String::from("Fig 14: CPU performance-per-watt, normalized to ALL-AU (chatbot)\n");
     let mut aum_vs_best_oblivious = Vec::new();
     let mut aum_vs_exclusive = Vec::new();
+    let mut grid_iter = grid.iter();
     for scenario in Scenario::ALL {
         for be in BeKind::ALL {
             let mut t = TextTable::new(["scheme", "efficiency (norm)", "P_N", "power W"]);
             let mut per_scheme = std::collections::HashMap::new();
             for scheme in Scheme::ALL {
-                let o = scheme_outcome(scheme, &spec, scenario, be, &mut cache);
+                let o = grid_iter.next().expect("grid covers every cell");
                 per_scheme.insert(scheme, o.efficiency);
                 t.row([
                     scheme.name().to_string(),
@@ -128,40 +175,57 @@ pub fn fig14() -> String {
 /// normalized to ALL-AU on GenA.
 #[must_use]
 pub fn fig15() -> String {
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let gen_a = PlatformSpec::gen_a();
     let base = scheme_outcome(
         Scheme::AllAu,
         &gen_a,
         Scenario::Chatbot,
         BeKind::SpecJbb,
-        &mut cache,
+        &cache,
     )
     .efficiency;
+    // Offered load scales with platform serving capacity: the paper
+    // exercises every platform near its own operating point.
+    let presets = PlatformSpec::presets();
+    cache.warm(
+        presets
+            .iter()
+            .flat_map(|spec| Scenario::ALL.map(|sc| (spec, sc, BeKind::SpecJbb))),
+    );
+    let cells: Vec<(&PlatformSpec, Scenario, Scheme)> = presets
+        .iter()
+        .flat_map(|spec| {
+            Scenario::ALL.into_iter().flat_map(move |sc| {
+                [Scheme::AllAu, Scheme::Aum].map(move |scheme| (spec, sc, scheme))
+            })
+        })
+        .collect();
+    let grid = aum_sim::exec::sweep_traced(
+        &harness_tracer(),
+        cells,
+        |_, (spec, scenario, scheme), tracer| {
+            let rate = Some(crate::common::platform_scaled_rate(spec, scenario));
+            scheme_outcome_cell(
+                scheme,
+                spec,
+                scenario,
+                BeKind::SpecJbb,
+                rate,
+                None,
+                &cache,
+                &tracer,
+            )
+        },
+    );
     let mut out =
         String::from("Fig 15: efficiency on evolving platforms (norm. to ALL-AU on GenA)\n");
-    for spec in PlatformSpec::presets() {
+    let mut grid_iter = grid.iter();
+    for spec in &presets {
         let mut t = TextTable::new(["scenario", "ALL-AU", "AUM", "AUM gain"]);
         for scenario in Scenario::ALL {
-            // Offered load scales with platform serving capacity: the paper
-            // exercises every platform near its own operating point.
-            let rate = Some(crate::common::platform_scaled_rate(&spec, scenario));
-            let excl = crate::common::scheme_outcome_with_rate(
-                Scheme::AllAu,
-                &spec,
-                scenario,
-                BeKind::SpecJbb,
-                rate,
-                &mut cache,
-            );
-            let aum = crate::common::scheme_outcome_with_rate(
-                Scheme::Aum,
-                &spec,
-                scenario,
-                BeKind::SpecJbb,
-                rate,
-                &mut cache,
-            );
+            let excl = grid_iter.next().expect("grid covers every cell");
+            let aum = grid_iter.next().expect("grid covers every cell");
             t.row([
                 scenario.to_string(),
                 fmt3(excl.efficiency / base),
@@ -180,14 +244,24 @@ pub fn fig15() -> String {
 #[must_use]
 pub fn fig16() -> String {
     let spec = PlatformSpec::gen_a();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
+    let grid = scheme_grid(
+        &spec,
+        &Scenario::ALL,
+        &[BeKind::SpecJbb],
+        &Scheme::ALL,
+        None,
+        &cache,
+    );
     let mut au_norm = std::collections::HashMap::new();
     let mut be_norm = std::collections::HashMap::new();
-    for scenario in Scenario::ALL {
-        let all_au = scheme_outcome(Scheme::AllAu, &spec, scenario, BeKind::SpecJbb, &mut cache);
-        let rp = scheme_outcome(Scheme::RpAu, &spec, scenario, BeKind::SpecJbb, &mut cache);
-        for scheme in Scheme::ALL {
-            let o = scheme_outcome(scheme, &spec, scenario, BeKind::SpecJbb, &mut cache);
+    for (s_idx, _scenario) in Scenario::ALL.into_iter().enumerate() {
+        let row = &grid[s_idx * Scheme::ALL.len()..(s_idx + 1) * Scheme::ALL.len()];
+        let all_au = &row[0];
+        let rp = &row[2];
+        debug_assert_eq!(Scheme::ALL[0], Scheme::AllAu);
+        debug_assert_eq!(Scheme::ALL[2], Scheme::RpAu);
+        for (o, scheme) in row.iter().zip(Scheme::ALL) {
             let au_perf =
                 (o.prefill_tps + o.decode_tps) / (all_au.prefill_tps + all_au.decode_tps).max(1e-9);
             let be_perf = o.be_rate / rp.be_rate.max(1e-9);
@@ -214,12 +288,21 @@ pub fn fig16() -> String {
 #[must_use]
 pub fn fig17() -> String {
     let spec = PlatformSpec::gen_a();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
+    let grid = scheme_grid(
+        &spec,
+        &Scenario::ALL,
+        &[BeKind::SpecJbb],
+        &Scheme::ALL,
+        None,
+        &cache,
+    );
     let mut out = String::from("Fig 17: SLO guarantee ratios when sharing with SPECjbb\n");
+    let mut grid_iter = grid.iter();
     for scenario in Scenario::ALL {
         let mut t = TextTable::new(["scheme", "prefill TTFT guarantee", "decode TPOT guarantee"]);
         for scheme in Scheme::ALL {
-            let o = scheme_outcome(scheme, &spec, scenario, BeKind::SpecJbb, &mut cache);
+            let o = grid_iter.next().expect("grid covers every cell");
             t.row([
                 scheme.name().to_string(),
                 fmt3(o.slo.ttft_guarantee),
@@ -236,7 +319,7 @@ pub fn fig17() -> String {
 #[must_use]
 pub fn fig18() -> String {
     let spec = PlatformSpec::gen_a();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let model = cache.model(&spec, Scenario::Chatbot, BeKind::SpecJbb);
     let cfg =
         ExperimentConfig::paper_default(spec.clone(), Scenario::Chatbot, Some(BeKind::SpecJbb));
@@ -246,7 +329,7 @@ pub fn fig18() -> String {
         &spec,
         Scenario::Chatbot,
         BeKind::SpecJbb,
-        &mut cache,
+        &cache,
     );
     let mut out =
         String::from("Fig 18: shared-class resource allocation CDFs (chatbot + SPECjbb)\n");

@@ -36,28 +36,22 @@ pub fn fig1() -> String {
         64,
     );
     let spec = PlatformSpec::gen_a();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let base = scheme_outcome(
         Scheme::AllAu,
         &spec,
         Scenario::Chatbot,
         BeKind::Olap,
-        &mut cache,
+        &cache,
     );
     let smt = scheme_outcome(
         Scheme::SmtAu,
         &spec,
         Scenario::Chatbot,
         BeKind::Olap,
-        &mut cache,
+        &cache,
     );
-    let aum = scheme_outcome(
-        Scheme::Aum,
-        &spec,
-        Scenario::Chatbot,
-        BeKind::Olap,
-        &mut cache,
-    );
+    let aum = scheme_outcome(Scheme::Aum, &spec, Scenario::Chatbot, BeKind::Olap, &cache);
     let oblivious_loss = 1.0 - smt.decode_tps / base.decode_tps;
     let aum_loss = 1.0 - aum.decode_tps / base.decode_tps;
     let mut out = String::from("Fig 1: the management gap\n");
@@ -145,8 +139,8 @@ pub fn ablate() -> String {
     let be = BeKind::SpecJbb;
     let full_divs = default_divisions(&spec);
     let full_cfgs = default_allocations(&spec);
-    let mut cache = ModelCache::new();
-    let exclusive = scheme_outcome(Scheme::AllAu, &spec, scenario, be, &mut cache);
+    let cache = ModelCache::new();
+    let exclusive = scheme_outcome(Scheme::AllAu, &spec, scenario, be, &cache);
     let mut t = TextTable::new([
         "grid (div x cfg)",
         "profiling runs",

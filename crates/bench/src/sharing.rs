@@ -44,13 +44,13 @@ pub fn fig9() -> String {
 
     out.push_str("\nFig 9b: end-to-end impact of shared application types (SMT-AU vs ALL-AU)\n");
     let spec = PlatformSpec::gen_a();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let base = scheme_outcome(
         Scheme::AllAu,
         &spec,
         Scenario::Chatbot,
         BeKind::SpecJbb,
-        &mut cache,
+        &cache,
     );
     let mut t = TextTable::new([
         "shared app",
@@ -60,7 +60,7 @@ pub fn fig9() -> String {
         "BE rate",
     ]);
     for be in [BeKind::Compute, BeKind::Olap, BeKind::SpecJbb] {
-        let out_ = scheme_outcome(Scheme::SmtAu, &spec, Scenario::Chatbot, be, &mut cache);
+        let out_ = scheme_outcome(Scheme::SmtAu, &spec, Scenario::Chatbot, be, &cache);
         t.row([
             be.to_string(),
             fmt3(out_.decode_tps / base.decode_tps),
@@ -156,13 +156,13 @@ pub fn fig10() -> String {
 pub fn fig12() -> String {
     let spec = PlatformSpec::gen_a();
     let total = spec.total_cores();
-    let mut cache = ModelCache::new();
+    let cache = ModelCache::new();
     let base = scheme_outcome(
         Scheme::AllAu,
         &spec,
         Scenario::Chatbot,
         BeKind::SpecJbb,
-        &mut cache,
+        &cache,
     );
     let mut t = TextTable::new([
         "division (H/L/N)",

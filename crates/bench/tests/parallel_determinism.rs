@@ -1,0 +1,153 @@
+//! Parallel-determinism gate: `--jobs 1` and `--jobs 8` must produce
+//! identical outcome metrics and byte-identical traces.
+//!
+//! One test function on purpose: the executor's worker-count override and
+//! the harness tracer are process globals, so the serial-vs-parallel
+//! comparisons must not interleave with each other. Integration tests run
+//! in their own process, so the rest of the suite is unaffected.
+//!
+//! The grids run at reduced scale (smoke profiler, short experiment
+//! durations) through the *same* code paths the paper-scale studies use —
+//! `build_model_traced`, `evaluation::scheme_grid`, `chaos::run_with` —
+//! so the gate exercises the real cell dispatch, cache latching and
+//! ordered trace merge, not a test-only replica.
+
+use aum::profiler::{build_model_traced, ProfilerConfig};
+use aum_bench::common::{install_tracer, ModelCache, Scheme};
+use aum_llm::traces::Scenario;
+use aum_platform::spec::PlatformSpec;
+use aum_sim::exec;
+use aum_sim::telemetry::{MemorySink, OrderingSink, Tracer};
+use aum_sim::time::SimDuration;
+use aum_workloads::be::BeKind;
+
+/// Installs a fresh capture tracer as the harness tracer, runs `f`, and
+/// returns (result, serialized trace lines). The tracer is flushed (the
+/// ordering sink sorts by `(time, seq)`) before readback and a disabled
+/// tracer is reinstalled afterwards.
+fn with_captured_trace<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    let (tracer, sink) = Tracer::shared(OrderingSink::new(MemorySink::new()));
+    install_tracer(tracer.clone());
+    let result = f();
+    tracer.flush();
+    install_tracer(Tracer::disabled());
+    let lines = sink
+        .lock()
+        .expect("capture sink lock")
+        .inner()
+        .records()
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("record serializes"))
+        .collect();
+    (result, lines)
+}
+
+#[test]
+fn jobs_1_and_jobs_8_are_byte_identical() {
+    let spec = PlatformSpec::gen_a();
+
+    // --- Profiler grid: identical buckets, byte-identical trace. ---
+    let profile = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let cfg = ProfilerConfig::smoke(spec.clone(), Scenario::Chatbot, BeKind::SpecJbb);
+        let out =
+            with_captured_trace(|| build_model_traced(&cfg, aum_bench::common::harness_tracer()));
+        exec::set_jobs(0);
+        out
+    };
+    let (model_serial, trace_serial) = profile(1);
+    let (model_parallel, trace_parallel) = profile(8);
+    assert_eq!(
+        model_serial, model_parallel,
+        "profiler buckets must not depend on the worker count"
+    );
+    assert!(
+        !trace_serial.is_empty(),
+        "profiler sweep must emit progress events"
+    );
+    assert_eq!(
+        trace_serial, trace_parallel,
+        "profiler trace must be byte-identical at jobs 1 vs 8"
+    );
+
+    // --- Fig 14 grid shape (reduced scale): identical Outcome metrics,
+    // byte-identical trace. Same scheme_grid code path as the paper run;
+    // the smoke-profile cache and 30 s cells keep debug runtime sane. ---
+    let fig14_grid = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let cache = ModelCache::with_profile(ProfilerConfig::smoke);
+        let out = with_captured_trace(|| {
+            let grid = aum_bench::evaluation::scheme_grid(
+                &spec,
+                &[Scenario::Chatbot],
+                &[BeKind::SpecJbb],
+                &Scheme::ALL,
+                Some(SimDuration::from_secs(30)),
+                &cache,
+            );
+            grid.iter()
+                .map(|o| serde_json::to_string(o).expect("outcome serializes"))
+                .collect::<Vec<_>>()
+        });
+        exec::set_jobs(0);
+        out
+    };
+    let (outcomes_serial, fig14_trace_serial) = fig14_grid(1);
+    let (outcomes_parallel, fig14_trace_parallel) = fig14_grid(8);
+    assert_eq!(outcomes_serial.len(), Scheme::ALL.len());
+    assert_eq!(
+        outcomes_serial, outcomes_parallel,
+        "scheme-grid outcomes must not depend on the worker count"
+    );
+    assert!(
+        !fig14_trace_serial.is_empty(),
+        "the AUM cell and profiler must emit trace events"
+    );
+    assert_eq!(
+        fig14_trace_serial, fig14_trace_parallel,
+        "fig14-grid trace must be byte-identical at jobs 1 vs 8"
+    );
+
+    // --- Chaos quick matrix: identical report text, byte-identical trace,
+    // and the trace-diff zero gate between the two runs. ---
+    let chaos = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let cache = ModelCache::with_profile(ProfilerConfig::smoke);
+        let out = with_captured_trace(|| aum_bench::chaos::run_with(true, &cache));
+        exec::set_jobs(0);
+        out
+    };
+    let (chaos_serial, chaos_trace_serial) = chaos(1);
+    let (chaos_parallel, chaos_trace_parallel) = chaos(8);
+    assert!(!chaos_serial.degenerate, "{}", chaos_serial.text);
+    assert_eq!(
+        chaos_serial.text, chaos_parallel.text,
+        "chaos report must not depend on the worker count"
+    );
+    assert_eq!(
+        chaos_trace_serial, chaos_trace_parallel,
+        "chaos trace must be byte-identical at jobs 1 vs 8"
+    );
+
+    // Reuse the attribution trace-diff gate: parsing the serialized lines
+    // back and diffing the two runs must come out exactly zero.
+    let parse = |lines: &[String]| {
+        aum_sim::telemetry::parse_jsonl(&lines.join("\n")).expect("captured trace parses")
+    };
+    let diff = aum_bench::attribution::trace_diff(
+        &parse(&chaos_trace_serial),
+        &parse(&chaos_trace_parallel),
+        aum_bench::attribution::DEFAULT_THRESHOLD_PP,
+    )
+    .expect("chaos traces carry attribution samples");
+    assert!(
+        !diff.regression,
+        "serial-vs-parallel self-diff must be zero:\n{}",
+        diff.text
+    );
+    assert!(
+        diff.text.contains("max |Δ| 0.00 pp"),
+        "expected an exactly-zero diff:\n{}",
+        diff.text
+    );
+}

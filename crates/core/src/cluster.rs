@@ -165,45 +165,34 @@ pub fn run_cluster(cfg: &ClusterConfig, policy: RoutingPolicy) -> ClusterOutcome
         .collect();
     let weights = routing_weights(cfg, policy, &models);
 
-    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = cfg
-            .servers
-            .iter()
-            .zip(&weights)
-            .zip(&models)
-            .enumerate()
-            .map(|(i, ((server, &weight), model))| {
-                let model = model.clone();
-                let scenario = cfg.scenario;
-                let prices = cfg.prices;
-                let duration = cfg.duration;
-                let seed = cfg.seed.wrapping_add(i as u64 * 7919);
-                let rate = (cfg.total_rate * weight).max(1e-3);
-                scope.spawn(move || {
-                    let exp = ExperimentConfig {
-                        platform: server.platform.clone(),
-                        scenario,
-                        be: server.be,
-                        duration,
-                        control_interval: SimDuration::from_millis(500),
-                        seed,
-                        rate: Some(rate),
-                        rate_profile: aum_llm::traces::RateProfile::Constant,
-                        fault: crate::fault::FaultPlan::none(),
-                        prices,
-                        model: aum_llm::config::ModelConfig::llama2_7b(),
-                    };
-                    match server.be {
-                        Some(_) => run_experiment(&exp, &mut AumController::new(model)),
-                        None => run_experiment(&exp, &mut AllAu::new(&server.platform)),
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("server simulation panicked"))
-            .collect()
+    // Each server's seed depends only on its index, so the sweep executor
+    // reproduces the serial result bit-for-bit at any worker count (and
+    // bounds concurrency by `--jobs` instead of one thread per server).
+    let cells: Vec<(&ServerConfig, f64, AuvModel)> = cfg
+        .servers
+        .iter()
+        .zip(&weights)
+        .zip(&models)
+        .map(|((server, &weight), model)| (server, weight, model.clone()))
+        .collect();
+    let outcomes: Vec<Outcome> = aum_sim::exec::sweep(cells, |i, (server, weight, model)| {
+        let exp = ExperimentConfig {
+            platform: server.platform.clone(),
+            scenario: cfg.scenario,
+            be: server.be,
+            duration: cfg.duration,
+            control_interval: SimDuration::from_millis(500),
+            seed: cfg.seed.wrapping_add(i as u64 * 7919),
+            rate: Some((cfg.total_rate * weight).max(1e-3)),
+            rate_profile: aum_llm::traces::RateProfile::Constant,
+            fault: crate::fault::FaultPlan::none(),
+            prices: cfg.prices,
+            model: aum_llm::config::ModelConfig::llama2_7b(),
+        };
+        match server.be {
+            Some(_) => run_experiment(&exp, &mut AumController::new(model)),
+            None => run_experiment(&exp, &mut AllAu::new(&server.platform)),
+        }
     });
 
     let total_power: f64 = outcomes.iter().map(|o| o.avg_power_w).sum();

@@ -18,6 +18,7 @@
 //!    processor division (Algorithm 1 line 17).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use aum_au::ari::{qkv_ari_decode, qkv_ari_prefill, usage_from_ari};
 use aum_llm::engine::EngineMode;
@@ -117,7 +118,10 @@ const MAX_BACKOFF_LEVEL: u32 = 3;
 /// ```
 #[derive(Debug, Clone)]
 pub struct AumController {
-    model: AuvModel,
+    /// Shared, mostly-read-only AUV model. Kept behind an `Arc` so many
+    /// controllers (parallel sweep cells) share one profiled model without
+    /// cloning its buckets; online refinement copies-on-write.
+    model: Arc<AuvModel>,
     delta_threshold: f64,
     current: (usize, usize),
     cooldown: u32,
@@ -191,8 +195,12 @@ const HARVEST_PATIENCE: u32 = 4;
 impl AumController {
     /// Creates a controller from a profiled AUV model, starting at the
     /// bucket the efficiency-aware switcher picks for the static SLOs.
+    ///
+    /// Accepts either an owned [`AuvModel`] or an `Arc<AuvModel>`; passing
+    /// the `Arc` (e.g. straight from the bench harness model cache) shares
+    /// the profiled buckets instead of cloning them per controller.
     #[must_use]
-    pub fn new(model: AuvModel) -> Self {
+    pub fn new(model: impl Into<Arc<AuvModel>>) -> Self {
         Self::with_threshold(model, DEFAULT_DELTA_THRESHOLD)
     }
 
@@ -202,7 +210,8 @@ impl AumController {
     ///
     /// Panics if the threshold is not positive.
     #[must_use]
-    pub fn with_threshold(model: AuvModel, delta_threshold: f64) -> Self {
+    pub fn with_threshold(model: impl Into<Arc<AuvModel>>, delta_threshold: f64) -> Self {
+        let model = model.into();
         assert!(delta_threshold > 0.0, "delta threshold must be positive");
         let slo = model.scenario.slo();
         let current = model.best_bucket(slo.ttft.as_secs_f64(), slo.tpot.as_secs_f64());
@@ -638,9 +647,11 @@ impl ResourceManager for AumController {
         }
 
         // Online refinement: fold measurements into the current bucket.
+        // The model is shared (`Arc`) across controllers; refinement
+        // copies-on-write so other holders keep the pristine profile.
         if let Some(alpha) = self.refine_alpha {
             let idx = self.current.0 * self.model.cfg_count + self.current.1;
-            let b = &mut self.model.buckets[idx];
+            let b = &mut Arc::make_mut(&mut self.model).buckets[idx];
             if state.recent_ttft_p90 > 0.0 {
                 b.ttft_p90 = (1.0 - alpha) * b.ttft_p90 + alpha * state.recent_ttft_p90;
                 b.ttft_p50 = (1.0 - alpha) * b.ttft_p50 + alpha * state.recent_ttft_p50;

@@ -324,71 +324,85 @@ pub fn build_model(cfg: &ProfilerConfig) -> AuvModel {
 /// Like [`build_model`], emitting one [`Event::ProfilerProgress`] per grid
 /// cell through `tracer`. Events are stamped with the cumulative simulated
 /// time the sweep has consumed so far.
+///
+/// The (division × allocation) cells are independent — each repetition's
+/// seed is `cfg.seed + rep * 101`, identical across cells — so they run
+/// concurrently on the [`aum_sim::exec`] sweep executor. Determinism is
+/// preserved by construction: every cell's bucket and progress event are
+/// pure functions of its grid index, and [`aum_sim::exec::sweep_traced`]
+/// merges the per-cell trace streams back in grid order, so the emitted
+/// `ProfilerProgress` stream (timestamps, `completed` counters, ordering)
+/// is byte-identical to the historical serial sweep for any worker count.
 #[must_use]
 pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
     let total_cells = cfg.divisions.len() * cfg.allocations.len();
-    let mut buckets = Vec::with_capacity(total_cells);
-    let mut runs = 0usize;
-    for (div_idx, division) in cfg.divisions.iter().enumerate() {
-        for (cfg_idx, allocation) in cfg.allocations.iter().enumerate() {
-            let decision = Decision {
-                division: *division,
-                allocation: *allocation,
-                smt_sharing: false,
-                engine_mode: EngineMode::Partitioned,
+    let cells: Vec<(usize, usize)> = (0..cfg.divisions.len())
+        .flat_map(|d| (0..cfg.allocations.len()).map(move |c| (d, c)))
+        .collect();
+    let buckets = aum_sim::exec::sweep_traced(&tracer, cells, |cell_idx, (div_idx, cfg_idx), t| {
+        let division = cfg.divisions[div_idx];
+        let allocation = cfg.allocations[cfg_idx];
+        let decision = Decision {
+            division,
+            allocation,
+            smt_sharing: false,
+            engine_mode: EngineMode::Partitioned,
+        };
+        let mut acc = Bucket {
+            division,
+            allocation,
+            prefill_tps: 0.0,
+            decode_tps: 0.0,
+            be_rate: 0.0,
+            ttft_p50: 0.0,
+            ttft_p90: 0.0,
+            tpot_p50: 0.0,
+            tpot_p90: 0.0,
+            power_w: 0.0,
+            efficiency: 0.0,
+        };
+        for rep in 0..cfg.repetitions {
+            let exp = ExperimentConfig {
+                platform: cfg.platform.clone(),
+                scenario: cfg.scenario,
+                be: Some(cfg.be),
+                duration: cfg.run_duration,
+                control_interval: SimDuration::from_millis(500),
+                seed: cfg.seed.wrapping_add(rep as u64 * 101),
+                rate: cfg.rate,
+                rate_profile: aum_llm::traces::RateProfile::Constant,
+                fault: crate::fault::FaultPlan::none(),
+                prices: cfg.prices,
+                model: aum_llm::config::ModelConfig::llama2_7b(),
             };
-            let mut acc = Bucket {
-                division: *division,
-                allocation: *allocation,
-                prefill_tps: 0.0,
-                decode_tps: 0.0,
-                be_rate: 0.0,
-                ttft_p50: 0.0,
-                ttft_p90: 0.0,
-                tpot_p50: 0.0,
-                tpot_p90: 0.0,
-                power_w: 0.0,
-                efficiency: 0.0,
-            };
-            for rep in 0..cfg.repetitions {
-                let exp = ExperimentConfig {
-                    platform: cfg.platform.clone(),
-                    scenario: cfg.scenario,
-                    be: Some(cfg.be),
-                    duration: cfg.run_duration,
-                    control_interval: SimDuration::from_millis(500),
-                    seed: cfg.seed.wrapping_add(rep as u64 * 101),
-                    rate: cfg.rate,
-                    rate_profile: aum_llm::traces::RateProfile::Constant,
-                    fault: crate::fault::FaultPlan::none(),
-                    prices: cfg.prices,
-                    model: aum_llm::config::ModelConfig::llama2_7b(),
-                };
-                let mut mgr = StaticManager::new("profiler", decision);
-                let out = run_experiment(&exp, &mut mgr);
-                runs += 1;
-                let n = cfg.repetitions as f64;
-                acc.prefill_tps += out.prefill_tps / n;
-                acc.decode_tps += out.decode_tps / n;
-                acc.be_rate += out.be_rate / n;
-                acc.ttft_p50 += out.slo.ttft_p50 / n;
-                acc.ttft_p90 += out.slo.ttft_p90 / n;
-                acc.tpot_p50 += out.slo.tpot_req_p50 / n;
-                acc.tpot_p90 += out.slo.tpot_req_p90 / n;
-                acc.power_w += out.avg_power_w / n;
-                acc.efficiency += out.efficiency / n;
-            }
-            buckets.push(acc);
-            tracer.emit(SimTime::ZERO + cfg.run_duration * runs as u64, || {
-                Event::ProfilerProgress {
-                    completed: buckets.len(),
-                    total: total_cells,
-                    division: div_idx,
-                    config: cfg_idx,
-                }
-            });
+            let mut mgr = StaticManager::new("profiler", decision);
+            let out = run_experiment(&exp, &mut mgr);
+            let n = cfg.repetitions as f64;
+            acc.prefill_tps += out.prefill_tps / n;
+            acc.decode_tps += out.decode_tps / n;
+            acc.be_rate += out.be_rate / n;
+            acc.ttft_p50 += out.slo.ttft_p50 / n;
+            acc.ttft_p90 += out.slo.ttft_p90 / n;
+            acc.tpot_p50 += out.slo.tpot_req_p50 / n;
+            acc.tpot_p90 += out.slo.tpot_req_p90 / n;
+            acc.power_w += out.avg_power_w / n;
+            acc.efficiency += out.efficiency / n;
         }
-    }
+        // The cumulative run counter a serial sweep would have reached
+        // after this cell — a pure function of the cell index, so the
+        // event stream is independent of execution order.
+        let runs_after = (cell_idx + 1) * cfg.repetitions;
+        t.emit(SimTime::ZERO + cfg.run_duration * runs_after as u64, || {
+            Event::ProfilerProgress {
+                completed: cell_idx + 1,
+                total: total_cells,
+                division: div_idx,
+                config: cfg_idx,
+            }
+        });
+        acc
+    });
+    let runs = total_cells * cfg.repetitions;
     AuvModel {
         platform: cfg.platform.name.clone(),
         scenario: cfg.scenario,

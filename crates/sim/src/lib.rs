@@ -5,6 +5,8 @@
 //! - [`time`]: integer-nanosecond simulation clock types ([`time::SimTime`],
 //!   [`time::SimDuration`]);
 //! - [`event`]: a deterministic future-event list with stable tie-breaking;
+//! - [`exec`]: a deterministic parallel sweep executor for independent,
+//!   seeded grid cells ([`exec::sweep`], [`exec::sweep_traced`]);
 //! - [`rng`]: labelled deterministic random streams derived from one seed;
 //! - [`stats`]: streaming summaries, exact quantiles, histograms, CDFs;
 //! - [`series`]: zero-order-hold time series for telemetry;
@@ -52,6 +54,7 @@
 
 pub mod attrib;
 pub mod event;
+pub mod exec;
 pub mod prom;
 pub mod report;
 pub mod rng;
@@ -64,6 +67,7 @@ pub use attrib::{
     Cause, CauseVec, ConservationError, IntervalLedger, Ledger, Region, RegionSample,
 };
 pub use event::{EventId, EventQueue};
+pub use exec::{jobs, set_jobs, sweep, sweep_jobs, sweep_traced, ExecStats};
 pub use rng::DetRng;
 pub use stats::{Histogram, Samples, Summary};
 pub use telemetry::{
