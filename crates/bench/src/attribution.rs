@@ -155,6 +155,20 @@ pub fn run_study(study: &str, quick: bool) -> Result<StudyReport, String> {
         prom_text.push_str(&prom::render_registry(last));
     }
     prom_text.push_str(&prom::render_ledger(ledger));
+    // The run's latency distributions as Prometheus histograms, from the
+    // same mergeable log-linear buckets the SLO report quantiles use.
+    prom_text.push_str(&prom::render_histogram(
+        "aum_ttft_seconds",
+        "Time-to-first-token distribution of the study run",
+        &[("study", study)],
+        &outcome.slo.ttft_hist,
+    ));
+    prom_text.push_str(&prom::render_histogram(
+        "aum_tpot_request_seconds",
+        "Per-request mean time-per-output-token distribution of the study run",
+        &[("study", study)],
+        &outcome.slo.tpot_req_hist,
+    ));
 
     Ok(StudyReport {
         text,

@@ -4,11 +4,17 @@
 //!   repro `<id>`                     run one experiment (e.g. `fig14`)
 //!   repro all                        run everything in paper order
 //!   repro list                       list experiment ids
+//!   repro help | --help              print the full subcommand list
 //!   repro chaos [--quick]            fault-matrix resilience study
 //!   repro attrib <study> [--quick]   time/energy attribution ledger report
 //!                                    (study: `fig14` or `chaos`)
-//!   repro trace-summary <file>       explain a telemetry trace
+//!   repro trace-summary <file>       explain a telemetry trace (includes
+//!                                    the SLO burn-rate digest and the
+//!                                    worst-TTFT span drill-down)
 //!   repro trace-diff <a> <b>         attribution delta between two traces
+//!   repro trace-export <file> --perfetto <out.json>
+//!                                    convert a span trace to Chrome Trace
+//!                                    Event Format (Perfetto-loadable)
 //!
 //! Flags (only valid when running experiments):
 //!   --out <dir>          additionally write one .txt artifact per experiment
@@ -18,16 +24,21 @@
 //!                        `AUM_JOBS` env var, else available parallelism;
 //!                        `--jobs 1` runs serially — outputs are
 //!                        byte-identical at every N)
-//!   --quick              (chaos/attrib) short runs — the CI smoke
-//!                        configuration
+//!   --quick              short runs — the CI smoke configuration
+//!                        (chaos/attrib, and experiments that consult the
+//!                        harness quick mode, currently fig14)
 //!   --metrics-out <file> (attrib only) write the run's final metrics
 //!                        snapshot + ledger in Prometheus text format
 //!   --threshold <pp>     (trace-diff only) regression threshold in
 //!                        percentage points of time share (default 2.0)
+//!   --perfetto <file>    (trace-export only) output path of the Chrome
+//!                        Trace Event Format JSON
 //!
 //! `repro chaos` exits 1 if any SLO guarantee in the matrix is non-finite.
 //! `repro attrib` exits 1 on an attribution-ledger conservation violation.
 //! `repro trace-diff` exits 1 when any cause shifts by ≥ the threshold.
+//! `repro trace-export` exits 1 on an empty, truncated or unbalanced trace
+//! (truncation errors carry the offending line number).
 //!
 //! Unknown or malformed arguments are rejected with exit code 2.
 
@@ -44,6 +55,7 @@ enum Command {
     Attrib { study: String, quick: bool },
     TraceSummary(PathBuf),
     TraceDiff { a: PathBuf, b: PathBuf },
+    TraceExport { input: PathBuf, perfetto: PathBuf },
 }
 
 struct Cli {
@@ -53,6 +65,7 @@ struct Cli {
     metrics_out: Option<PathBuf>,
     threshold: Option<f64>,
     jobs: Option<usize>,
+    quick: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -62,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut metrics_out = None;
     let mut threshold = None;
     let mut jobs = None;
+    let mut perfetto = None;
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -115,6 +129,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 i += 2;
             }
+            "--perfetto" => {
+                let v = args.get(i + 1).ok_or("--perfetto requires a file path")?;
+                if perfetto.replace(PathBuf::from(v)).is_some() {
+                    return Err("--perfetto given twice".into());
+                }
+                i += 2;
+            }
             "--quick" => {
                 quick = true;
                 i += 1;
@@ -145,11 +166,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             b: PathBuf::from(b),
         },
         ["trace-diff", ..] => return Err("trace-diff requires two trace files".into()),
+        ["trace-export", file] => Command::TraceExport {
+            input: PathBuf::from(file),
+            perfetto: perfetto
+                .take()
+                .ok_or("trace-export requires --perfetto <out.json>")?,
+        },
+        ["trace-export"] => return Err("trace-export requires a trace file".into()),
         [id] => Command::One((*id).to_owned()),
         [_, extra, ..] => return Err(format!("unexpected argument `{extra}`")),
     };
-    if quick && !matches!(command, Command::Chaos { .. } | Command::Attrib { .. }) {
-        return Err("--quick is only valid with the chaos and attrib commands".into());
+    if quick
+        && !matches!(
+            command,
+            Command::Chaos { .. } | Command::Attrib { .. } | Command::One(_) | Command::All
+        )
+    {
+        return Err("--quick is only valid when running experiments or studies".into());
     }
     if metrics_out.is_some() && !matches!(command, Command::Attrib { .. }) {
         return Err("--metrics-out is only valid with the attrib command".into());
@@ -157,11 +190,22 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if threshold.is_some() && !matches!(command, Command::TraceDiff { .. }) {
         return Err("--threshold is only valid with the trace-diff command".into());
     }
-    if jobs.is_some() && matches!(command, Command::List | Command::TraceSummary(_)) {
+    if perfetto.is_some() {
+        return Err("--perfetto is only valid with the trace-export command".into());
+    }
+    if jobs.is_some()
+        && matches!(
+            command,
+            Command::List | Command::TraceSummary(_) | Command::TraceExport { .. }
+        )
+    {
         return Err("--jobs is only valid for commands that run sweeps".into());
     }
     match command {
-        Command::List | Command::TraceSummary(_) | Command::TraceDiff { .. }
+        Command::List
+        | Command::TraceSummary(_)
+        | Command::TraceDiff { .. }
+        | Command::TraceExport { .. }
             if out_dir.is_some() || trace.is_some() =>
         {
             Err("--out/--trace are only valid when running experiments".into())
@@ -173,31 +217,48 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             metrics_out,
             threshold,
             jobs,
+            quick,
         }),
     }
+}
+
+fn usage_text(experiments: &[(&'static str, aum_bench::Experiment)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "usage: repro <id>|all|list [--quick] [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]\n",
+    );
+    out.push_str("       repro help | --help\n");
+    out.push_str(
+        "       repro chaos [--quick] [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]\n",
+    );
+    out.push_str(
+        "       repro attrib <fig14|chaos> [--quick] [--metrics-out <file.prom>] \
+         [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]\n",
+    );
+    out.push_str("       repro trace-summary <file.jsonl>\n");
+    out.push_str("       repro trace-diff <a.jsonl> <b.jsonl> [--threshold <pp>] [--jobs <N>]\n");
+    out.push_str("       repro trace-export <file.jsonl> --perfetto <out.json>\n");
+    out.push_str(&format!(
+        "ids: {}\n",
+        experiments
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    out
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = aum_bench::experiments();
-    let usage = || {
-        eprintln!("usage: repro <id>|all|list [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]");
-        eprintln!("       repro chaos [--quick] [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]");
-        eprintln!(
-            "       repro attrib <fig14|chaos> [--quick] [--metrics-out <file.prom>] \
-             [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]"
-        );
-        eprintln!("       repro trace-summary <file.jsonl>");
-        eprintln!("       repro trace-diff <a.jsonl> <b.jsonl> [--threshold <pp>] [--jobs <N>]");
-        eprintln!(
-            "ids: {}",
-            experiments
-                .iter()
-                .map(|(n, _)| *n)
-                .collect::<Vec<_>>()
-                .join(" ")
-        );
-    };
+    // `repro help` / `repro --help`: the full subcommand list on stdout,
+    // exit 0 — recognized anywhere on the command line.
+    if args.first().map(String::as_str) == Some("help") || args.iter().any(|a| a == "--help") {
+        print!("{}", usage_text(&experiments));
+        return;
+    }
+    let usage = || eprint!("{}", usage_text(&experiments));
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(msg) => {
@@ -209,6 +270,7 @@ fn main() {
     if let Some(n) = cli.jobs {
         aum_sim::exec::set_jobs(n);
     }
+    aum_bench::common::set_quick(cli.quick);
     if let Some(dir) = &cli.out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -316,7 +378,12 @@ fn main() {
             let read_trace = |path: &PathBuf| -> Result<Vec<_>, String> {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-                parse_jsonl(&text).map_err(|e| format!("malformed trace {}: {e}", path.display()))
+                let records = parse_jsonl(&text)
+                    .map_err(|e| format!("malformed trace {}: {e}", path.display()))?;
+                if records.is_empty() {
+                    return Err(format!("empty trace {}: no records", path.display()));
+                }
+                Ok(records)
             };
             let threshold = cli
                 .threshold
@@ -366,6 +433,43 @@ fn main() {
                 Ok(records) => print!("{}", aum_bench::tracereport::summarize(&records)),
                 Err(e) => {
                     eprintln!("malformed trace {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        Command::TraceExport { input, perfetto } => {
+            let text = match std::fs::read_to_string(input) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", input.display());
+                    std::process::exit(1);
+                }
+            };
+            let records = match parse_jsonl(&text) {
+                Ok(records) if records.is_empty() => {
+                    eprintln!("error: empty trace {}: no records", input.display());
+                    std::process::exit(1);
+                }
+                Ok(records) => records,
+                Err(e) => {
+                    eprintln!("malformed trace {}: {e}", input.display());
+                    std::process::exit(1);
+                }
+            };
+            match aum_bench::perfetto::export(&records) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(perfetto, &json) {
+                        eprintln!("cannot write {}: {e}", perfetto.display());
+                        std::process::exit(1);
+                    }
+                    eprintln!(
+                        "perfetto: {} records \u{2192} {}",
+                        records.len(),
+                        perfetto.display()
+                    );
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
                     std::process::exit(1);
                 }
             }

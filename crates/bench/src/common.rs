@@ -2,6 +2,7 @@
 //! AUV-model caching, and experiment execution.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use aum::baselines::{AllAu, AuFi, AuRb, AuUp, RpAu, SmtAu};
@@ -37,6 +38,22 @@ pub fn harness_tracer() -> Tracer {
         .expect("harness tracer lock")
         .clone()
         .unwrap_or_else(Tracer::disabled)
+}
+
+/// Harness-wide quick mode, set by `repro --quick`: experiments that
+/// consult it (currently `fig14`) run at smoke-profiler scale with short
+/// cells, matching the CI trace-export smoke configuration.
+static QUICK: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables quick mode for subsequent experiment runs.
+pub fn set_quick(on: bool) {
+    QUICK.store(on, Ordering::SeqCst);
+}
+
+/// Whether quick mode is on.
+#[must_use]
+pub fn quick() -> bool {
+    QUICK.load(Ordering::SeqCst)
 }
 
 /// Process-wide platform-name intern table. Platform specs are a handful of

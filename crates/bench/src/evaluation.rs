@@ -31,6 +31,25 @@ pub fn scheme_grid(
     duration: Option<SimDuration>,
     cache: &ModelCache,
 ) -> Vec<Outcome> {
+    scheme_grid_hists(spec, scenarios, bes, schemes, duration, cache).0
+}
+
+/// [`scheme_grid`] that additionally folds every cell's latency histograms
+/// into grid-wide merged distributions, keyed by metric name. The merge
+/// runs in canonical cell order inside
+/// [`aum_sim::exec::sweep_traced_hists`], so — like the trace stream — the
+/// merged histograms are byte-identical for any worker count.
+pub fn scheme_grid_hists(
+    spec: &PlatformSpec,
+    scenarios: &[Scenario],
+    bes: &[BeKind],
+    schemes: &[Scheme],
+    duration: Option<SimDuration>,
+    cache: &ModelCache,
+) -> (
+    Vec<Outcome>,
+    std::collections::BTreeMap<String, aum_sim::LogHistogram>,
+) {
     if schemes.contains(&Scheme::Aum) {
         cache.warm(
             scenarios
@@ -45,8 +64,16 @@ pub fn scheme_grid(
                 .flat_map(move |&be| schemes.iter().map(move |&s| (sc, be, s)))
         })
         .collect();
-    aum_sim::exec::sweep_traced(&harness_tracer(), cells, |_, (sc, be, scheme), tracer| {
-        scheme_outcome_cell(scheme, spec, sc, be, None, duration, cache, &tracer)
+    aum_sim::exec::sweep_traced_hists(&harness_tracer(), cells, |_, (sc, be, scheme), tracer| {
+        let o = scheme_outcome_cell(scheme, spec, sc, be, None, duration, cache, &tracer);
+        let hists = vec![
+            ("ttft_seconds".to_string(), o.slo.ttft_hist.clone()),
+            (
+                "tpot_request_seconds".to_string(),
+                o.slo.tpot_req_hist.clone(),
+            ),
+        ];
+        (o, hists)
     })
 }
 
@@ -118,21 +145,37 @@ pub fn table3() -> String {
 #[must_use]
 pub fn fig14() -> String {
     let spec = PlatformSpec::gen_a();
-    let cache = ModelCache::new();
-    let cb_base = scheme_outcome(
+    // Quick mode (`repro fig14 --quick`): smoke-profile models and 30 s
+    // cells through the exact same grid code path — the CI trace-export
+    // smoke runs this to get a full span trace in seconds.
+    let quick = crate::common::quick();
+    let cache = if quick {
+        ModelCache::with_profile(ProfilerConfig::smoke)
+    } else {
+        ModelCache::new()
+    };
+    let duration = if quick {
+        Some(SimDuration::from_secs(30))
+    } else {
+        None
+    };
+    let cb_base = scheme_outcome_cell(
         Scheme::AllAu,
         &spec,
         Scenario::Chatbot,
         BeKind::SpecJbb,
+        None,
+        duration,
         &cache,
+        &harness_tracer(),
     )
     .efficiency;
-    let grid = scheme_grid(
+    let (grid, hists) = scheme_grid_hists(
         &spec,
         &Scenario::ALL,
         &BeKind::ALL,
         &Scheme::ALL,
-        None,
+        duration,
         &cache,
     );
     let mut out =
@@ -168,6 +211,18 @@ pub fn fig14() -> String {
         fmt_pct(mean(&aum_vs_exclusive)),
         fmt_pct(mean(&aum_vs_best_oblivious)),
     ));
+    // Grid-wide latency distributions from the deterministically merged
+    // per-cell histograms (byte-identical at any --jobs).
+    if let (Some(ttft), Some(tpot)) = (hists.get("ttft_seconds"), hists.get("tpot_request_seconds"))
+    {
+        out.push_str(&format!(
+            "Grid-wide TTFT: {} requests, p50 {} p99 {} s | per-request TPOT p99 {} s\n",
+            ttft.count(),
+            fmt3(ttft.quantile(0.5)),
+            fmt3(ttft.quantile(0.99)),
+            fmt3(tpot.quantile(0.99)),
+        ));
+    }
     out
 }
 

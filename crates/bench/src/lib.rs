@@ -13,6 +13,10 @@
 //! - [`chaos`]: the fault-matrix resilience study (`repro chaos`);
 //! - [`attribution`]: the attribution-ledger study and trace diff
 //!   (`repro attrib`, `repro trace-diff`);
+//! - [`perfetto`]: Chrome Trace Event Format export of span traces
+//!   (`repro trace-export`);
+//! - [`tracereport`]: the `trace-summary` renderer, including the SLO
+//!   burn-rate digest and per-request span drill-down;
 //! - [`common`]: scheme construction and model caching.
 //!
 //! Run `cargo run -p aum-bench --release --bin repro -- all` (or a single
@@ -28,6 +32,7 @@ pub mod charact;
 pub mod common;
 pub mod evaluation;
 pub mod extensions;
+pub mod perfetto;
 pub mod sharing;
 pub mod tracereport;
 pub mod variations;

@@ -7,6 +7,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use aum_sim::hist::LogHistogram;
+use aum_sim::span::{collect_spans, SpanId, SpanKind};
 use aum_sim::telemetry::{DecisionKind, Event, SlackVerdict, SloMetric, TraceRecord};
 use aum_sim::SimTime;
 
@@ -56,7 +58,200 @@ pub fn summarize(records: &[TraceRecord]) -> String {
     out.push_str(&event_counts(records));
     out.push_str(&decision_stats(records));
     out.push_str(&attribution_stats(records));
+    out.push_str(&slo_digest(records));
+    out.push_str(&worst_request_drilldown(records));
     out.push_str(&timeline(records));
+    out
+}
+
+/// Fraction of requests an SLO allows to miss their deadline before the
+/// error budget is spent — burn rate 1.0× means "exactly on budget".
+const ERROR_BUDGET: f64 = 0.01;
+
+/// Tumbling-window lengths (seconds) of the multi-window burn-rate check:
+/// the short window catches fast burns, the long one filters blips. Both
+/// burning simultaneously is the page-worthy condition.
+const BURN_WINDOWS: [f64; 2] = [10.0, 60.0];
+
+/// One metric's windowed burn rates against its target.
+fn burn_lines(out: &mut String, samples: &[(f64, f64)], target: f64) -> bool {
+    let mut all_burning = true;
+    for w in BURN_WINDOWS {
+        let mut windows: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+        for &(at, v) in samples {
+            let e = windows.entry((at / w) as u64).or_insert((0, 0));
+            e.1 += 1;
+            e.0 += usize::from(v > target);
+        }
+        let burns: Vec<(u64, f64)> = windows
+            .iter()
+            .map(|(idx, (bad, n))| (*idx, *bad as f64 / *n as f64 / ERROR_BUDGET))
+            .collect();
+        let burning = burns.iter().filter(|(_, b)| *b > 1.0).count();
+        let peak = burns
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+        match peak {
+            Some((idx, b)) => {
+                let _ = writeln!(
+                    out,
+                    "    {w:>4.0}s windows: {burning}/{} burning, peak {b:.1}x at t={:.0}s",
+                    burns.len(),
+                    idx as f64 * w
+                );
+            }
+            None => {
+                let _ = writeln!(out, "    {w:>4.0}s windows: no samples");
+            }
+        }
+        all_burning &= burning > 0;
+    }
+    all_burning
+}
+
+/// The SLO burn-rate digest: per-metric percentiles (from the same
+/// log-linear histograms the reports use), total violations against the
+/// trace's recorded targets, and multi-window burn rates. Absent when the
+/// trace carries no [`Event::SloTargets`] (pre-span traces).
+fn slo_digest(records: &[TraceRecord]) -> String {
+    let Some((ttft_target, tpot_target)) = records.iter().find_map(|r| match r.event {
+        Event::SloTargets {
+            ttft_secs,
+            tpot_secs,
+        } => Some((ttft_secs, tpot_secs)),
+        _ => None,
+    }) else {
+        return String::new();
+    };
+    let mut ttft: Vec<(f64, f64)> = Vec::new();
+    let mut tpot: Vec<(f64, f64)> = Vec::new();
+    for r in records {
+        if let Event::RequestFinished {
+            generated,
+            mean_tpot_secs,
+            ttft_secs,
+            ..
+        } = r.event
+        {
+            ttft.push((secs(r.at), ttft_secs));
+            if generated > 0 {
+                tpot.push((secs(r.at), mean_tpot_secs));
+            }
+        }
+    }
+    let mut out = format!(
+        "\nSLO burn-rate digest (error budget {:.1}% of requests):\n",
+        ERROR_BUDGET * 100.0
+    );
+    if ttft.is_empty() {
+        out.push_str("  no finished requests in trace\n");
+        return out;
+    }
+    let mut alerts = Vec::new();
+    for (name, target, samples) in [
+        ("TTFT", ttft_target, &ttft),
+        ("TPOT (per-request mean)", tpot_target, &tpot),
+    ] {
+        if samples.is_empty() {
+            let _ = writeln!(out, "  {name} (target {target:.3}s): no samples");
+            continue;
+        }
+        let hist: LogHistogram = samples.iter().map(|&(_, v)| v).collect();
+        let bad = samples.iter().filter(|&&(_, v)| v > target).count();
+        let _ = writeln!(
+            out,
+            "  {name} (target {target:.3}s): {} requests, p50 {:.3}s p99 {:.3}s, \
+             violations {bad} ({:.1}%)",
+            hist.count(),
+            hist.quantile(0.5),
+            hist.quantile(0.99),
+            bad as f64 / samples.len() as f64 * 100.0
+        );
+        if burn_lines(&mut out, samples, target) {
+            alerts.push(name);
+        }
+    }
+    let _ = match alerts.as_slice() {
+        [] => writeln!(out, "  alert: none (no metric burns in both windows)"),
+        names => writeln!(
+            out,
+            "  alert: PAGE — {} burning in both the {:.0}s and {:.0}s windows",
+            names.join(" and "),
+            BURN_WINDOWS[0],
+            BURN_WINDOWS[1]
+        ),
+    };
+    out
+}
+
+/// How many child spans the drill-down prints before eliding.
+const DRILLDOWN_CHILD_CAP: usize = 6;
+
+/// Finds the worst-TTFT request in the trace and walks its lifecycle span:
+/// open/close interval, nested prefill steps, and the decode iterations
+/// that overlapped it on the same track. Absent when the trace carries no
+/// spans for the worst request (pre-span traces).
+fn worst_request_drilldown(records: &[TraceRecord]) -> String {
+    let worst = records
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::RequestFinished { id, ttft_secs, .. } => Some((id, ttft_secs)),
+            _ => None,
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+    let Some((id, ttft)) = worst else {
+        return String::new();
+    };
+    let Ok(forest) = collect_spans(records) else {
+        return String::new();
+    };
+    let span_id = SpanId::derive(SpanKind::RequestLifecycle, id).0;
+    let Some(node) = forest
+        .nodes
+        .iter()
+        .find(|n| n.id == span_id && n.kind == SpanKind::RequestLifecycle)
+    else {
+        return String::new();
+    };
+    let mut out = format!(
+        "\nworst-TTFT request drill-down (request {id}, TTFT {ttft:.3}s, track {:?}):\n",
+        node.track
+    );
+    let _ = writeln!(
+        out,
+        "  lifecycle t={:.3}s .. t={:.3}s ({:.3}s, {} child span(s))",
+        secs(node.open),
+        secs(node.close),
+        node.duration_secs(),
+        node.children.len()
+    );
+    for &c in node.children.iter().take(DRILLDOWN_CHILD_CAP) {
+        let child = &forest.nodes[c];
+        let _ = writeln!(
+            out,
+            "    {} t={:.3}s .. t={:.3}s ({:.4}s)",
+            child.label,
+            secs(child.open),
+            secs(child.close),
+            child.duration_secs()
+        );
+    }
+    if node.children.len() > DRILLDOWN_CHILD_CAP {
+        let _ = writeln!(
+            out,
+            "    … {} more elided",
+            node.children.len() - DRILLDOWN_CHILD_CAP
+        );
+    }
+    let decode_overlap = forest
+        .of_kind(SpanKind::DecodeIteration)
+        .filter(|d| d.track == node.track && d.open < node.close && d.close > node.open)
+        .count();
+    let _ = writeln!(
+        out,
+        "  decode iterations overlapping on this track: {decode_overlap}"
+    );
     out
 }
 
@@ -474,10 +669,144 @@ mod tests {
             Event::RequestFinished {
                 id: 1,
                 generated: 1,
-                mean_tpot_secs: 0.01
+                mean_tpot_secs: 0.01,
+                ttft_secs: 0.2,
             }
         )])
         .contains("attribution"));
+    }
+
+    #[test]
+    fn slo_digest_reports_burn_rates_and_page_alert() {
+        let mut records = vec![rec(
+            0.0,
+            Event::SloTargets {
+                ttft_secs: 0.5,
+                tpot_secs: 0.1,
+            },
+        )];
+        // 20 requests over 100 s; every fifth TTFT violates (20% ≫ the 1%
+        // budget, so every occupied window burns in both lengths).
+        for i in 0..20u64 {
+            records.push(rec(
+                i as f64 * 5.0,
+                Event::RequestFinished {
+                    id: i,
+                    generated: 10,
+                    mean_tpot_secs: 0.05,
+                    ttft_secs: if i % 5 == 0 { 1.2 } else { 0.2 },
+                },
+            ));
+        }
+        let s = summarize(&records);
+        assert!(s.contains("SLO burn-rate digest"), "{s}");
+        assert!(s.contains("TTFT (target 0.500s): 20 requests"), "{s}");
+        assert!(s.contains("violations 4 (20.0%)"), "{s}");
+        assert!(s.contains("10s windows:"), "{s}");
+        assert!(s.contains("60s windows:"), "{s}");
+        assert!(s.contains("alert: PAGE"), "{s}");
+        assert!(s.contains("TTFT burning in both"), "{s}");
+    }
+
+    #[test]
+    fn digest_without_targets_or_violations_stays_quiet() {
+        // No SloTargets event → no digest section at all.
+        let s = summarize(&[rec(
+            1.0,
+            Event::RequestFinished {
+                id: 1,
+                generated: 5,
+                mean_tpot_secs: 0.01,
+                ttft_secs: 0.1,
+            },
+        )]);
+        assert!(!s.contains("burn-rate digest"), "{s}");
+        // Targets present, nothing violating → digest renders, alert none.
+        let s = summarize(&[
+            rec(
+                0.0,
+                Event::SloTargets {
+                    ttft_secs: 3.0,
+                    tpot_secs: 0.12,
+                },
+            ),
+            rec(
+                1.0,
+                Event::RequestFinished {
+                    id: 1,
+                    generated: 5,
+                    mean_tpot_secs: 0.01,
+                    ttft_secs: 0.1,
+                },
+            ),
+        ]);
+        assert!(s.contains("burn-rate digest"), "{s}");
+        assert!(s.contains("violations 0 (0.0%)"), "{s}");
+        assert!(s.contains("alert: none"), "{s}");
+    }
+
+    #[test]
+    fn worst_ttft_request_gets_a_span_drilldown() {
+        let req = |id: u64| SpanId::derive(SpanKind::RequestLifecycle, id);
+        let pre = SpanId::derive(SpanKind::Prefill, 0);
+        let span_open = |id: SpanId, parent: Option<SpanId>, kind: SpanKind, at: f64| {
+            rec(
+                at,
+                Event::SpanOpen {
+                    id: id.0,
+                    parent: parent.map(|p| p.0),
+                    kind,
+                    track: "cell".to_string(),
+                    label: match kind {
+                        SpanKind::Prefill => "prefill 0".to_string(),
+                        _ => format!("req {}", id.payload()),
+                    },
+                },
+            )
+        };
+        let span_close = |id: SpanId, kind: SpanKind, at: f64| {
+            rec(
+                at,
+                Event::SpanClose {
+                    id: id.0,
+                    kind,
+                    track: "cell".to_string(),
+                },
+            )
+        };
+        let records = vec![
+            span_open(req(3), None, SpanKind::RequestLifecycle, 0.0),
+            span_open(req(9), None, SpanKind::RequestLifecycle, 0.5),
+            span_open(pre, Some(req(9)), SpanKind::Prefill, 1.0),
+            span_close(pre, SpanKind::Prefill, 1.4),
+            rec(
+                2.0,
+                Event::RequestFinished {
+                    id: 3,
+                    generated: 4,
+                    mean_tpot_secs: 0.02,
+                    ttft_secs: 0.3,
+                },
+            ),
+            span_close(req(3), SpanKind::RequestLifecycle, 2.0),
+            rec(
+                4.0,
+                Event::RequestFinished {
+                    id: 9,
+                    generated: 4,
+                    mean_tpot_secs: 0.02,
+                    ttft_secs: 0.9,
+                },
+            ),
+            span_close(req(9), SpanKind::RequestLifecycle, 4.0),
+        ];
+        let s = summarize(&records);
+        assert!(
+            s.contains("worst-TTFT request drill-down (request 9, TTFT 0.900s"),
+            "{s}"
+        );
+        assert!(s.contains("lifecycle t=0.500s .. t=4.000s"), "{s}");
+        assert!(s.contains("prefill 0 t=1.000s"), "{s}");
     }
 
     #[test]
@@ -501,6 +830,7 @@ mod tests {
                     id: 7,
                     generated: 12,
                     mean_tpot_secs: 0.05,
+                    ttft_secs: 0.3,
                 },
             ),
         ];

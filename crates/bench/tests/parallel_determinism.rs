@@ -8,7 +8,7 @@
 //!
 //! The grids run at reduced scale (smoke profiler, short experiment
 //! durations) through the *same* code paths the paper-scale studies use —
-//! `build_model_traced`, `evaluation::scheme_grid`, `chaos::run_with` —
+//! `build_model_traced`, `evaluation::scheme_grid_hists`, `chaos::run_with` —
 //! so the gate exercises the real cell dispatch, cache latching and
 //! ordered trace merge, not a test-only replica.
 
@@ -71,13 +71,14 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
     );
 
     // --- Fig 14 grid shape (reduced scale): identical Outcome metrics,
-    // byte-identical trace. Same scheme_grid code path as the paper run;
-    // the smoke-profile cache and 30 s cells keep debug runtime sane. ---
+    // byte-identical trace, and byte-identical merged latency histograms.
+    // Same scheme_grid_hists code path as the paper run; the smoke-profile
+    // cache and 30 s cells keep debug runtime sane. ---
     let fig14_grid = |jobs: usize| {
         exec::set_jobs(jobs);
         let cache = ModelCache::with_profile(ProfilerConfig::smoke);
         let out = with_captured_trace(|| {
-            let grid = aum_bench::evaluation::scheme_grid(
+            let (grid, hists) = aum_bench::evaluation::scheme_grid_hists(
                 &spec,
                 &[Scenario::Chatbot],
                 &[BeKind::SpecJbb],
@@ -85,19 +86,39 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
                 Some(SimDuration::from_secs(30)),
                 &cache,
             );
-            grid.iter()
+            let outcomes = grid
+                .iter()
                 .map(|o| serde_json::to_string(o).expect("outcome serializes"))
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            let hist_state = hists
+                .iter()
+                .map(|(name, h)| {
+                    format!(
+                        "{name}: {} p99={}",
+                        serde_json::to_string(h).expect("hist serializes"),
+                        h.quantile(0.99).to_bits()
+                    )
+                })
+                .collect::<Vec<_>>();
+            (outcomes, hist_state)
         });
         exec::set_jobs(0);
         out
     };
-    let (outcomes_serial, fig14_trace_serial) = fig14_grid(1);
-    let (outcomes_parallel, fig14_trace_parallel) = fig14_grid(8);
+    let ((outcomes_serial, hists_serial), fig14_trace_serial) = fig14_grid(1);
+    let ((outcomes_parallel, hists_parallel), fig14_trace_parallel) = fig14_grid(8);
     assert_eq!(outcomes_serial.len(), Scheme::ALL.len());
     assert_eq!(
         outcomes_serial, outcomes_parallel,
         "scheme-grid outcomes must not depend on the worker count"
+    );
+    assert!(
+        hists_serial.iter().any(|h| h.contains("ttft_seconds")),
+        "grid must merge a TTFT histogram: {hists_serial:?}"
+    );
+    assert_eq!(
+        hists_serial, hists_parallel,
+        "merged histogram state and p99 must be byte-identical at jobs 1 vs 8"
     );
     assert!(
         !fig14_trace_serial.is_empty(),

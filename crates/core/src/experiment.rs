@@ -35,6 +35,7 @@ use aum_platform::units::GbPerSec;
 use aum_sim::attrib::{self, IntervalLedger, Ledger, RegionSample, WorkFractions};
 use aum_sim::rng::DetRng;
 use aum_sim::series::TimeSeries;
+use aum_sim::span::{SpanId, SpanKind};
 use aum_sim::stats::Samples;
 use aum_sim::telemetry::{Event, MetricsRegistry, MetricsSnapshot, ResilienceMode, Tracer};
 use aum_sim::time::{SimDuration, SimTime};
@@ -271,6 +272,28 @@ pub fn try_run_experiment_traced(
     engine.set_tracer(tracer.clone());
     platform.attach_tracer(tracer.clone());
     manager.attach_tracer(tracer.clone());
+    // The span track names this run; every distinguishing knob is folded
+    // in so concurrent cells sharing one sink never collide on span ids
+    // (ids are unique per track only).
+    let span_track = format!(
+        "{}/{}+{} c{} r{} s{} d{} f{}",
+        manager.name(),
+        cfg.scenario.code(),
+        cfg.be.map_or_else(|| "none".to_string(), |b| b.to_string()),
+        total_cores,
+        rate,
+        cfg.seed,
+        cfg.duration.as_secs_f64(),
+        cfg.fault.events.len(),
+    );
+    engine.set_span_track(span_track.clone());
+    // The run's SLO deadlines, once, so the trace is self-contained for
+    // burn-rate analysis in `trace-summary`.
+    let slo = cfg.scenario.slo();
+    tracer.emit(SimTime::ZERO, || Event::SloTargets {
+        ttft_secs: slo.ttft.as_secs_f64(),
+        tpot_secs: slo.tpot.as_secs_f64(),
+    });
     let be_profile = cfg.be.map(BeProfile::of);
 
     // Feedback state from the previous interval.
@@ -347,6 +370,13 @@ pub fn try_run_experiment_traced(
     for step in 0..steps {
         let now = SimTime::ZERO + dt * step as u64;
         let until = now + dt;
+        tracer.emit(now, || Event::SpanOpen {
+            id: SpanId::derive(SpanKind::ControllerInterval, step as u64).0,
+            parent: None,
+            kind: SpanKind::ControllerInterval,
+            track: span_track.clone(),
+            label: format!("interval {step}"),
+        });
 
         // --- 0. Fault plane: fire every edge due at this boundary, in
         // script order (multi-event exactness: nothing is skipped, nothing
@@ -365,11 +395,23 @@ pub fn try_run_experiment_traced(
                         kind: ev.fault.kind_label().to_string(),
                         detail: ev.fault.detail(),
                     });
+                    tracer.emit(now, || Event::SpanOpen {
+                        id: SpanId::derive(SpanKind::FaultWindow, idx as u64).0,
+                        parent: None,
+                        kind: SpanKind::FaultWindow,
+                        track: span_track.clone(),
+                        label: format!("fault {}", ev.fault.kind_label()),
+                    });
                 }
                 FaultEdge::Revert => {
                     fault_active[idx] = false;
                     tracer.emit(now, || Event::FaultRecovered {
                         kind: ev.fault.kind_label().to_string(),
+                    });
+                    tracer.emit(now, || Event::SpanClose {
+                        id: SpanId::derive(SpanKind::FaultWindow, idx as u64).0,
+                        kind: SpanKind::FaultWindow,
+                        track: span_track.clone(),
                     });
                 }
             }
@@ -861,6 +903,11 @@ pub fn try_run_experiment_traced(
         registry.gauge_set("recent_ttft_p90", state.recent_ttft_p90);
         registry.gauge_set("recent_tpot_p50", state.recent_tpot_p50);
         let _ = registry.snapshot(until);
+        tracer.emit(until, || Event::SpanClose {
+            id: SpanId::derive(SpanKind::ControllerInterval, step as u64).0,
+            kind: SpanKind::ControllerInterval,
+            track: span_track.clone(),
+        });
 
         // Feedback for the next interval: demands observed while busy.
         if stats.prefill_bw_demand.value() > 0.0 {
@@ -884,6 +931,20 @@ pub fn try_run_experiment_traced(
     // Conservation gate: a ledger that does not close is a modeling bug,
     // not a reporting nuisance — fail the run with the typed violation.
     ledger.verify(attrib::EPSILON)?;
+    // Balance the span ledger: requests still in flight and fault windows
+    // that never recovered close at the end of the run window, so every
+    // trace yields a well-formed span forest.
+    let end = SimTime::ZERO + dt * steps as u64;
+    engine.close_open_spans(end);
+    for (idx, active) in fault_active.iter().enumerate() {
+        if *active {
+            tracer.emit(end, || Event::SpanClose {
+                id: SpanId::derive(SpanKind::FaultWindow, idx as u64).0,
+                kind: SpanKind::FaultWindow,
+                track: span_track.clone(),
+            });
+        }
+    }
     tracer.flush();
     Ok(Outcome {
         scheme: manager.name().to_owned(),

@@ -339,9 +339,33 @@ pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
     let cells: Vec<(usize, usize)> = (0..cfg.divisions.len())
         .flat_map(|d| (0..cfg.allocations.len()).map(move |c| (d, c)))
         .collect();
+    // Span ids are only unique per track, and one trace can carry several
+    // profiler sweeps (one per cached model), so the track folds in the
+    // profiled model's identity and grid shape.
+    let span_track = format!(
+        "profiler {}/{}+{} d{}a{}",
+        cfg.platform.name,
+        cfg.scenario.code(),
+        cfg.be,
+        cfg.divisions.len(),
+        cfg.allocations.len(),
+    );
     let buckets = aum_sim::exec::sweep_traced(&tracer, cells, |cell_idx, (div_idx, cfg_idx), t| {
         let division = cfg.divisions[div_idx];
         let allocation = cfg.allocations[cfg_idx];
+        // One ProfilerCell span per grid cell on the synthetic cumulative
+        // clock (same convention as the ProfilerProgress timestamps), so
+        // Perfetto shows the sweep as a contiguous lane of cells.
+        let span_id =
+            aum_sim::span::SpanId::derive(aum_sim::span::SpanKind::ProfilerCell, cell_idx as u64).0;
+        let cell_open = SimTime::ZERO + cfg.run_duration * (cell_idx * cfg.repetitions) as u64;
+        t.emit(cell_open, || Event::SpanOpen {
+            id: span_id,
+            parent: None,
+            kind: aum_sim::span::SpanKind::ProfilerCell,
+            track: span_track.clone(),
+            label: format!("cell d{div_idx} c{cfg_idx}"),
+        });
         let decision = Decision {
             division,
             allocation,
@@ -392,13 +416,17 @@ pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
         // after this cell — a pure function of the cell index, so the
         // event stream is independent of execution order.
         let runs_after = (cell_idx + 1) * cfg.repetitions;
-        t.emit(SimTime::ZERO + cfg.run_duration * runs_after as u64, || {
-            Event::ProfilerProgress {
-                completed: cell_idx + 1,
-                total: total_cells,
-                division: div_idx,
-                config: cfg_idx,
-            }
+        let cell_close = SimTime::ZERO + cfg.run_duration * runs_after as u64;
+        t.emit(cell_close, || Event::ProfilerProgress {
+            completed: cell_idx + 1,
+            total: total_cells,
+            division: div_idx,
+            config: cfg_idx,
+        });
+        t.emit(cell_close, || Event::SpanClose {
+            id: span_id,
+            kind: aum_sim::span::SpanKind::ProfilerCell,
+            track: span_track.clone(),
         });
         acc
     });

@@ -23,6 +23,8 @@ use aum_au::gemm::ExecContext;
 use aum_au::unit::Precision;
 use aum_platform::spec::PlatformSpec;
 use aum_platform::units::GbPerSec;
+use aum_sim::hist::LogHistogram;
+use aum_sim::span::{SpanId, SpanKind};
 use aum_sim::telemetry::{Event, PhaseKind, Tracer};
 use aum_sim::time::{SimDuration, SimTime};
 
@@ -186,11 +188,26 @@ pub struct LlmEngine {
     /// prefill bursts (unlike [`TokenRecord::exec`], which is pure
     /// iteration time).
     wall_tpots: Vec<f64>,
+    /// The same distribution as a mergeable histogram (quantile readout).
+    wall_tpot_hist: LogHistogram,
     pmu: PmuCounters,
     completed: u64,
     /// Trace handle; request lifecycle and iteration events stream here
     /// when a sink is attached (free when disabled).
     tracer: Tracer,
+    /// Span track label for this run (one experiment cell).
+    span_track: String,
+    /// Monotonic step counters — the deterministic span-id payloads for
+    /// prefill/decode iteration spans.
+    prefill_steps: u64,
+    decode_steps: u64,
+    /// Request ids with an open `RequestLifecycle` span (maintained only
+    /// while a sink is attached). `BTreeSet` so end-of-run closes iterate
+    /// in id order — deterministic across runs and worker counts.
+    open_request_spans: std::collections::BTreeSet<u64>,
+    /// TTFT (seconds) per request id, for `RequestFinished` emissions at
+    /// decode time (maintained only while a sink is attached).
+    ttft_by_id: std::collections::HashMap<u64, f64>,
 }
 
 impl LlmEngine {
@@ -220,9 +237,15 @@ impl LlmEngine {
             ttfts: Vec::new(),
             tokens: Vec::new(),
             wall_tpots: Vec::new(),
+            wall_tpot_hist: LogHistogram::new(),
             pmu: PmuCounters::new(),
             completed: 0,
             tracer: Tracer::disabled(),
+            span_track: "run".to_string(),
+            prefill_steps: 0,
+            decode_steps: 0,
+            open_request_spans: std::collections::BTreeSet::new(),
+            ttft_by_id: std::collections::HashMap::new(),
         }
     }
 
@@ -230,6 +253,13 @@ impl LlmEngine {
     /// iterations emit [`aum_sim::telemetry::Event`]s through it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Names the span track for this run (one experiment cell). Span ids
+    /// are unique per track, so concurrent cells sharing one sink must use
+    /// distinct tracks.
+    pub fn set_span_track(&mut self, track: impl Into<String>) {
+        self.span_track = track.into();
     }
 
     /// Engine configuration.
@@ -249,6 +279,18 @@ impl LlmEngine {
             if front.arrival <= upto {
                 let r = *front;
                 self.trace.pop_front();
+                if self.tracer.is_enabled() {
+                    let id = SpanId::derive(SpanKind::RequestLifecycle, r.id.0);
+                    let track = self.span_track.clone();
+                    self.tracer.emit(r.arrival, || Event::SpanOpen {
+                        id: id.0,
+                        parent: None,
+                        kind: SpanKind::RequestLifecycle,
+                        track,
+                        label: format!("req {}", r.id.0),
+                    });
+                    self.open_request_spans.insert(r.id.0);
+                }
                 self.queue.push(r);
             } else {
                 break;
@@ -318,6 +360,7 @@ impl LlmEngine {
                     res,
                     &mut self.pmu,
                 );
+                let start = self.prefill_clock;
                 self.prefill_clock += cost.time;
                 stats.prefill_tokens += tokens as u64;
                 stats.prefill_bw_demand =
@@ -329,6 +372,7 @@ impl LlmEngine {
                         tokens,
                         duration_secs: cost.time.as_secs_f64(),
                     });
+                self.emit_step_span(SpanKind::Prefill, Some(batch[0].id.0), start);
                 for r in batch {
                     self.finish_prefill(r, stats);
                 }
@@ -355,6 +399,7 @@ impl LlmEngine {
                     res,
                     &mut self.pmu,
                 );
+                let start = self.prefill_clock;
                 self.prefill_clock += cost.time;
                 stats.prefill_tokens += step as u64;
                 stats.prefill_bw_demand =
@@ -366,6 +411,7 @@ impl LlmEngine {
                         tokens: step,
                         duration_secs: cost.time.as_secs_f64(),
                     });
+                self.emit_step_span(SpanKind::Prefill, Some(req.id.0), start);
                 let done = done + step;
                 if done >= req.input_len {
                     self.finish_prefill(req, stats);
@@ -376,23 +422,89 @@ impl LlmEngine {
         }
     }
 
+    /// Emits the open/close pair for one prefill or decode step span: the
+    /// id payload is the step counter (deterministic), the parent the
+    /// lifecycle span of a representative request in the batch.
+    fn emit_step_span(&mut self, kind: SpanKind, parent_req: Option<u64>, start: SimTime) {
+        let (counter, end) = match kind {
+            SpanKind::Prefill => (&mut self.prefill_steps, self.prefill_clock),
+            _ => (&mut self.decode_steps, self.decode_clock),
+        };
+        let step = *counter;
+        *counter += 1;
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let id = SpanId::derive(kind, step);
+        let parent = parent_req.map(|r| SpanId::derive(SpanKind::RequestLifecycle, r).0);
+        let track = self.span_track.clone();
+        self.tracer.emit(start, || Event::SpanOpen {
+            id: id.0,
+            parent,
+            kind,
+            track,
+            label: format!("{} {step}", kind.label()),
+        });
+        let track = self.span_track.clone();
+        self.tracer.emit(end, || Event::SpanClose {
+            id: id.0,
+            kind,
+            track,
+        });
+    }
+
     fn finish_prefill(&mut self, r: Request, stats: &mut IntervalStats) {
+        let ttft = self.prefill_clock.saturating_since(r.arrival);
         self.ttfts.push(TtftRecord {
             id: r.id,
             arrival: r.arrival,
-            ttft: self.prefill_clock.saturating_since(r.arrival),
+            ttft,
         });
+        if self.tracer.is_enabled() {
+            self.ttft_by_id.insert(r.id.0, ttft.as_secs_f64());
+        }
         if r.output_len > 1 {
             self.ready.push_back((self.prefill_clock, r));
         } else {
             self.completed += 1;
             stats.completed += 1;
+            let ttft_secs = ttft.as_secs_f64();
             self.tracer
                 .emit(self.prefill_clock, || Event::RequestFinished {
                     id: r.id.0,
                     generated: 0,
                     mean_tpot_secs: 0.0,
+                    ttft_secs,
                 });
+            self.close_request_span(r.id.0, self.prefill_clock);
+        }
+    }
+
+    /// Closes the lifecycle span of `id` at `at`, if it is open.
+    fn close_request_span(&mut self, id: u64, at: SimTime) {
+        if self.open_request_spans.remove(&id) {
+            self.ttft_by_id.remove(&id);
+            let track = self.span_track.clone();
+            self.tracer.emit(at, || Event::SpanClose {
+                id: SpanId::derive(SpanKind::RequestLifecycle, id).0,
+                kind: SpanKind::RequestLifecycle,
+                track,
+            });
+        }
+    }
+
+    /// Closes every still-open request lifecycle span (in request-id
+    /// order, so the emitted stream is deterministic). The experiment
+    /// harness calls this once at end of run so traces stay balanced even
+    /// when the run window cuts requests mid-flight. Spans close at `at`
+    /// or the engine's phase clocks, whichever is latest: iterations in
+    /// flight at the final boundary overshoot `at`, and their step spans
+    /// must stay contained in their parent lifecycle.
+    pub fn close_open_spans(&mut self, at: SimTime) {
+        let at = at.max(self.prefill_clock).max(self.decode_clock);
+        let open: Vec<u64> = self.open_request_spans.iter().copied().collect();
+        for id in open {
+            self.close_request_span(id, at);
         }
     }
 
@@ -415,6 +527,7 @@ impl LlmEngine {
             res,
             &mut self.pmu,
         );
+        let start = self.decode_clock;
         self.decode_clock += cost.time;
         stats.decode_tokens += batch as u64;
         stats.decode_bw_demand = GbPerSec(stats.decode_bw_demand.value().max(cost.bw_demand_gbs));
@@ -425,6 +538,7 @@ impl LlmEngine {
                 tokens: batch,
                 duration_secs: cost.time.as_secs_f64(),
             });
+        self.emit_step_span(SpanKind::DecodeIteration, None, start);
         for r in self.pool.active() {
             self.tokens.push(TokenRecord {
                 id: r.id,
@@ -439,13 +553,17 @@ impl LlmEngine {
                 let wall = self.decode_clock.as_secs_f64() - f.admitted_secs;
                 mean_tpot = (wall / f.generated as f64).max(0.0);
                 self.wall_tpots.push(mean_tpot);
+                self.wall_tpot_hist.record(mean_tpot);
             }
+            let ttft_secs = self.ttft_by_id.get(&f.id.0).copied().unwrap_or(0.0);
             self.tracer
                 .emit(self.decode_clock, || Event::RequestFinished {
                     id: f.id.0,
                     generated: f.generated,
                     mean_tpot_secs: mean_tpot,
+                    ttft_secs,
                 });
+            self.close_request_span(f.id.0, self.decode_clock);
         }
         let n = finished.len() as u64;
         self.completed += n;
@@ -582,11 +700,17 @@ impl LlmEngine {
     }
 
     /// Quantile of per-request *wall-clock* TPOT (stall-inclusive), over
-    /// finished requests; 0 when none finished.
+    /// finished requests; 0 when none finished. Read from the mergeable
+    /// log-linear histogram (≤ 1/128 relative error), not the raw samples.
     #[must_use]
     pub fn wall_tpot_quantile(&self, q: f64) -> f64 {
-        let s: aum_sim::stats::Samples = self.wall_tpots.iter().copied().collect();
-        s.quantile(q)
+        self.wall_tpot_hist.quantile(q)
+    }
+
+    /// The wall-clock TPOT distribution as a mergeable histogram.
+    #[must_use]
+    pub fn wall_tpot_hist(&self) -> &LogHistogram {
+        &self.wall_tpot_hist
     }
 
     /// Fraction of finished requests whose wall-clock TPOT met the deadline.

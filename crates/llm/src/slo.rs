@@ -4,10 +4,17 @@
 //! (time-per-output-token) for decode (§III-A2), and reports *SLO guarantee
 //! ratios* — the fraction of requests/tokens meeting their deadline
 //! (Fig 17) — plus throughput "with performance guarantees".
+//!
+//! Latency percentiles come from mergeable log-linear histograms
+//! ([`aum_sim::hist::LogHistogram`], ≤ 1/128 relative bucket width) rather
+//! than exact sample vectors, so per-cell reports aggregate across the
+//! parallel sweep executor deterministically and without shipping raw
+//! samples. Guarantee *ratios* stay exact — deadline hits are counted
+//! against the raw records, never estimated from buckets.
 
 use serde::{Deserialize, Serialize};
 
-use aum_sim::stats::Samples;
+use aum_sim::hist::LogHistogram;
 use aum_sim::time::SimDuration;
 
 use crate::request::{TokenRecord, TtftRecord};
@@ -52,18 +59,28 @@ pub struct SloReport {
     pub tpot_req_p50: f64,
     /// 90th percentile of per-request average token times, seconds.
     pub tpot_req_p90: f64,
+    /// 99th-percentile TTFT in seconds.
+    pub ttft_p99: f64,
+    /// 99th percentile of per-request average token times, seconds.
+    pub tpot_req_p99: f64,
     /// Requests with a completed prefill.
     pub prefills: usize,
     /// Decode tokens generated.
     pub tokens: usize,
+    /// Full TTFT distribution (seconds).
+    pub ttft_hist: LogHistogram,
+    /// Full per-token execution-time distribution (seconds).
+    pub tpot_hist: LogHistogram,
+    /// Full per-request average-token-time distribution (seconds).
+    pub tpot_req_hist: LogHistogram,
 }
 
 impl SloReport {
     /// Builds a report from raw records.
     #[must_use]
     pub fn from_records(slo: SloSpec, ttfts: &[TtftRecord], tokens: &[TokenRecord]) -> Self {
-        let ttft_samples: Samples = ttfts.iter().map(|r| r.ttft.as_secs_f64()).collect();
-        let token_samples: Samples = tokens.iter().map(|r| r.exec.as_secs_f64()).collect();
+        let ttft_hist: LogHistogram = ttfts.iter().map(|r| r.ttft.as_secs_f64()).collect();
+        let tpot_hist: LogHistogram = tokens.iter().map(|r| r.exec.as_secs_f64()).collect();
         let ttft_ok = if ttfts.is_empty() {
             1.0
         } else {
@@ -78,7 +95,7 @@ impl SloReport {
             e.0 += t.exec.as_secs_f64();
             e.1 += 1;
         }
-        let req_avgs: Samples = per_request
+        let tpot_req_hist: LogHistogram = per_request
             .values()
             .map(|(sum, n)| sum / f64::from(*n))
             .collect();
@@ -94,14 +111,19 @@ impl SloReport {
         SloReport {
             ttft_guarantee: ttft_ok,
             tpot_guarantee: tpot_ok,
-            ttft_p50: ttft_samples.quantile(0.5),
-            ttft_p90: ttft_samples.quantile(0.9),
-            tpot_p50: token_samples.quantile(0.5),
-            tpot_p90: token_samples.quantile(0.9),
-            tpot_req_p50: req_avgs.quantile(0.5),
-            tpot_req_p90: req_avgs.quantile(0.9),
+            ttft_p50: ttft_hist.quantile(0.5),
+            ttft_p90: ttft_hist.quantile(0.9),
+            tpot_p50: tpot_hist.quantile(0.5),
+            tpot_p90: tpot_hist.quantile(0.9),
+            tpot_req_p50: tpot_req_hist.quantile(0.5),
+            tpot_req_p90: tpot_req_hist.quantile(0.9),
+            ttft_p99: ttft_hist.quantile(0.99),
+            tpot_req_p99: tpot_req_hist.quantile(0.99),
             prefills: ttfts.len(),
             tokens: tokens.len(),
+            ttft_hist,
+            tpot_hist,
+            tpot_req_hist,
         }
     }
 
@@ -167,6 +189,28 @@ mod tests {
         let r = SloReport::from_records(slo(), &records, &[]);
         assert!((r.ttft_p50 - 0.505).abs() < 0.01, "p50 {}", r.ttft_p50);
         assert!((r.ttft_p90 - 0.901).abs() < 0.01, "p90 {}", r.ttft_p90);
+    }
+
+    #[test]
+    fn hist_percentiles_match_exact_quantiles_within_bucket_width() {
+        use aum_sim::stats::Samples;
+        // Equivalence gate for the histogram-backed report: against the
+        // exact order statistic, the log-linear estimate may deviate by at
+        // most one bucket's relative width (1/128).
+        let records: Vec<TtftRecord> = (1..=500).map(|i| ttft(i, 3 + i * 7)).collect();
+        let exact: Samples = records.iter().map(|r| r.ttft.as_secs_f64()).collect();
+        let r = SloReport::from_records(slo(), &records, &[]);
+        let tol = 1.0 / 128.0;
+        for (est, q) in [(r.ttft_p50, 0.5), (r.ttft_p90, 0.9), (r.ttft_p99, 0.99)] {
+            let truth = exact.quantile(q);
+            assert!(
+                (est - truth).abs() <= truth * tol + 1e-12,
+                "q{q}: hist {est} vs exact {truth}"
+            );
+        }
+        // The report carries the full distribution for downstream merge.
+        assert_eq!(r.ttft_hist.count(), 500);
+        assert!(r.tpot_req_hist.is_empty());
     }
 
     #[test]

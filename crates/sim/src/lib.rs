@@ -9,10 +9,14 @@
 //!   seeded grid cells ([`exec::sweep`], [`exec::sweep_traced`]);
 //! - [`rng`]: labelled deterministic random streams derived from one seed;
 //! - [`stats`]: streaming summaries, exact quantiles, histograms, CDFs;
+//! - [`hist`]: mergeable log-linear (HDR-style) latency histograms with
+//!   fixed bucket boundaries and deterministic merge ([`hist::LogHistogram`]);
 //! - [`series`]: zero-order-hold time series for telemetry;
 //! - [`telemetry`]: typed event tracing ([`telemetry::Event`],
 //!   [`telemetry::TraceSink`], [`telemetry::Tracer`]) and a metrics
 //!   registry snapshotted per control interval;
+//! - [`span`]: hierarchical request/iteration/interval spans over the
+//!   telemetry stream ([`span::SpanId`], [`span::collect_spans`]);
 //! - [`attrib`]: per-interval, per-region time/energy attribution ledger
 //!   with conservation invariants ([`attrib::Ledger`]);
 //! - [`prom`]: Prometheus text-format rendering of metrics snapshots and
@@ -55,10 +59,12 @@
 pub mod attrib;
 pub mod event;
 pub mod exec;
+pub mod hist;
 pub mod prom;
 pub mod report;
 pub mod rng;
 pub mod series;
+pub mod span;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -67,11 +73,13 @@ pub use attrib::{
     Cause, CauseVec, ConservationError, IntervalLedger, Ledger, Region, RegionSample,
 };
 pub use event::{EventId, EventQueue};
-pub use exec::{jobs, set_jobs, sweep, sweep_jobs, sweep_traced, ExecStats};
+pub use exec::{jobs, set_jobs, sweep, sweep_jobs, sweep_traced, sweep_traced_hists, ExecStats};
+pub use hist::LogHistogram;
 pub use rng::DetRng;
+pub use span::{collect_spans, SpanError, SpanForest, SpanId, SpanKind, SpanNode};
 pub use stats::{Histogram, Samples, Summary};
 pub use telemetry::{
     Event, JsonlSink, MemorySink, MetricsRegistry, MetricsSnapshot, NullSink, OrderingSink,
-    TraceRecord, TraceSink, Tracer,
+    TraceParseError, TraceRecord, TraceSink, Tracer,
 };
 pub use time::{SimDuration, SimTime};

@@ -7,13 +7,16 @@
 //! can ingest simulator runs without parsing our JSONL traces.
 //!
 //! Only the subset of the format we need is implemented: `# HELP` /
-//! `# TYPE` headers, `counter` and `gauge` types, and `{label="value"}`
-//! label sets. Metric names are sanitized to `[a-zA-Z0-9_:]` (the
-//! registry's `"tpot_secs/p50"` becomes `tpot_secs_p50`).
+//! `# TYPE` headers, `counter`, `gauge` and `histogram` types, and
+//! `{label="value"}` label sets. Metric names are sanitized to
+//! `[a-zA-Z0-9_:]` (the registry's `"tpot_secs/p50"` becomes
+//! `tpot_secs_p50`); label *values* are escaped per the exposition spec
+//! (`\` → `\\`, `"` → `\"`, newline → `\n`).
 
 use core::fmt::Write as _;
 
 use crate::attrib::{Ledger, Region};
+use crate::hist::LogHistogram;
 use crate::telemetry::MetricsSnapshot;
 
 /// Replaces every character outside Prometheus's metric-name alphabet
@@ -27,6 +30,23 @@ pub fn sanitize_name(name: &str) -> String {
             out.push('_');
         }
         out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label *value* per the text-exposition spec: backslash,
+/// double-quote and newline must be escaped inside `label="value"`; every
+/// other byte passes through untouched.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
     }
     out
 }
@@ -118,8 +138,8 @@ pub fn render_ledger(ledger: &Ledger) -> String {
                 let _ = writeln!(
                     out,
                     "aum_attrib_seconds_total{{region=\"{}\",cause=\"{}\"}} {}",
-                    region.label(),
-                    cause.label(),
+                    escape_label_value(region.label()),
+                    escape_label_value(cause.label()),
                     fmt_f64(secs)
                 );
             }
@@ -136,13 +156,65 @@ pub fn render_ledger(ledger: &Ledger) -> String {
                 let _ = writeln!(
                     out,
                     "aum_attrib_joules_total{{region=\"{}\",cause=\"{}\"}} {}",
-                    region.label(),
-                    cause.label(),
+                    escape_label_value(region.label()),
+                    escape_label_value(cause.label()),
                     fmt_f64(joules)
                 );
             }
         }
     }
+    out
+}
+
+/// Renders a [`LogHistogram`] as a Prometheus `histogram`: cumulative
+/// `<name>_bucket{le="..."}` rows at each occupied bucket's upper bound
+/// (plus the mandatory `le="+Inf"`), then `<name>_sum` and `<name>_count`.
+///
+/// `labels` are attached to every row; values are escaped via
+/// [`escape_label_value`]. Only occupied buckets emit a row — with fixed
+/// log-linear boundaries the cumulative reading is unaffected and the
+/// exposition stays proportional to occupancy, not the 4096-bucket grid.
+#[must_use]
+pub fn render_histogram(
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &LogHistogram,
+) -> String {
+    let metric = sanitize_name(name);
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    // Label set with `le` appended, and without (for _sum/_count).
+    let with_le = |le: &str| {
+        let mut parts = rendered.clone();
+        parts.push(format!("le=\"{le}\""));
+        format!("{{{}}}", parts.join(","))
+    };
+    let bare = if rendered.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", rendered.join(","))
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP {metric} {help}");
+    let _ = writeln!(out, "# TYPE {metric} histogram");
+    let mut cumulative = h.underflow();
+    if cumulative > 0 {
+        let le = with_le(&fmt_f64(crate::hist::min_value()));
+        let _ = writeln!(out, "{metric}_bucket{le} {cumulative}");
+    }
+    for (idx, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let (_, hi) = LogHistogram::bucket_bounds(idx);
+        let le = with_le(&fmt_f64(hi));
+        let _ = writeln!(out, "{metric}_bucket{le} {cumulative}");
+    }
+    let le = with_le("+Inf");
+    let _ = writeln!(out, "{metric}_bucket{le} {}", h.count());
+    let _ = writeln!(out, "{metric}_sum{bare} {}", fmt_f64(h.sum()));
+    let _ = writeln!(out, "{metric}_count{bare} {}", h.count());
     out
 }
 
@@ -157,6 +229,61 @@ mod tests {
         assert_eq!(sanitize_name("tpot_secs/p50"), "tpot_secs_p50");
         assert_eq!(sanitize_name("9lives"), "_9lives");
         assert_eq!(sanitize_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        // A pathological value exercising every escape the exposition
+        // format requires, plus characters that must pass through.
+        let pathological = "C:\\temp\\\"quoted\"\nnext λ";
+        assert_eq!(
+            escape_label_value(pathological),
+            "C:\\\\temp\\\\\\\"quoted\\\"\\nnext λ"
+        );
+        assert_eq!(escape_label_value("plain"), "plain");
+        // Escaped output never contains a raw quote or newline that would
+        // terminate the label value early.
+        let escaped = escape_label_value(pathological);
+        assert!(!escaped.contains('\n'));
+        let mut chars = escaped.chars().peekable();
+        let mut prev_backslash = false;
+        for ch in &mut chars {
+            if ch == '"' {
+                assert!(prev_backslash, "unescaped quote in {escaped:?}");
+            }
+            prev_backslash = ch == '\\' && !prev_backslash;
+        }
+    }
+
+    #[test]
+    fn histogram_rendering_is_cumulative_with_sum_and_count() {
+        let h: LogHistogram = [0.01, 0.01, 0.5, 3.0, 1e-9].iter().copied().collect();
+        let text = render_histogram(
+            "aum_ttft_seconds",
+            "TTFT distribution.",
+            &[("scheme", "aum"), ("odd", "a\"b\nc\\d")],
+            &h,
+        );
+        assert!(text.contains("# TYPE aum_ttft_seconds histogram"));
+        // Escaped label value appears on every row.
+        assert!(text.contains("odd=\"a\\\"b\\nc\\\\d\""));
+        // Cumulative counts end at the total on +Inf.
+        assert!(text.contains("le=\"+Inf\"}} 5") || text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("aum_ttft_seconds_count{scheme=\"aum\",odd="));
+        assert!(text.contains("aum_ttft_seconds_sum{"));
+        // Cumulative monotonicity across the _bucket rows.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-cumulative bucket row: {line}");
+            last = v;
+        }
+        assert_eq!(last, 5);
+
+        // Unlabelled histograms omit the empty brace set on _sum/_count.
+        let bare = render_histogram("x", "h", &[], &h);
+        assert!(bare.contains("\nx_sum "));
+        assert!(bare.contains("\nx_count 5"));
     }
 
     #[test]

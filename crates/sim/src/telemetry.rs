@@ -128,6 +128,9 @@ pub enum Event {
         /// Mean *wall-clock* time per generated token in seconds,
         /// stall-inclusive (0 when nothing was generated).
         mean_tpot_secs: f64,
+        /// Time-to-first-token in seconds (arrival → end of prefill), so
+        /// the trace alone supports windowed TTFT series.
+        ttft_secs: f64,
     },
     /// The engine completed one batched iteration.
     IterationCompleted {
@@ -270,6 +273,40 @@ pub enum Event {
         /// Joules by cause.
         energy: crate::attrib::CauseVec,
     },
+    /// A hierarchical span opened (see [`crate::span`]). `id` is derived
+    /// via [`crate::span::SpanId::derive`] — deterministic across runs and
+    /// worker counts — and unique per `track`.
+    SpanOpen {
+        /// Derived span id (raw form).
+        id: u64,
+        /// Enclosing span's id on the same track, if any.
+        parent: Option<u64>,
+        /// Interval kind.
+        kind: crate::span::SpanKind,
+        /// The run this span belongs to (one experiment cell, the
+        /// profiler, …); spans never nest across tracks.
+        track: String,
+        /// Human-readable label, e.g. `"req 7"` or `"interval 12"`.
+        label: String,
+    },
+    /// The matching close of an earlier [`Event::SpanOpen`] on `track`.
+    SpanClose {
+        /// Derived span id of the span being closed.
+        id: u64,
+        /// Interval kind (redundant with the id's top byte; kept explicit
+        /// so a close line is self-describing).
+        kind: crate::span::SpanKind,
+        /// The track the span opened on.
+        track: String,
+    },
+    /// The SLO deadlines in force for this run, emitted once at the start
+    /// so a trace is self-contained for burn-rate analysis.
+    SloTargets {
+        /// TTFT deadline, seconds.
+        ttft_secs: f64,
+        /// Per-token (TPOT/TBT) deadline, seconds.
+        tpot_secs: f64,
+    },
 }
 
 impl Event {
@@ -292,6 +329,9 @@ impl Event {
             Event::SensorRejected { .. } => "SensorRejected",
             Event::SafeModeTransition { .. } => "SafeModeTransition",
             Event::AttributionSample { .. } => "AttributionSample",
+            Event::SpanOpen { .. } => "SpanOpen",
+            Event::SpanClose { .. } => "SpanClose",
+            Event::SloTargets { .. } => "SloTargets",
         }
     }
 }
@@ -479,17 +519,45 @@ impl<S: TraceSink> Drop for OrderingSink<S> {
     }
 }
 
+/// A malformed line in a JSONL trace, with its 1-based line number.
+///
+/// A truncated write (a crash mid-line) surfaces as the exact line that
+/// failed, so `repro trace-diff` and `trace-export` can report "line 812:
+/// unexpected end of input" instead of panicking on a bare parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the first malformed line.
+    pub line: usize,
+    /// The underlying parser message.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
 /// Parses a JSONL trace produced by [`JsonlSink`] back into records.
+///
+/// Blank lines are skipped; an empty input yields an empty vector (callers
+/// that need at least one record check for that themselves).
 ///
 /// # Errors
 ///
-/// Returns the first malformed line as an error string.
-pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+/// Returns the first malformed line as a typed [`TraceParseError`]
+/// carrying its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
     text.lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
         .map(|(i, l)| {
-            serde_json::from_str::<TraceRecord>(l).map_err(|e| format!("line {}: {e}", i + 1))
+            serde_json::from_str::<TraceRecord>(l).map_err(|e| TraceParseError {
+                line: i + 1,
+                message: e.to_string(),
+            })
         })
         .collect()
 }
@@ -846,6 +914,7 @@ mod tests {
                 id: 1,
                 generated: 200,
                 mean_tpot_secs: 0.05,
+                ttft_secs: 0.71,
             },
             Event::IterationCompleted {
                 phase: PhaseKind::Decode,
@@ -927,6 +996,24 @@ mod tests {
                     v.add(crate::attrib::Cause::Compute, 40.0);
                     v
                 },
+            },
+            Event::SpanOpen {
+                id: crate::span::SpanId::derive(crate::span::SpanKind::RequestLifecycle, 7).0,
+                parent: Some(
+                    crate::span::SpanId::derive(crate::span::SpanKind::ControllerInterval, 2).0,
+                ),
+                kind: crate::span::SpanKind::RequestLifecycle,
+                track: "aum/chatbot+specjbb".to_string(),
+                label: "req 7".to_string(),
+            },
+            Event::SpanClose {
+                id: crate::span::SpanId::derive(crate::span::SpanKind::RequestLifecycle, 7).0,
+                kind: crate::span::SpanKind::RequestLifecycle,
+                track: "aum/chatbot+specjbb".to_string(),
+            },
+            Event::SloTargets {
+                ttft_secs: 3.0,
+                tpot_secs: 0.12,
             },
         ];
         for event in variants {

@@ -6,6 +6,7 @@ use aum_sim::attrib::{
     Cause, IntervalLedger, Ledger, Region, RegionSample, WorkFractions, EPSILON,
 };
 use aum_sim::event::EventQueue;
+use aum_sim::hist::{LogHistogram, SUB_BUCKETS};
 use aum_sim::rng::DetRng;
 use aum_sim::stats::{Histogram, Samples, Summary};
 use aum_sim::time::{SimDuration, SimTime};
@@ -268,5 +269,90 @@ proptest! {
         prop_assert!(back.verify(EPSILON).is_ok());
         prop_assert!((back.wall_secs() - ledger.wall_secs()).abs() < 1e-12);
         prop_assert!((back.energy_j() - ledger.energy_j()).abs() < 1e-12);
+    }
+
+    // Both `LogHistogram::quantile` and `Samples::quantile` map q to rank
+    // q * (n - 1); the sample counts below keep that rank integral for
+    // p50/p90/p99, so the exact quantile is a single order statistic that
+    // lies inside the bucket the histogram interpolates in — the estimate
+    // must agree within one bucket's relative width (1/SUB_BUCKETS).
+    #[test]
+    fn hist_quantiles_track_exact_on_lognormal(
+        seed in any::<u64>(),
+        mean in 0.01f64..5.0,
+        cv in 0.1f64..1.5,
+    ) {
+        let mut rng = DetRng::from_seed(seed).stream("hist-lognormal");
+        let values: Vec<f64> = (0..301)
+            .map(|_| rng.lognormal_mean_cv(mean, cv).clamp(1e-4, 1000.0))
+            .collect();
+        let hist: LogHistogram = values.iter().copied().collect();
+        let exact: Samples = values.iter().copied().collect();
+        for q in [0.5, 0.9, 0.99] {
+            let truth = exact.quantile(q);
+            let est = hist.quantile(q);
+            prop_assert!(
+                (est - truth).abs() <= truth / SUB_BUCKETS as f64 + 1e-12,
+                "p{} off by more than a bucket: est {est}, exact {truth}",
+                q * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn hist_quantiles_track_exact_on_bimodal(
+        seed in any::<u64>(),
+        lo_mean in 0.002f64..0.02,
+        hi_mean in 0.5f64..5.0,
+        p_lo in 0.1f64..0.9,
+    ) {
+        let mut rng = DetRng::from_seed(seed).stream("hist-bimodal");
+        let values: Vec<f64> = (0..201)
+            .map(|_| {
+                let mean = if rng.chance(p_lo) { lo_mean } else { hi_mean };
+                rng.lognormal_mean_cv(mean, 0.3).clamp(1e-4, 1000.0)
+            })
+            .collect();
+        let hist: LogHistogram = values.iter().copied().collect();
+        let exact: Samples = values.iter().copied().collect();
+        for q in [0.5, 0.9, 0.99] {
+            let truth = exact.quantile(q);
+            let est = hist.quantile(q);
+            prop_assert!(
+                (est - truth).abs() <= truth / SUB_BUCKETS as f64 + 1e-12,
+                "p{} off by more than a bucket: est {est}, exact {truth}",
+                q * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn hist_merge_equals_histogramming_the_union(
+        values in prop::collection::vec(1e-7f64..1e5, 2..400),
+        split in 0usize..400,
+    ) {
+        // The value range deliberately straddles both ends of the bucketed
+        // range so the under/overflow counters are exercised too.
+        let split = split.min(values.len());
+        let a: LogHistogram = values[..split].iter().copied().collect();
+        let b: LogHistogram = values[split..].iter().copied().collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let union: LogHistogram = values.iter().copied().collect();
+        prop_assert_eq!(
+            merged.nonzero_buckets().collect::<Vec<_>>(),
+            union.nonzero_buckets().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(merged.count(), union.count());
+        prop_assert_eq!(merged.underflow(), union.underflow());
+        prop_assert_eq!(merged.overflow(), union.overflow());
+        prop_assert!(
+            (merged.sum() - union.sum()).abs() <= 1e-9 * union.sum().abs().max(1.0)
+        );
+        // Quantiles depend only on bucket counts, so they match bit-exactly.
+        for i in 0..=10 {
+            let q = f64::from(i) / 10.0;
+            prop_assert_eq!(merged.quantile(q).to_bits(), union.quantile(q).to_bits());
+        }
     }
 }

@@ -224,6 +224,21 @@ macro_rules! impl_float {
 
 impl_float!(f32, f64);
 
+// The content tree round-trips through itself, so callers can deserialize
+// *any* document into `Content` (the role `serde_json::Value` plays for
+// the real crates).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_content(&self) -> Content {
         Content::Bool(*self)

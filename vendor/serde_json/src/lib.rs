@@ -10,6 +10,10 @@
 
 use serde::{Content, Deserialize, Serialize};
 
+/// A parsed JSON document of arbitrary shape — the serde data-model
+/// content tree, re-exported under the name the real crate uses.
+pub type Value = Content;
+
 /// Serialization/deserialization error.
 #[derive(Debug, Clone)]
 pub struct Error(String);
