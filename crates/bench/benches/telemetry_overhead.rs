@@ -38,6 +38,17 @@ fn bench(c: &mut Criterion) {
     group.bench_function("null_sink", |b| {
         b.iter(|| run_once(black_box(&cfg), Tracer::new(NullSink)))
     });
+    // The always-on flight-recorder budget: a bounded ring must price like
+    // clone-into-a-buffer (it is one), i.e. within 2x of `NullSink` — the
+    // acceptance bound that makes `--flight` safe to leave on everywhere.
+    group.bench_function("ring_sink", |b| {
+        b.iter(|| {
+            run_once(
+                black_box(&cfg),
+                Tracer::new(aum_sim::flight::RingSink::new(4096)),
+            )
+        })
+    });
     group.bench_function("memory_sink", |b| {
         b.iter(|| run_once(black_box(&cfg), Tracer::new(MemorySink::new())))
     });

@@ -1,51 +1,196 @@
 //! Reproduction driver: regenerates the paper's tables and figures.
 //!
-//! Usage:
-//!   repro `<id>`                     run one experiment (e.g. `fig14`)
-//!   repro all                        run everything in paper order
-//!   repro list                       list experiment ids
-//!   repro help | --help              print the full subcommand list
-//!   repro chaos [--quick]            fault-matrix resilience study
-//!   repro attrib <study> [--quick]   time/energy attribution ledger report
-//!                                    (study: `fig14` or `chaos`)
-//!   repro trace-summary <file>       explain a telemetry trace (includes
-//!                                    the SLO burn-rate digest and the
-//!                                    worst-TTFT span drill-down)
-//!   repro trace-diff <a> <b>         attribution delta between two traces
-//!   repro trace-export <file> --perfetto <out.json>
-//!                                    convert a span trace to Chrome Trace
-//!                                    Event Format (Perfetto-loadable)
+//! Run `repro help` for the full command and flag reference. The usage
+//! text is generated from the same [`COMMANDS`]/[`FLAGS`] tables the
+//! argument parser walks, so the help and the parser cannot drift apart:
+//! adding a flag means adding one table row, and both the synopsis and
+//! the per-command validity checks pick it up.
 //!
-//! Flags (only valid when running experiments):
-//!   --out <dir>          additionally write one .txt artifact per experiment
-//!   --trace <file>       stream telemetry from AUM-scheme runs and profiler
-//!                        sweeps to <file> as JSON lines
-//!   --jobs <N>           worker threads for sweep cells (default: the
-//!                        `AUM_JOBS` env var, else available parallelism;
-//!                        `--jobs 1` runs serially — outputs are
-//!                        byte-identical at every N)
-//!   --quick              short runs — the CI smoke configuration
-//!                        (chaos/attrib, and experiments that consult the
-//!                        harness quick mode, currently fig14)
-//!   --metrics-out <file> (attrib only) write the run's final metrics
-//!                        snapshot + ledger in Prometheus text format
-//!   --threshold <pp>     (trace-diff only) regression threshold in
-//!                        percentage points of time share (default 2.0)
-//!   --perfetto <file>    (trace-export only) output path of the Chrome
-//!                        Trace Event Format JSON
+//! Observability plane (all optional, all off by default):
+//!   --flight <dir>        anomaly-triggered flight recorder; incident
+//!                         dumps are JSONL consumable by `trace-summary`
+//!                         and `trace-export --perfetto`
+//!   --serve-metrics <a>   live Prometheus endpoint with run-health gauges
+//!   --watchdog <secs>     stall detector (exit 3 instead of hanging)
 //!
-//! `repro chaos` exits 1 if any SLO guarantee in the matrix is non-finite.
-//! `repro attrib` exits 1 on an attribution-ledger conservation violation.
-//! `repro trace-diff` exits 1 when any cause shifts by ≥ the threshold.
-//! `repro trace-export` exits 1 on an empty, truncated or unbalanced trace
-//! (truncation errors carry the offending line number).
-//!
-//! Unknown or malformed arguments are rejected with exit code 2.
+//! Exit codes:
+//!   0  success
+//!   1  a study failed its own gate (degenerate chaos matrix, attribution
+//!      conservation violation, trace-diff regression, export error) or an
+//!      incident dump could not be written
+//!   2  unknown or malformed arguments
+//!   3  the run-health watchdog fired (no progress for the configured
+//!      wall-clock timeout)
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use aum_sim::flight::{FlightConfig, FlightRecorder};
+use aum_sim::live::{self, MetricsServer, Watchdog};
 use aum_sim::telemetry::{parse_jsonl, JsonlSink, OrderingSink, TraceSink, Tracer};
+use aum_sim::time::SimDuration;
+
+/// Identity of a parsed command, used to key flag applicability.
+/// `Run` covers both `repro <id>` and `repro all`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CmdId {
+    Run,
+    List,
+    Chaos,
+    Attrib,
+    TraceSummary,
+    TraceDiff,
+    TraceExport,
+}
+
+/// One row of the command table: positional synopsis plus the short label
+/// used in per-flag validity lists and error messages.
+struct CommandSpec {
+    id: CmdId,
+    usage: &'static str,
+    label: &'static str,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        id: CmdId::Run,
+        usage: "<id>|all",
+        label: "<id>|all",
+    },
+    CommandSpec {
+        id: CmdId::List,
+        usage: "list",
+        label: "list",
+    },
+    CommandSpec {
+        id: CmdId::Chaos,
+        usage: "chaos",
+        label: "chaos",
+    },
+    CommandSpec {
+        id: CmdId::Attrib,
+        usage: "attrib <fig14|chaos>",
+        label: "attrib",
+    },
+    CommandSpec {
+        id: CmdId::TraceSummary,
+        usage: "trace-summary <file.jsonl>",
+        label: "trace-summary",
+    },
+    CommandSpec {
+        id: CmdId::TraceDiff,
+        usage: "trace-diff <a.jsonl> <b.jsonl>",
+        label: "trace-diff",
+    },
+    CommandSpec {
+        id: CmdId::TraceExport,
+        usage: "trace-export <file.jsonl>",
+        label: "trace-export",
+    },
+];
+
+/// One row of the flag table. `value` is `Some((metavar, noun))` for
+/// value-taking flags — the metavar renders in usage text, the noun in
+/// the "requires" error — and `None` for boolean switches.
+struct FlagSpec {
+    name: &'static str,
+    value: Option<(&'static str, &'static str)>,
+    applies: &'static [CmdId],
+    help: &'static str,
+}
+
+/// Commands that run experiments or studies.
+const RUNS: &[CmdId] = &[CmdId::Run, CmdId::Chaos, CmdId::Attrib];
+/// Commands that dispatch sweep cells through the parallel executor.
+const SWEEPS: &[CmdId] = &[CmdId::Run, CmdId::Chaos, CmdId::Attrib, CmdId::TraceDiff];
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--quick",
+        value: None,
+        applies: RUNS,
+        help: "short runs — the CI smoke configuration",
+    },
+    FlagSpec {
+        name: "--out",
+        value: Some(("<dir>", "a directory")),
+        applies: RUNS,
+        help: "additionally write one .txt artifact per experiment",
+    },
+    FlagSpec {
+        name: "--trace",
+        value: Some(("<file.jsonl>", "a file path")),
+        applies: RUNS,
+        help: "stream telemetry from AUM-scheme runs and profiler sweeps as JSON lines",
+    },
+    FlagSpec {
+        name: "--jobs",
+        value: Some(("<N>", "a worker count")),
+        applies: SWEEPS,
+        help: "worker threads for sweep cells (default: AUM_JOBS env var, else available \
+               parallelism; outputs are byte-identical at every N)",
+    },
+    FlagSpec {
+        name: "--metrics-out",
+        value: Some(("<file.prom>", "a file path")),
+        applies: &[CmdId::Attrib],
+        help: "write the run's final metrics snapshot + ledger in Prometheus text format",
+    },
+    FlagSpec {
+        name: "--threshold",
+        value: Some(("<pp>", "a number")),
+        applies: &[CmdId::TraceDiff],
+        help: "regression threshold in percentage points of time share (default 2.0)",
+    },
+    FlagSpec {
+        name: "--perfetto",
+        value: Some(("<out.json>", "a file path")),
+        applies: &[CmdId::TraceExport],
+        help: "output path of the Chrome Trace Event Format JSON (required)",
+    },
+    FlagSpec {
+        name: "--flight",
+        value: Some(("<dir>", "a directory")),
+        applies: RUNS,
+        help: "arm the flight recorder: keep a bounded ring of telemetry and dump the \
+               recent window to <dir>/incident-NNNN-<trigger>.jsonl on faults, safe-mode \
+               entries, SLO burn pages, attribution near-misses, and watchdog stalls",
+    },
+    FlagSpec {
+        name: "--flight-capacity",
+        value: Some(("<events>", "a record count")),
+        applies: RUNS,
+        help: "flight-recorder ring retention in records (default 4096; requires --flight)",
+    },
+    FlagSpec {
+        name: "--flight-window",
+        value: Some(("<secs>", "a duration in seconds")),
+        applies: RUNS,
+        help: "sim-time window an incident dump covers (default 30; requires --flight)",
+    },
+    FlagSpec {
+        name: "--serve-metrics",
+        value: Some(("<addr>", "a listen address")),
+        applies: RUNS,
+        help: "serve live run-health gauges and the latest cell's metrics over HTTP at \
+               http://<addr>/metrics while the run executes",
+    },
+    FlagSpec {
+        name: "--serve-hold",
+        value: Some(("<secs>", "a duration in seconds")),
+        applies: RUNS,
+        help: "keep the metrics endpoint up for <secs> after the run completes \
+               (requires --serve-metrics)",
+    },
+    FlagSpec {
+        name: "--watchdog",
+        value: Some(("<secs>", "a duration in seconds")),
+        applies: RUNS,
+        help: "terminate with exit 3 when no sweep-cell or controller-interval progress \
+               lands for <secs> of wall time, instead of hanging",
+    },
+];
 
 enum Command {
     List,
@@ -58,6 +203,34 @@ enum Command {
     TraceExport { input: PathBuf, perfetto: PathBuf },
 }
 
+impl Command {
+    fn id(&self) -> CmdId {
+        match self {
+            Command::List => CmdId::List,
+            Command::All | Command::One(_) => CmdId::Run,
+            Command::Chaos { .. } => CmdId::Chaos,
+            Command::Attrib { .. } => CmdId::Attrib,
+            Command::TraceSummary(_) => CmdId::TraceSummary,
+            Command::TraceDiff { .. } => CmdId::TraceDiff,
+            Command::TraceExport { .. } => CmdId::TraceExport,
+        }
+    }
+
+    /// Phase label shown on the live endpoint.
+    fn phase(&self) -> String {
+        match self {
+            Command::List => "list".into(),
+            Command::All => "all".into(),
+            Command::One(id) => id.clone(),
+            Command::Chaos { .. } => "chaos".into(),
+            Command::Attrib { study, .. } => format!("attrib-{study}"),
+            Command::TraceSummary(_) => "trace-summary".into(),
+            Command::TraceDiff { .. } => "trace-diff".into(),
+            Command::TraceExport { .. } => "trace-export".into(),
+        }
+    }
+}
+
 struct Cli {
     command: Command,
     out_dir: Option<PathBuf>,
@@ -66,89 +239,91 @@ struct Cli {
     threshold: Option<f64>,
     jobs: Option<usize>,
     quick: bool,
+    flight: Option<PathBuf>,
+    flight_capacity: Option<usize>,
+    flight_window_secs: Option<f64>,
+    serve_metrics: Option<String>,
+    serve_hold_secs: u64,
+    watchdog_secs: Option<u64>,
+}
+
+/// Raw flag values captured by the table-driven scan, indexed like
+/// [`FLAGS`]; switches store an empty string.
+struct RawFlags(Vec<Option<String>>);
+
+impl RawFlags {
+    fn get(&self, name: &str) -> Option<&str> {
+        let idx = FLAGS.iter().position(|f| f.name == name)?;
+        self.0[idx].as_deref()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    fn path(&self, name: &str) -> Option<PathBuf> {
+        self.get(name).map(PathBuf::from)
+    }
+}
+
+/// The generic scan: splits `args` into positionals and per-flag values
+/// using only the [`FLAGS`] table. Unknown flags, missing values, and
+/// duplicates are rejected here; typed validation happens afterwards.
+fn scan_flags(args: &[String]) -> Result<(Vec<String>, RawFlags), String> {
+    let mut positionals = Vec::new();
+    let mut values: Vec<Option<String>> = vec![None; FLAGS.len()];
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(idx) = FLAGS.iter().position(|f| f.name == arg) {
+            let spec = &FLAGS[idx];
+            let value = match spec.value {
+                Some((_, noun)) => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("{} requires {noun}", spec.name))?;
+                    i += 2;
+                    v.clone()
+                }
+                None => {
+                    i += 1;
+                    String::new()
+                }
+            };
+            if values[idx].replace(value).is_some() {
+                return Err(format!("{} given twice", spec.name));
+            }
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            positionals.push(arg.to_owned());
+            i += 1;
+        }
+    }
+    Ok((positionals, RawFlags(values)))
+}
+
+fn parse_positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+    raw: &RawFlags,
+    name: &str,
+    what: &str,
+) -> Result<Option<T>, String> {
+    let Some(v) = raw.get(name) else {
+        return Ok(None);
+    };
+    let parsed: T = v
+        .parse()
+        .map_err(|_| format!("{name}: `{v}` is not {what}"))?;
+    if parsed < T::from(1u8) {
+        return Err(format!("{name} must be at least 1"));
+    }
+    Ok(Some(parsed))
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
-    let mut positionals: Vec<&str> = Vec::new();
-    let mut out_dir = None;
-    let mut trace = None;
-    let mut metrics_out = None;
-    let mut threshold = None;
-    let mut jobs = None;
-    let mut perfetto = None;
-    let mut quick = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--out" => {
-                let v = args.get(i + 1).ok_or("--out requires a directory")?;
-                if out_dir.replace(PathBuf::from(v)).is_some() {
-                    return Err("--out given twice".into());
-                }
-                i += 2;
-            }
-            "--trace" => {
-                let v = args.get(i + 1).ok_or("--trace requires a file path")?;
-                if trace.replace(PathBuf::from(v)).is_some() {
-                    return Err("--trace given twice".into());
-                }
-                i += 2;
-            }
-            "--metrics-out" => {
-                let v = args
-                    .get(i + 1)
-                    .ok_or("--metrics-out requires a file path")?;
-                if metrics_out.replace(PathBuf::from(v)).is_some() {
-                    return Err("--metrics-out given twice".into());
-                }
-                i += 2;
-            }
-            "--threshold" => {
-                let v = args.get(i + 1).ok_or("--threshold requires a number")?;
-                let parsed: f64 = v
-                    .parse()
-                    .map_err(|_| format!("--threshold: `{v}` is not a number"))?;
-                if !parsed.is_finite() || parsed < 0.0 {
-                    return Err("--threshold must be a finite non-negative number".into());
-                }
-                if threshold.replace(parsed).is_some() {
-                    return Err("--threshold given twice".into());
-                }
-                i += 2;
-            }
-            "--jobs" => {
-                let v = args.get(i + 1).ok_or("--jobs requires a worker count")?;
-                let parsed: usize = v
-                    .parse()
-                    .map_err(|_| format!("--jobs: `{v}` is not a positive integer"))?;
-                if parsed == 0 {
-                    return Err("--jobs must be at least 1".into());
-                }
-                if jobs.replace(parsed).is_some() {
-                    return Err("--jobs given twice".into());
-                }
-                i += 2;
-            }
-            "--perfetto" => {
-                let v = args.get(i + 1).ok_or("--perfetto requires a file path")?;
-                if perfetto.replace(PathBuf::from(v)).is_some() {
-                    return Err("--perfetto given twice".into());
-                }
-                i += 2;
-            }
-            "--quick" => {
-                quick = true;
-                i += 1;
-            }
-            flag if flag.starts_with('-') => {
-                return Err(format!("unknown flag `{flag}`"));
-            }
-            positional => {
-                positionals.push(positional);
-                i += 1;
-            }
-        }
-    }
+    let (positionals, raw) = scan_flags(args)?;
+    let positionals: Vec<&str> = positionals.iter().map(String::as_str).collect();
+    let quick = raw.has("--quick");
     let command = match positionals.as_slice() {
         [] => return Err("missing command".into()),
         ["list"] => Command::List,
@@ -168,76 +343,120 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         ["trace-diff", ..] => return Err("trace-diff requires two trace files".into()),
         ["trace-export", file] => Command::TraceExport {
             input: PathBuf::from(file),
-            perfetto: perfetto
-                .take()
+            perfetto: raw
+                .path("--perfetto")
                 .ok_or("trace-export requires --perfetto <out.json>")?,
         },
         ["trace-export"] => return Err("trace-export requires a trace file".into()),
         [id] => Command::One((*id).to_owned()),
         [_, extra, ..] => return Err(format!("unexpected argument `{extra}`")),
     };
-    if quick
-        && !matches!(
-            command,
-            Command::Chaos { .. } | Command::Attrib { .. } | Command::One(_) | Command::All
-        )
-    {
-        return Err("--quick is only valid when running experiments or studies".into());
-    }
-    if metrics_out.is_some() && !matches!(command, Command::Attrib { .. }) {
-        return Err("--metrics-out is only valid with the attrib command".into());
-    }
-    if threshold.is_some() && !matches!(command, Command::TraceDiff { .. }) {
-        return Err("--threshold is only valid with the trace-diff command".into());
-    }
-    if perfetto.is_some() {
-        return Err("--perfetto is only valid with the trace-export command".into());
-    }
-    if jobs.is_some()
-        && matches!(
-            command,
-            Command::List | Command::TraceSummary(_) | Command::TraceExport { .. }
-        )
-    {
-        return Err("--jobs is only valid for commands that run sweeps".into());
-    }
-    match command {
-        Command::List
-        | Command::TraceSummary(_)
-        | Command::TraceDiff { .. }
-        | Command::TraceExport { .. }
-            if out_dir.is_some() || trace.is_some() =>
-        {
-            Err("--out/--trace are only valid when running experiments".into())
+    // Table-driven applicability: every provided flag must list the
+    // resolved command — the same table renders the help text.
+    let cmd_id = command.id();
+    for (spec, value) in FLAGS.iter().zip(&raw.0) {
+        if value.is_some() && !spec.applies.contains(&cmd_id) {
+            let valid: Vec<&str> = COMMANDS
+                .iter()
+                .filter(|c| spec.applies.contains(&c.id))
+                .map(|c| c.label)
+                .collect();
+            return Err(format!(
+                "{} is only valid with: {}",
+                spec.name,
+                valid.join(", ")
+            ));
         }
-        command => Ok(Cli {
-            command,
-            out_dir,
-            trace,
-            metrics_out,
-            threshold,
-            jobs,
-            quick,
-        }),
     }
+    // Cross-flag requirements the applicability table cannot express.
+    for (dependent, prereq) in [
+        ("--flight-capacity", "--flight"),
+        ("--flight-window", "--flight"),
+        ("--serve-hold", "--serve-metrics"),
+    ] {
+        if raw.has(dependent) && !raw.has(prereq) {
+            return Err(format!("{dependent} requires {prereq}"));
+        }
+    }
+    let threshold = raw
+        .get("--threshold")
+        .map(|v| {
+            let parsed: f64 = v
+                .parse()
+                .map_err(|_| format!("--threshold: `{v}` is not a number"))?;
+            if !parsed.is_finite() || parsed < 0.0 {
+                return Err("--threshold must be a finite non-negative number".to_string());
+            }
+            Ok(parsed)
+        })
+        .transpose()?;
+    let flight_window_secs = raw
+        .get("--flight-window")
+        .map(|v| {
+            let parsed: f64 = v
+                .parse()
+                .map_err(|_| format!("--flight-window: `{v}` is not a number"))?;
+            if !parsed.is_finite() || parsed <= 0.0 {
+                return Err("--flight-window must be a positive number of seconds".to_string());
+            }
+            Ok(parsed)
+        })
+        .transpose()?;
+    let jobs = parse_positive::<usize>(&raw, "--jobs", "a positive integer")?;
+    let flight_capacity = parse_positive::<usize>(&raw, "--flight-capacity", "a positive integer")?;
+    let watchdog_secs = parse_positive::<u64>(&raw, "--watchdog", "a whole number of seconds")?;
+    let serve_hold_secs = raw
+        .get("--serve-hold")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--serve-hold: `{v}` is not a whole number of seconds"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    Ok(Cli {
+        command,
+        out_dir: raw.path("--out"),
+        trace: raw.path("--trace"),
+        metrics_out: raw.path("--metrics-out"),
+        threshold,
+        jobs,
+        quick,
+        flight: raw.path("--flight"),
+        flight_capacity,
+        flight_window_secs,
+        serve_metrics: raw.get("--serve-metrics").map(str::to_owned),
+        serve_hold_secs,
+        watchdog_secs,
+    })
 }
 
+/// Renders the help text from the same tables the parser walks.
 fn usage_text(experiments: &[(&'static str, aum_bench::Experiment)]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "usage: repro <id>|all|list [--quick] [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]\n",
-    );
+    for (i, cmd) in COMMANDS.iter().enumerate() {
+        let lead = if i == 0 { "usage:" } else { "      " };
+        let has_flags = FLAGS.iter().any(|f| f.applies.contains(&cmd.id));
+        let flags = if has_flags { " [flags]" } else { "" };
+        out.push_str(&format!("{lead} repro {}{flags}\n", cmd.usage));
+    }
     out.push_str("       repro help | --help\n");
-    out.push_str(
-        "       repro chaos [--quick] [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]\n",
-    );
-    out.push_str(
-        "       repro attrib <fig14|chaos> [--quick] [--metrics-out <file.prom>] \
-         [--out <dir>] [--trace <file.jsonl>] [--jobs <N>]\n",
-    );
-    out.push_str("       repro trace-summary <file.jsonl>\n");
-    out.push_str("       repro trace-diff <a.jsonl> <b.jsonl> [--threshold <pp>] [--jobs <N>]\n");
-    out.push_str("       repro trace-export <file.jsonl> --perfetto <out.json>\n");
+    out.push_str("flags:\n");
+    for spec in FLAGS {
+        let head = match spec.value {
+            Some((metavar, _)) => format!("{} {metavar}", spec.name),
+            None => spec.name.to_string(),
+        };
+        let valid: Vec<&str> = COMMANDS
+            .iter()
+            .filter(|c| spec.applies.contains(&c.id))
+            .map(|c| c.label)
+            .collect();
+        out.push_str(&format!(
+            "  {head:<28} {}  [{}]\n",
+            spec.help,
+            valid.join(", ")
+        ));
+    }
     out.push_str(&format!(
         "ids: {}\n",
         experiments
@@ -247,6 +466,13 @@ fn usage_text(experiments: &[(&'static str, aum_bench::Experiment)]) -> String {
             .join(" ")
     ));
     out
+}
+
+/// The installed harness sink: either the plain ordered JSONL chain or
+/// the flight recorder wrapping it (with the JSONL leg optional).
+enum SinkHandle {
+    Plain(Arc<Mutex<OrderingSink<JsonlSink>>>),
+    Flight(Arc<Mutex<FlightRecorder<OrderingSink<JsonlSink>>>>),
 }
 
 fn main() {
@@ -277,9 +503,32 @@ fn main() {
             std::process::exit(1);
         }
     }
-    // When tracing, install a shared JSONL sink consulted by AUM-scheme
-    // runs and profiler sweeps inside the harness.
-    let trace_handle = cli.trace.as_ref().map(|path| {
+    // Run-health watchdog: armed before any sweep so a stalled cell turns
+    // into a typed exit instead of a hung CI job.
+    let watchdog = cli
+        .watchdog_secs
+        .map(|secs| Watchdog::arm(Duration::from_secs(secs)));
+    // Live metrics endpoint. The listener and its snapshots live outside
+    // the determinism contract: nothing it serves feeds back into stdout
+    // or traces.
+    let server = cli.serve_metrics.as_ref().map(|addr| {
+        let state = live::install();
+        let server = match MetricsServer::serve(addr, state.clone()) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("cannot serve metrics on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("metrics: live endpoint at http://{}/metrics", server.addr());
+        let _ = state.set_phase(&cli.command.phase());
+        (state, server)
+    });
+    // The harness tracer. With `--flight` the recorder is the outermost
+    // sink so it observes records live, in the deterministic emission
+    // order of the canonical cell merge; the ordered JSONL chain (the
+    // `--trace` leg) rides inside it unchanged.
+    let make_jsonl = |path: &PathBuf| -> OrderingSink<JsonlSink> {
         let sink = match JsonlSink::create(path) {
             Ok(sink) => sink,
             Err(e) => {
@@ -290,10 +539,35 @@ fn main() {
         // OrderingSink re-sorts each run's records by sim time: components
         // are simulated sequentially over overlapping interval windows, so
         // raw emission order is not globally monotonic.
-        let (tracer, handle) = Tracer::shared(OrderingSink::new(sink));
+        OrderingSink::new(sink)
+    };
+    let sink_handle: Option<SinkHandle> = if let Some(dir) = &cli.flight {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let mut fcfg = FlightConfig::new(dir);
+        if let Some(capacity) = cli.flight_capacity {
+            fcfg.capacity = capacity;
+        }
+        if let Some(secs) = cli.flight_window_secs {
+            fcfg.window = SimDuration::from_secs_f64(secs);
+        }
+        let inner = cli.trace.as_ref().map(&make_jsonl);
+        let (tracer, handle) = Tracer::shared(FlightRecorder::with_inner_opt(fcfg, inner));
         aum_bench::common::install_tracer(tracer);
-        handle
-    });
+        if let Some((state, _)) = &server {
+            let flight = handle.clone();
+            state.set_flight_source(move || flight.lock().expect("flight lock").stats());
+        }
+        Some(SinkHandle::Flight(handle))
+    } else if let Some(path) = &cli.trace {
+        let (tracer, handle) = Tracer::shared(make_jsonl(path));
+        aum_bench::common::install_tracer(tracer);
+        Some(SinkHandle::Plain(handle))
+    } else {
+        None
+    };
     // Wall-clock timing goes to stderr so stdout stays byte-identical
     // across runs and worker counts (the CI serial-vs-parallel gate
     // `cmp`s captured stdout).
@@ -323,6 +597,11 @@ fn main() {
             );
         }
     };
+    let set_phase = |label: &str| {
+        if let Some((state, _)) = &server {
+            let _ = state.set_phase(label);
+        }
+    };
     let mut exit_code = 0;
     match &cli.command {
         Command::List => {
@@ -333,6 +612,7 @@ fn main() {
         Command::All => {
             let t0 = Instant::now();
             for (name, run) in &experiments {
+                set_phase(name);
                 let t = Instant::now();
                 let before = aum_sim::exec::stats();
                 let out = run();
@@ -475,13 +755,70 @@ fn main() {
             }
         }
     }
-    if let (Some(handle), Some(path)) = (trace_handle, &cli.trace) {
-        handle.lock().expect("sink lock").flush_sink();
-        eprintln!(
-            "trace: {} events \u{2192} {}",
-            handle.lock().expect("sink lock").inner().lines_written(),
-            path.display()
-        );
+    // The work is done: stop stall detection before the flush/hold tail,
+    // which makes no heartbeat progress by design.
+    if let Some(watchdog) = watchdog {
+        watchdog.disarm();
+    }
+    match &sink_handle {
+        Some(SinkHandle::Plain(handle)) => {
+            let mut sink = handle.lock().expect("sink lock");
+            sink.flush_sink();
+            if let Some(path) = &cli.trace {
+                eprintln!(
+                    "trace: {} events \u{2192} {}",
+                    sink.inner().lines_written(),
+                    path.display()
+                );
+            }
+        }
+        Some(SinkHandle::Flight(handle)) => {
+            let mut recorder = handle.lock().expect("flight lock");
+            recorder.flush_sink();
+            if let (Some(path), Some(ordered)) = (&cli.trace, recorder.inner()) {
+                eprintln!(
+                    "trace: {} events \u{2192} {}",
+                    ordered.inner().lines_written(),
+                    path.display()
+                );
+            }
+            let stats = recorder.stats();
+            if let Some(dir) = &cli.flight {
+                eprintln!(
+                    "flight: {} trigger(s), {} incident dump(s) \u{2192} {}",
+                    stats.triggers,
+                    stats.incidents,
+                    dir.display()
+                );
+            }
+            for incident in recorder.incidents() {
+                eprintln!(
+                    "flight: incident {:04} [{}] at t={:.1}s \u{2192} {} ({} events)",
+                    incident.seq,
+                    incident.trigger.label(),
+                    incident.at.as_secs_f64(),
+                    incident.path.display(),
+                    incident.events
+                );
+            }
+            for error in recorder.errors() {
+                eprintln!("flight: error: {error}");
+                exit_code = 1;
+            }
+        }
+        None => {}
+    }
+    if let Some((state, server)) = server {
+        let _ = state.set_phase("done");
+        if cli.serve_hold_secs > 0 {
+            eprintln!(
+                "metrics: holding endpoint for {}s (ctrl-c to stop early)",
+                cli.serve_hold_secs
+            );
+            std::thread::sleep(Duration::from_secs(cli.serve_hold_secs));
+        }
+        server.shutdown();
+        live::uninstall();
     }
     if exit_code != 0 {
         std::process::exit(exit_code);

@@ -17,6 +17,7 @@ use aum_bench::common::{install_tracer, ModelCache, Scheme};
 use aum_llm::traces::Scenario;
 use aum_platform::spec::PlatformSpec;
 use aum_sim::exec;
+use aum_sim::flight::{FlightConfig, FlightRecorder};
 use aum_sim::telemetry::{MemorySink, OrderingSink, Tracer};
 use aum_sim::time::SimDuration;
 use aum_workloads::be::BeKind;
@@ -148,6 +149,81 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
     assert_eq!(
         chaos_trace_serial, chaos_trace_parallel,
         "chaos trace must be byte-identical at jobs 1 vs 8"
+    );
+
+    // --- Flight recorder under chaos: the bounded ring's retained suffix,
+    // the trigger count, and every incident dump (filenames and bytes)
+    // must be identical at jobs 1 vs 8. The recorder is the outermost sink
+    // so it observes the canonical cell-merge emission order live — the
+    // same chain `repro --flight` installs. ---
+    let flight = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let dir =
+            std::env::temp_dir().join(format!("aum-flight-det-{}-j{jobs}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = ModelCache::with_profile(ProfilerConfig::smoke);
+        let (tracer, handle) = Tracer::shared(FlightRecorder::with_inner(
+            FlightConfig::new(&dir),
+            OrderingSink::new(MemorySink::new()),
+        ));
+        install_tracer(tracer.clone());
+        let run = aum_bench::chaos::run_with(true, &cache);
+        tracer.flush();
+        install_tracer(Tracer::disabled());
+        exec::set_jobs(0);
+        assert!(!run.degenerate, "{}", run.text);
+        let recorder = handle.lock().expect("flight lock");
+        assert!(
+            recorder.errors().is_empty(),
+            "incident writes failed: {:?}",
+            recorder.errors()
+        );
+        let stats = recorder.stats();
+        let ring: Vec<String> = recorder
+            .ring()
+            .records()
+            .map(|r| serde_json::to_string(r).expect("record serializes"))
+            .collect();
+        let dumps: Vec<(String, String)> = recorder
+            .incidents()
+            .iter()
+            .map(|incident| {
+                (
+                    incident
+                        .path
+                        .file_name()
+                        .expect("incident file name")
+                        .to_string_lossy()
+                        .into_owned(),
+                    std::fs::read_to_string(&incident.path).expect("read incident dump"),
+                )
+            })
+            .collect();
+        drop(recorder);
+        std::fs::remove_dir_all(&dir).ok();
+        (stats, ring, dumps)
+    };
+    let (flight_stats_serial, ring_serial, dumps_serial) = flight(1);
+    let (flight_stats_parallel, ring_parallel, dumps_parallel) = flight(8);
+    assert!(
+        flight_stats_serial.triggers > 0 && !dumps_serial.is_empty(),
+        "chaos quick must trip at least one flight trigger"
+    );
+    assert!(
+        flight_stats_serial.occupancy > 0,
+        "the ring must retain a suffix of the stream"
+    );
+    assert_eq!(
+        flight_stats_serial, flight_stats_parallel,
+        "flight counters must not depend on the worker count"
+    );
+    assert_eq!(
+        ring_serial, ring_parallel,
+        "ring contents must be byte-identical at jobs 1 vs 8"
+    );
+    assert_eq!(
+        dumps_serial, dumps_parallel,
+        "incident dumps must be byte-identical at jobs 1 vs 8"
     );
 
     // Reuse the attribution trace-diff gate: parsing the serialized lines

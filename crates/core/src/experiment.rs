@@ -325,6 +325,7 @@ pub fn try_run_experiment_traced(
     let mut registry = MetricsRegistry::new();
     let mut last_alloc: Option<aum_platform::rdt::RdtAllocation> = None;
     let mut ledger = Ledger::new();
+    let mut stall_intervals: u32 = 0;
 
     // --- Fault plane. ---
     // The plan is validated up front so a malformed script (e.g. from
@@ -701,6 +702,30 @@ pub fn try_run_experiment_traced(
             mode: decision.engine_mode,
         };
         let stats = engine.run_interval(until, &res);
+        // Wall-clock heartbeat for the run-health watchdog: a long single
+        // cell still counts as progress once per control interval.
+        aum_sim::live::heartbeat();
+        // Sim-time stall detection: work queued but zero tokens served for
+        // WATCHDOG_STALL_INTERVALS consecutive intervals is a stall —
+        // reported as a typed event (and a flight-recorder trigger) once
+        // per episode, re-arming when progress resumes.
+        if engine.queue_len() > 0 && stats.prefill_tokens == 0 && stats.decode_tokens == 0 {
+            stall_intervals += 1;
+            if stall_intervals == WATCHDOG_STALL_INTERVALS {
+                let queue_len = engine.queue_len();
+                let detail = format!(
+                    "no serving progress for {:.1}s with {queue_len} request(s) queued",
+                    f64::from(WATCHDOG_STALL_INTERVALS) * dt_secs
+                );
+                tracer.emit(until, || Event::WatchdogStall {
+                    intervals: WATCHDOG_STALL_INTERVALS,
+                    queue_len,
+                    detail,
+                });
+            }
+        } else {
+            stall_intervals = 0;
+        }
 
         // --- 4. Integrate BE progress. ---
         if let Some(be) = &be_profile {
@@ -946,7 +971,7 @@ pub fn try_run_experiment_traced(
         }
     }
     tracer.flush();
-    Ok(Outcome {
+    let outcome = Outcome {
         scheme: manager.name().to_owned(),
         slo: engine.slo_report(),
         prefill_tps: p_h,
@@ -962,7 +987,43 @@ pub fn try_run_experiment_traced(
         power: power_series,
         metrics: registry.into_history(),
         ledger,
-    })
+    };
+    publish_live(&outcome);
+    Ok(outcome)
+}
+
+/// Consecutive zero-progress control intervals (with work queued) before
+/// the sim-time watchdog reports a stall. At the default 500 ms interval
+/// this is 8 s of simulated dead air — far beyond any healthy pause.
+const WATCHDOG_STALL_INTERVALS: u32 = 16;
+
+/// Publishes this run's final Prometheus exposition — the last registry
+/// snapshot plus the SLO latency histograms — to the live `/metrics`
+/// endpoint, when one is installed ([`aum_sim::live`]). Runs executed as
+/// sweep cells call this on completion, which is exactly the "refresh per
+/// completed cell" contract of the live plane. Wall-clock observability
+/// only: the published text never feeds back into the simulation.
+fn publish_live(outcome: &Outcome) {
+    let Some(live) = aum_sim::live::installed() else {
+        return;
+    };
+    let mut text = String::new();
+    if let Some(last) = outcome.metrics.last() {
+        text.push_str(&aum_sim::prom::render_registry(last));
+    }
+    text.push_str(&aum_sim::prom::render_histogram(
+        "aum_ttft_seconds",
+        "Time-to-first-token distribution of the last completed cell.",
+        &[("scheme", &outcome.scheme)],
+        &outcome.slo.ttft_hist,
+    ));
+    text.push_str(&aum_sim::prom::render_histogram(
+        "aum_tpot_request_seconds",
+        "Per-request mean token-time distribution of the last completed cell.",
+        &[("scheme", &outcome.scheme)],
+        &outcome.slo.tpot_req_hist,
+    ));
+    live.publish_exposition(text);
 }
 
 /// Picks the worse of two license locks: a High lock caps frequency lower

@@ -335,6 +335,17 @@ pub fn build_model(cfg: &ProfilerConfig) -> AuvModel {
 /// is byte-identical to the historical serial sweep for any worker count.
 #[must_use]
 pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
+    // Name the profiling phase on the live endpoint (restored below) —
+    // the profiler runs nested inside whichever study warmed the cache.
+    let live_phase = aum_sim::live::installed().map(|live| {
+        let prev = live.set_phase(&format!(
+            "profiling {}/{}+{}",
+            cfg.platform.name,
+            cfg.scenario.code(),
+            cfg.be
+        ));
+        (live, prev)
+    });
     let total_cells = cfg.divisions.len() * cfg.allocations.len();
     let cells: Vec<(usize, usize)> = (0..cfg.divisions.len())
         .flat_map(|d| (0..cfg.allocations.len()).map(move |c| (d, c)))
@@ -431,6 +442,9 @@ pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
         acc
     });
     let runs = total_cells * cfg.repetitions;
+    if let Some((live, prev)) = live_phase {
+        live.set_phase(&prev);
+    }
     AuvModel {
         platform: cfg.platform.name.clone(),
         scenario: cfg.scenario,

@@ -462,6 +462,10 @@ impl LlmEngine {
         });
         if self.tracer.is_enabled() {
             self.ttft_by_id.insert(r.id.0, ttft.as_secs_f64());
+            // Per-request TTFT breach, emitted where the deadline is
+            // decided (prefill completion) for every request, terminal
+            // or not — the flight recorder and breach blame key off it.
+            self.emit_request_breaches(self.prefill_clock, ttft.as_secs_f64(), 0, 0.0);
         }
         if r.output_len > 1 {
             self.ready.push_back((self.prefill_clock, r));
@@ -477,6 +481,30 @@ impl LlmEngine {
                     ttft_secs,
                 });
             self.close_request_span(r.id.0, self.prefill_clock);
+        }
+    }
+
+    /// Emits one [`Event::SloBreach`] per deadline the finished request
+    /// missed (see [`SloSpec::request_breaches`]). Caller gates on
+    /// [`Tracer::is_enabled`], so untraced runs pay nothing.
+    fn emit_request_breaches(
+        &mut self,
+        at: SimTime,
+        ttft_secs: f64,
+        generated: usize,
+        mean_tpot_secs: f64,
+    ) {
+        let slo = self.cfg.scenario.slo();
+        for (metric, observed, budget) in slo
+            .request_breaches(ttft_secs, generated, mean_tpot_secs)
+            .into_iter()
+            .flatten()
+        {
+            self.tracer.emit(at, || Event::SloBreach {
+                metric,
+                observed_secs: observed,
+                budget_secs: budget,
+            });
         }
     }
 
@@ -563,6 +591,11 @@ impl LlmEngine {
                     mean_tpot_secs: mean_tpot,
                     ttft_secs,
                 });
+            if self.tracer.is_enabled() {
+                // TTFT was judged at prefill completion; only the TPOT
+                // deadline is decided here.
+                self.emit_request_breaches(self.decode_clock, 0.0, f.generated, mean_tpot);
+            }
             self.close_request_span(f.id.0, self.decode_clock);
         }
         let n = finished.len() as u64;

@@ -15,6 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use aum_sim::hist::LogHistogram;
+use aum_sim::telemetry::SloMetric;
 use aum_sim::time::SimDuration;
 
 use crate::request::{TokenRecord, TtftRecord};
@@ -33,6 +34,31 @@ impl SloSpec {
     #[must_use]
     pub const fn new(ttft: SimDuration, tpot: SimDuration) -> Self {
         SloSpec { ttft, tpot }
+    }
+
+    /// Per-request SLO trigger hook: which deadlines a finished request
+    /// missed, as `(metric, observed_secs, budget_secs)` — at most one
+    /// TTFT and one TPOT entry. The deadline boundary counts as met,
+    /// mirroring [`SloReport::from_records`]. The engine emits an
+    /// [`aum_sim::telemetry::Event::SloBreach`] per entry, which is what
+    /// the flight recorder's burn tracker and the breach-blame report see.
+    #[must_use]
+    pub fn request_breaches(
+        &self,
+        ttft_secs: f64,
+        generated: usize,
+        mean_tpot_secs: f64,
+    ) -> [Option<(SloMetric, f64, f64)>; 2] {
+        let ttft_budget = self.ttft.as_secs_f64();
+        let tpot_budget = self.tpot.as_secs_f64();
+        [
+            (ttft_secs > ttft_budget).then_some((SloMetric::Ttft, ttft_secs, ttft_budget)),
+            (generated > 0 && mean_tpot_secs > tpot_budget).then_some((
+                SloMetric::Tpot,
+                mean_tpot_secs,
+                tpot_budget,
+            )),
+        ]
     }
 }
 
@@ -211,6 +237,18 @@ mod tests {
         // The report carries the full distribution for downstream merge.
         assert_eq!(r.ttft_hist.count(), 500);
         assert!(r.tpot_req_hist.is_empty());
+    }
+
+    #[test]
+    fn request_breaches_flags_each_missed_deadline_once() {
+        let s = slo(); // 250 ms TTFT, 100 ms TPOT
+        let none = s.request_breaches(0.2, 10, 0.05);
+        assert_eq!(none, [None, None]);
+        let both = s.request_breaches(0.3, 10, 0.15);
+        assert_eq!(both[0], Some((SloMetric::Ttft, 0.3, 0.25)));
+        assert_eq!(both[1], Some((SloMetric::Tpot, 0.15, 0.1)));
+        // Boundary counts as met; prefill-only requests never breach TPOT.
+        assert_eq!(s.request_breaches(0.25, 0, 9.9), [None, None]);
     }
 
     #[test]

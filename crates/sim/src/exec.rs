@@ -161,6 +161,7 @@ where
     let wall_t0 = Instant::now();
     SWEEPS.fetch_add(1, Ordering::Relaxed);
     CELLS.fetch_add(n as u64, Ordering::Relaxed);
+    crate::live::sweep_started(n);
 
     let out: Vec<R> = if jobs <= 1 {
         cells
@@ -170,6 +171,7 @@ where
                 let t0 = Instant::now();
                 let r = f(i, cell);
                 BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                crate::live::cell_finished();
                 r
             })
             .collect()
@@ -199,6 +201,7 @@ where
                     let t0 = Instant::now();
                     let r = f(i, cell);
                     BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    crate::live::cell_finished();
                     // The collector outlives every sender; a send only
                     // fails if it panicked, and then the scope propagates
                     // that panic anyway.

@@ -1,0 +1,841 @@
+//! Anomaly-triggered flight recorder: a fixed-capacity ring of telemetry
+//! records plus trigger predicates that dump the recent window to an
+//! "incident" file the moment something goes wrong.
+//!
+//! Full JSONL tracing of a long sweep is exactly the overhead problem
+//! profile-driven emulation exists to avoid, yet the interesting runs are
+//! the ones where the controller misbehaved — and by then the evidence is
+//! gone unless something was recording. The flight recorder squares that:
+//!
+//! - [`RingSink`] is a [`TraceSink`] that keeps only the newest
+//!   `capacity` records, evicting deterministically from the front. Fed
+//!   from the canonical-cell merge in [`crate::exec`], its contents are
+//!   byte-identical at any `--jobs` (the parallel-determinism suite holds
+//!   this).
+//! - [`FlightRecorder`] wraps the ring with **trigger predicates**: a
+//!   dual-window SLO burn-rate PAGE (the online mirror of the
+//!   `trace-summary` digest), [`Event::SafeModeTransition`] into a
+//!   degraded state, [`Event::FaultInjected`], an attribution-conservation
+//!   near-miss, and [`Event::WatchdogStall`]. When one fires, the buffered
+//!   records from the last [`FlightConfig::window`] of sim time are dumped
+//!   to `incident-NNNN-<trigger>.jsonl` in [`FlightConfig::dir`] —
+//!   filenames carry a sequence number, never a wall-clock timestamp, so a
+//!   rerun produces byte-identical incident files.
+//! - Dumps are **span-balanced**: a window sliced out of the stream would
+//!   contain closes whose opens fell outside it (and vice versa), which
+//!   the strict `trace-export --perfetto` path rejects. The dumper drops
+//!   orphan closes and synthesizes closes at the dump end for spans still
+//!   open, and pins the run's [`Event::SloTargets`] preamble so the
+//!   incident file is self-contained for burn-rate analysis. The result is
+//!   consumable by `repro trace-summary` and `repro trace-export
+//!   --perfetto` unchanged.
+//!
+//! The recorder can optionally forward every record to an inner sink
+//! (e.g. a [`crate::telemetry::JsonlSink`] when full tracing is also
+//! requested), so `--flight` composes with `--trace` instead of competing
+//! with it.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::attrib;
+use crate::span::SpanKind;
+use crate::telemetry::{Event, NullSink, ResilienceMode, TraceRecord, TraceSink};
+use crate::time::{SimDuration, SimTime};
+
+/// A [`TraceSink`] that retains only the newest `capacity` records.
+///
+/// Eviction is strictly FIFO on arrival order, so the retained suffix is a
+/// pure function of the record stream — no clocks, no sampling. Feeding it
+/// the deterministic merged stream from [`crate::exec::sweep_traced`]
+/// therefore yields byte-identical contents at any worker count.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceRecord>,
+    evicted: u64,
+}
+
+impl RingSink {
+    /// An empty ring retaining at most `capacity` records (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            evicted: 0,
+        }
+    }
+
+    /// The retention limit.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records evicted from the front so far.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// The retained records as a vector, oldest first.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<TraceRecord> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, record: &TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(record.clone());
+    }
+}
+
+/// Which predicate fired a flight-recorder dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// Both burn windows of one SLO metric exceeded 1× budget (the online
+    /// mirror of the `trace-summary` PAGE alert).
+    SloBurnPage,
+    /// The resilience state machine entered Degraded or SafeMode.
+    SafeMode,
+    /// The fault plane activated a scripted fault.
+    Fault,
+    /// An attribution interval's time conservation error entered the
+    /// near-miss band below the hard [`attrib::EPSILON`] gate.
+    AttribNearMiss,
+    /// The run-health watchdog reported a stalled cell.
+    WatchdogStall,
+}
+
+impl TriggerKind {
+    /// Stable slug used in incident filenames and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TriggerKind::SloBurnPage => "slo-burn-page",
+            TriggerKind::SafeMode => "safe-mode",
+            TriggerKind::Fault => "fault",
+            TriggerKind::AttribNearMiss => "attrib-near-miss",
+            TriggerKind::WatchdogStall => "watchdog-stall",
+        }
+    }
+}
+
+/// Fraction of requests the SLO error budget allows to miss their
+/// deadline; mirrors the `trace-summary` digest.
+const ERROR_BUDGET: f64 = 0.01;
+
+/// Tumbling-window lengths (seconds) of the dual-window burn check; the
+/// short window catches fast burns, the long one filters blips.
+const BURN_WINDOW_SECS: [u64; 2] = [10, 60];
+
+/// How far a timestamp may rise above the window walk's running minimum
+/// before it is treated as the previous cell's tail rather than
+/// within-cell clock jitter. Comfortably above one controller interval
+/// (1 s), comfortably below any cell duration.
+const RESTART_JITTER_SECS: u64 = 2;
+
+/// One tumbling window length's online breach accounting for both SLO
+/// metrics (index 0 = TTFT, 1 = TPOT).
+#[derive(Debug, Clone, Default)]
+struct BurnWindow {
+    width_secs: u64,
+    idx: Option<u64>,
+    count: [u64; 2],
+    breach: [u64; 2],
+    last_burn: [Option<f64>; 2],
+}
+
+impl BurnWindow {
+    fn new(width_secs: u64) -> Self {
+        BurnWindow {
+            width_secs,
+            ..BurnWindow::default()
+        }
+    }
+
+    /// Finalizes the previous window when `at` crosses into a new one.
+    fn roll(&mut self, at: SimTime) {
+        let idx = at.as_nanos() / (self.width_secs * 1_000_000_000);
+        match self.idx {
+            Some(prev) if prev == idx => {}
+            Some(prev) => {
+                for m in 0..2 {
+                    if self.count[m] > 0 {
+                        self.last_burn[m] =
+                            Some(self.breach[m] as f64 / self.count[m] as f64 / ERROR_BUDGET);
+                    }
+                    // Windows with no traffic at all are not burning.
+                    if idx > prev + 1 || idx < prev {
+                        self.last_burn[m] = Some(0.0);
+                    }
+                }
+                self.count = [0; 2];
+                self.breach = [0; 2];
+                self.idx = Some(idx);
+            }
+            None => self.idx = Some(idx),
+        }
+    }
+
+    fn observe(&mut self, metric: usize, breached: bool) {
+        self.count[metric] += 1;
+        self.breach[metric] += u64::from(breached);
+    }
+
+    fn burning(&self, metric: usize) -> bool {
+        self.last_burn[metric].is_some_and(|b| b > 1.0)
+    }
+}
+
+/// Online dual-window burn tracker over [`Event::RequestFinished`]
+/// samples, armed by the run's [`Event::SloTargets`] preamble.
+#[derive(Debug, Clone)]
+struct BurnTracker {
+    targets: Option<(f64, f64)>,
+    windows: [BurnWindow; 2],
+    paging: bool,
+}
+
+impl BurnTracker {
+    fn new() -> Self {
+        BurnTracker {
+            targets: None,
+            windows: [
+                BurnWindow::new(BURN_WINDOW_SECS[0]),
+                BurnWindow::new(BURN_WINDOW_SECS[1]),
+            ],
+            paging: false,
+        }
+    }
+
+    /// A new run's targets reset all windowed state (merged multi-run
+    /// streams restart the clock at each cell boundary).
+    fn arm(&mut self, ttft_secs: f64, tpot_secs: f64) {
+        *self = BurnTracker::new();
+        self.targets = Some((ttft_secs, tpot_secs));
+    }
+
+    /// Feeds one finished request; returns `true` on the rising edge of a
+    /// PAGE condition (some metric burning >1× in both window lengths).
+    fn on_finished(
+        &mut self,
+        at: SimTime,
+        ttft_secs: f64,
+        generated: usize,
+        mean_tpot_secs: f64,
+    ) -> bool {
+        let Some((ttft_target, tpot_target)) = self.targets else {
+            return false;
+        };
+        for w in &mut self.windows {
+            w.roll(at);
+            w.observe(0, ttft_secs > ttft_target);
+            if generated > 0 {
+                w.observe(1, mean_tpot_secs > tpot_target);
+            }
+        }
+        let page = (0..2).any(|m| self.windows.iter().all(|w| w.burning(m)));
+        let rising = page && !self.paging;
+        self.paging = page;
+        rising
+    }
+}
+
+/// Static configuration of a [`FlightRecorder`].
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Directory incident files are written into (created on demand).
+    pub dir: PathBuf,
+    /// Ring retention limit in records.
+    pub capacity: usize,
+    /// How much trailing sim time a dump covers.
+    pub window: SimDuration,
+    /// Minimum sim time between dumps within one run (a clock restart —
+    /// the next cell in a merged stream — always re-arms).
+    pub cooldown: SimDuration,
+    /// Hard cap on incident files per recorder lifetime; triggers beyond
+    /// it are counted but not dumped.
+    pub max_incidents: usize,
+    /// Fraction of [`attrib::EPSILON`] above which an attribution
+    /// interval's relative time-conservation error counts as a near-miss.
+    pub near_miss_frac: f64,
+}
+
+impl FlightConfig {
+    /// Defaults: 4096-record ring, 30 s window, 10 s cooldown, at most 32
+    /// incidents, near-miss at half the conservation epsilon.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FlightConfig {
+            dir: dir.into(),
+            capacity: 4096,
+            window: SimDuration::from_secs(30),
+            cooldown: SimDuration::from_secs(10),
+            max_incidents: 32,
+            near_miss_frac: 0.5,
+        }
+    }
+}
+
+/// One dumped incident's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// 1-based dump sequence number (also in the filename).
+    pub seq: usize,
+    /// Which predicate fired.
+    pub trigger: TriggerKind,
+    /// Sim time of the triggering record.
+    pub at: SimTime,
+    /// Where the JSONL dump was written.
+    pub path: PathBuf,
+    /// Records in the dump (after span balancing).
+    pub events: usize,
+}
+
+/// Point-in-time counters for the live endpoint's flight gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Records currently in the ring.
+    pub occupancy: usize,
+    /// Ring retention limit.
+    pub capacity: usize,
+    /// Records evicted from the ring so far.
+    pub evicted: u64,
+    /// Trigger predicate firings (including suppressed ones).
+    pub triggers: u64,
+    /// Incident files written.
+    pub incidents: usize,
+}
+
+/// The flight recorder: ring + triggers + incident dumps, optionally
+/// forwarding every record to an inner sink.
+#[derive(Debug)]
+pub struct FlightRecorder<S: TraceSink = NullSink> {
+    cfg: FlightConfig,
+    ring: RingSink,
+    burn: BurnTracker,
+    pinned_targets: Option<TraceRecord>,
+    last_dump_at: Option<SimTime>,
+    triggers: u64,
+    incidents: Vec<Incident>,
+    errors: Vec<String>,
+    inner: Option<S>,
+}
+
+impl FlightRecorder<NullSink> {
+    /// A recorder with no inner sink.
+    #[must_use]
+    pub fn new(cfg: FlightConfig) -> Self {
+        Self::with_inner_opt(cfg, None)
+    }
+}
+
+impl<S: TraceSink> FlightRecorder<S> {
+    /// A recorder forwarding every record to `inner` as well.
+    #[must_use]
+    pub fn with_inner(cfg: FlightConfig, inner: S) -> Self {
+        Self::with_inner_opt(cfg, Some(inner))
+    }
+
+    /// A recorder with an optional inner sink.
+    #[must_use]
+    pub fn with_inner_opt(cfg: FlightConfig, inner: Option<S>) -> Self {
+        let capacity = cfg.capacity;
+        FlightRecorder {
+            cfg,
+            ring: RingSink::new(capacity),
+            burn: BurnTracker::new(),
+            pinned_targets: None,
+            last_dump_at: None,
+            triggers: 0,
+            incidents: Vec::new(),
+            errors: Vec::new(),
+            inner,
+        }
+    }
+
+    /// The wrapped inner sink, if any.
+    pub fn inner(&self) -> Option<&S> {
+        self.inner.as_ref()
+    }
+
+    /// The ring buffer (current retained suffix of the stream).
+    #[must_use]
+    pub fn ring(&self) -> &RingSink {
+        &self.ring
+    }
+
+    /// Incidents dumped so far, in order.
+    #[must_use]
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// I/O errors hit while writing incident files (dumps never panic the
+    /// run; the driver surfaces these and exits nonzero).
+    #[must_use]
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Counters for the live endpoint.
+    #[must_use]
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            occupancy: self.ring.len(),
+            capacity: self.ring.capacity(),
+            evicted: self.ring.evicted(),
+            triggers: self.triggers,
+            incidents: self.incidents.len(),
+        }
+    }
+
+    /// Which predicate (if any) `record` fires. Also advances the online
+    /// burn tracker.
+    fn trigger_for(&mut self, record: &TraceRecord) -> Option<TriggerKind> {
+        match &record.event {
+            Event::SafeModeTransition {
+                to: ResilienceMode::Degraded | ResilienceMode::SafeMode,
+                ..
+            } => Some(TriggerKind::SafeMode),
+            Event::FaultInjected { .. } => Some(TriggerKind::Fault),
+            Event::WatchdogStall { .. } => Some(TriggerKind::WatchdogStall),
+            Event::AttributionSample { dt_secs, time, .. } if *dt_secs > 0.0 => {
+                let rel = (time.sum() - dt_secs).abs() / dt_secs;
+                (rel > self.cfg.near_miss_frac * attrib::EPSILON)
+                    .then_some(TriggerKind::AttribNearMiss)
+            }
+            Event::RequestFinished {
+                generated,
+                mean_tpot_secs,
+                ttft_secs,
+                ..
+            } => self
+                .burn
+                .on_finished(record.at, *ttft_secs, *generated, *mean_tpot_secs)
+                .then_some(TriggerKind::SloBurnPage),
+            _ => None,
+        }
+    }
+
+    /// Cooldown gate: a dump is allowed on the first trigger, after
+    /// `cooldown` of sim time, or whenever the clock restarted (a new cell
+    /// in a merged stream).
+    fn dump_allowed(&self, at: SimTime) -> bool {
+        if self.incidents.len() >= self.cfg.max_incidents {
+            return false;
+        }
+        match self.last_dump_at {
+            None => true,
+            Some(last) => at < last || at.saturating_since(last) >= self.cfg.cooldown,
+        }
+    }
+
+    /// The ring suffix covering the trailing dump window before `at`.
+    ///
+    /// The recorder sees records in **emission order**, where timestamps
+    /// are non-decreasing only up to a small jitter (the engine's prefill
+    /// and decode clocks interleave within a controller interval). Walking
+    /// backward therefore tracks the minimum timestamp seen so far and
+    /// stops at the first record jumping *up* past it by more than
+    /// [`RESTART_JITTER_SECS`] — that jump is the tail of the previous
+    /// cell in a merged stream, so a slice never crosses a cell boundary.
+    /// It also stops once records age out of `[at - window, at]`.
+    fn window_slice(&self, at: SimTime) -> Vec<TraceRecord> {
+        let jitter = SimDuration::from_secs(RESTART_JITTER_SECS);
+        let mut slice: Vec<TraceRecord> = Vec::new();
+        let mut floor = at;
+        for r in self.ring.buf.iter().rev() {
+            if r.at > floor + jitter || at.saturating_since(r.at) > self.cfg.window {
+                break;
+            }
+            floor = floor.min(r.at);
+            slice.push(r.clone());
+        }
+        slice.reverse();
+        slice
+    }
+
+    fn dump(&mut self, trigger: TriggerKind, at: SimTime) {
+        let mut slice = self.window_slice(at);
+        // Pin the run's SLO targets so the incident is self-contained for
+        // burn-rate analysis even when the preamble aged out of the window.
+        if let Some(pinned) = &self.pinned_targets {
+            if !slice
+                .iter()
+                .any(|r| matches!(r.event, Event::SloTargets { .. }))
+            {
+                slice.insert(0, pinned.clone());
+            }
+        }
+        let balanced = balance_spans(slice, at);
+        if balanced.is_empty() {
+            return;
+        }
+        let seq = self.incidents.len() + 1;
+        let path = self
+            .cfg
+            .dir
+            .join(format!("incident-{seq:04}-{}.jsonl", trigger.label()));
+        match write_jsonl(&path, &balanced) {
+            Ok(()) => {
+                self.last_dump_at = Some(at);
+                self.incidents.push(Incident {
+                    seq,
+                    trigger,
+                    at,
+                    path,
+                    events: balanced.len(),
+                });
+            }
+            Err(e) => self.errors.push(format!("{}: {e}", path.display())),
+        }
+    }
+}
+
+impl<S: TraceSink> TraceSink for FlightRecorder<S> {
+    fn record(&mut self, record: &TraceRecord) {
+        if let Some(inner) = &mut self.inner {
+            inner.record(record);
+        }
+        if let Event::SloTargets {
+            ttft_secs,
+            tpot_secs,
+        } = record.event
+        {
+            self.burn.arm(ttft_secs, tpot_secs);
+            self.pinned_targets = Some(record.clone());
+        }
+        self.ring.record(record);
+        if let Some(trigger) = self.trigger_for(record) {
+            self.triggers += 1;
+            if self.dump_allowed(record.at) {
+                self.dump(trigger, record.at);
+            }
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        if let Some(inner) = &mut self.inner {
+            inner.flush_sink();
+        }
+    }
+}
+
+/// Makes a window slice span-balanced: closes whose opens fell outside
+/// the window are dropped, and spans still open at the end get a
+/// synthesized close at `end` in LIFO order — exactly the shape
+/// [`crate::span::collect_spans`] and the Perfetto exporter require.
+/// Unresolved *parents* need no fixup: `collect_spans` degrades those
+/// spans to roots by design.
+fn balance_spans(records: Vec<TraceRecord>, end: SimTime) -> Vec<TraceRecord> {
+    let mut open: Vec<(String, u64, SpanKind)> = Vec::new();
+    let mut kept: Vec<TraceRecord> = Vec::with_capacity(records.len());
+    for r in records {
+        match &r.event {
+            Event::SpanOpen {
+                id, kind, track, ..
+            } => {
+                open.push((track.clone(), *id, *kind));
+                kept.push(r);
+            }
+            Event::SpanClose { id, track, .. } => {
+                // Drop orphan closes whose open predates the window.
+                if let Some(pos) = open.iter().rposition(|(t, i, _)| t == track && *i == *id) {
+                    open.remove(pos);
+                    kept.push(r);
+                }
+            }
+            _ => kept.push(r),
+        }
+    }
+    for (track, id, kind) in open.into_iter().rev() {
+        kept.push(TraceRecord {
+            at: end,
+            event: Event::SpanClose { id, kind, track },
+        });
+    }
+    kept
+}
+
+/// Writes `records` as one JSON object per line, creating the parent
+/// directory on demand.
+fn write_jsonl(path: &Path, records: &[TraceRecord]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    for r in records {
+        let line = serde_json::to_string(r).expect("trace records always serialize");
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{collect_spans, SpanId};
+    use crate::telemetry::parse_jsonl;
+
+    fn rec(at_secs: f64, event: Event) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_secs_f64(at_secs),
+            event,
+        }
+    }
+
+    fn finished(id: u64, ttft: f64) -> Event {
+        Event::RequestFinished {
+            id,
+            generated: 10,
+            mean_tpot_secs: 0.05,
+            ttft_secs: ttft,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aum-flight-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn ring_keeps_exactly_the_newest_capacity_records() {
+        let mut ring = RingSink::new(3);
+        for i in 0..7u64 {
+            ring.record(&rec(i as f64, finished(i, 0.1)));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 4);
+        let ids: Vec<f64> = ring.records().map(|r| r.at.as_secs_f64()).collect();
+        assert_eq!(ids, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn fault_trigger_dumps_a_window_that_round_trips() {
+        let dir = temp_dir("fault");
+        let mut fr = FlightRecorder::new(FlightConfig::new(&dir));
+        fr.record(&rec(
+            0.0,
+            Event::SloTargets {
+                ttft_secs: 3.0,
+                tpot_secs: 0.12,
+            },
+        ));
+        for i in 0..50u64 {
+            fr.record(&rec(i as f64, finished(i, 0.2)));
+        }
+        fr.record(&rec(
+            50.0,
+            Event::FaultInjected {
+                kind: "BandwidthDegrade".to_string(),
+                detail: "frac 0.60".to_string(),
+            },
+        ));
+        assert_eq!(fr.incidents().len(), 1);
+        assert!(fr.errors().is_empty());
+        let inc = &fr.incidents()[0];
+        assert_eq!(inc.trigger, TriggerKind::Fault);
+        assert!(inc.path.ends_with("incident-0001-fault.jsonl"));
+        let text = std::fs::read_to_string(&inc.path).expect("read dump");
+        let parsed = parse_jsonl(&text).expect("dump parses");
+        assert_eq!(parsed.len(), inc.events);
+        // The 30 s window keeps t ∈ [20, 50]; the SloTargets preamble is
+        // pinned back in even though t=0 aged out of the window.
+        assert!(matches!(parsed[0].event, Event::SloTargets { .. }));
+        assert!(parsed
+            .iter()
+            .any(|r| matches!(r.event, Event::FaultInjected { .. })));
+        assert!(!parsed
+            .iter()
+            .any(|r| r.at.as_secs_f64() < 20.0 && !matches!(r.event, Event::SloTargets { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dumps_are_span_balanced_for_strict_consumers() {
+        let dir = temp_dir("spans");
+        let mut cfg = FlightConfig::new(&dir);
+        cfg.window = SimDuration::from_secs(10);
+        let mut fr = FlightRecorder::new(cfg);
+        let track = "aum/test".to_string();
+        let outer = SpanId::derive(SpanKind::ControllerInterval, 1).0;
+        let inner = SpanId::derive(SpanKind::ControllerInterval, 2).0;
+        let stale = SpanId::derive(SpanKind::ControllerInterval, 0).0;
+        // A span that opened long before the window: its close at t=46
+        // lands inside the window as an orphan and must be dropped.
+        fr.record(&rec(
+            1.0,
+            Event::SpanOpen {
+                id: stale,
+                parent: None,
+                kind: SpanKind::ControllerInterval,
+                track: track.clone(),
+                label: "interval 0".to_string(),
+            },
+        ));
+        fr.record(&rec(
+            46.0,
+            Event::SpanClose {
+                id: stale,
+                kind: SpanKind::ControllerInterval,
+                track: track.clone(),
+            },
+        ));
+        // A nested pair that is still open at the trigger: both must get
+        // synthesized closes, inner before outer.
+        fr.record(&rec(
+            47.0,
+            Event::SpanOpen {
+                id: outer,
+                parent: None,
+                kind: SpanKind::ControllerInterval,
+                track: track.clone(),
+                label: "interval 1".to_string(),
+            },
+        ));
+        fr.record(&rec(
+            48.0,
+            Event::SpanOpen {
+                id: inner,
+                parent: Some(outer),
+                kind: SpanKind::ControllerInterval,
+                track: track.clone(),
+                label: "interval 2".to_string(),
+            },
+        ));
+        fr.record(&rec(
+            50.0,
+            Event::FaultInjected {
+                kind: "CoreOffline".to_string(),
+                detail: "2 cores".to_string(),
+            },
+        ));
+        let inc = &fr.incidents()[0];
+        let text = std::fs::read_to_string(&inc.path).expect("read dump");
+        let parsed = parse_jsonl(&text).expect("dump parses");
+        let forest = collect_spans(&parsed).expect("balanced spans");
+        assert_eq!(forest.nodes.len(), 2, "outer + inner; stale span dropped");
+        let closes = parsed
+            .iter()
+            .filter(|r| matches!(r.event, Event::SpanClose { .. }))
+            .count();
+        assert_eq!(closes, 2, "orphan close dropped, two synthesized");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cooldown_suppresses_but_clock_restart_rearms() {
+        let dir = temp_dir("cooldown");
+        let mut fr = FlightRecorder::new(FlightConfig::new(&dir));
+        let fault = || Event::FaultInjected {
+            kind: "BeSurge".to_string(),
+            detail: "x3".to_string(),
+        };
+        fr.record(&rec(30.0, fault()));
+        fr.record(&rec(31.0, fault())); // within 10 s cooldown → suppressed
+        assert_eq!(fr.incidents().len(), 1);
+        assert_eq!(fr.stats().triggers, 2);
+        fr.record(&rec(45.0, fault())); // past cooldown → dumps
+        assert_eq!(fr.incidents().len(), 2);
+        fr.record(&rec(2.0, fault())); // clock restart (next cell) → dumps
+        assert_eq!(fr.incidents().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn burn_page_fires_on_sustained_dual_window_breach() {
+        let dir = temp_dir("burn");
+        let mut fr = FlightRecorder::new(FlightConfig::new(&dir));
+        fr.record(&rec(
+            0.0,
+            Event::SloTargets {
+                ttft_secs: 0.5,
+                tpot_secs: 0.1,
+            },
+        ));
+        // Every TTFT violates: each completed 10 s and 60 s window burns at
+        // 100×. The page needs one completed window of each length, i.e.
+        // the first sample past t=60.
+        let mut fired_at = None;
+        for i in 0..40u64 {
+            let at = i as f64 * 2.0;
+            fr.record(&rec(at, finished(i, 1.2)));
+            if !fr.incidents().is_empty() && fired_at.is_none() {
+                fired_at = Some(at);
+            }
+        }
+        let fired_at = fired_at.expect("page must fire");
+        assert!(fired_at >= 60.0, "needs a completed long window");
+        assert_eq!(fr.incidents()[0].trigger, TriggerKind::SloBurnPage);
+        // Healthy traffic never pages.
+        let dir2 = temp_dir("burn-ok");
+        let mut ok = FlightRecorder::new(FlightConfig::new(&dir2));
+        ok.record(&rec(
+            0.0,
+            Event::SloTargets {
+                ttft_secs: 3.0,
+                tpot_secs: 0.12,
+            },
+        ));
+        for i in 0..200u64 {
+            ok.record(&rec(i as f64, finished(i, 0.2)));
+        }
+        assert!(ok.incidents().is_empty());
+        assert_eq!(ok.stats().triggers, 0);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    #[test]
+    fn attrib_near_miss_triggers_inside_the_band() {
+        let dir = temp_dir("attrib");
+        let mut fr = FlightRecorder::new(FlightConfig::new(&dir));
+        let sample = |err: f64| {
+            let dt = 0.5;
+            let mut time = attrib::CauseVec::zero();
+            time.add(attrib::Cause::Compute, dt * (1.0 + err));
+            Event::AttributionSample {
+                region: attrib::Region::AuHigh,
+                dt_secs: dt,
+                time,
+                energy: attrib::CauseVec::zero(),
+            }
+        };
+        fr.record(&rec(1.0, sample(1e-12))); // healthy: far below the band
+        assert_eq!(fr.stats().triggers, 0);
+        fr.record(&rec(2.0, sample(0.8 * attrib::EPSILON))); // near-miss band
+        assert_eq!(fr.stats().triggers, 1);
+        assert_eq!(fr.incidents()[0].trigger, TriggerKind::AttribNearMiss);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,6 +7,13 @@
 //! - [`event`]: a deterministic future-event list with stable tie-breaking;
 //! - [`exec`]: a deterministic parallel sweep executor for independent,
 //!   seeded grid cells ([`exec::sweep`], [`exec::sweep_traced`]);
+//! - [`flight`]: an anomaly-triggered flight recorder — a fixed-capacity
+//!   ring of telemetry records ([`flight::RingSink`]) with trigger
+//!   predicates that dump span-balanced JSONL incident files
+//!   ([`flight::FlightRecorder`]);
+//! - [`live`]: a live run-health plane — shared snapshot, std-only
+//!   `/metrics` endpoint ([`live::MetricsServer`]) and a wall-clock stall
+//!   watchdog ([`live::Watchdog`]);
 //! - [`rng`]: labelled deterministic random streams derived from one seed;
 //! - [`stats`]: streaming summaries, exact quantiles, histograms, CDFs;
 //! - [`hist`]: mergeable log-linear (HDR-style) latency histograms with
@@ -59,7 +66,9 @@
 pub mod attrib;
 pub mod event;
 pub mod exec;
+pub mod flight;
 pub mod hist;
+pub mod live;
 pub mod prom;
 pub mod report;
 pub mod rng;
@@ -74,7 +83,9 @@ pub use attrib::{
 };
 pub use event::{EventId, EventQueue};
 pub use exec::{jobs, set_jobs, sweep, sweep_jobs, sweep_traced, sweep_traced_hists, ExecStats};
+pub use flight::{FlightConfig, FlightRecorder, FlightStats, Incident, RingSink, TriggerKind};
 pub use hist::LogHistogram;
+pub use live::{LiveState, MetricsServer, Watchdog};
 pub use rng::DetRng;
 pub use span::{collect_spans, SpanError, SpanForest, SpanId, SpanKind, SpanNode};
 pub use stats::{Histogram, Samples, Summary};

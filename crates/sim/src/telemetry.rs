@@ -307,6 +307,19 @@ pub enum Event {
         /// Per-token (TPOT/TBT) deadline, seconds.
         tpot_secs: f64,
     },
+    /// The run-health watchdog saw a cell make no serving progress for
+    /// `intervals` consecutive control intervals while work was queued — a
+    /// stall that would otherwise only surface as a hung sweep. Emitted
+    /// once per stall episode (the counter re-arms after progress resumes)
+    /// and doubles as a flight-recorder trigger (see [`crate::flight`]).
+    WatchdogStall {
+        /// Consecutive zero-progress control intervals observed.
+        intervals: u32,
+        /// Requests waiting in the engine queue at detection time.
+        queue_len: usize,
+        /// Human-readable context, e.g. `"no tokens for 8.0s"`.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -332,6 +345,7 @@ impl Event {
             Event::SpanOpen { .. } => "SpanOpen",
             Event::SpanClose { .. } => "SpanClose",
             Event::SloTargets { .. } => "SloTargets",
+            Event::WatchdogStall { .. } => "WatchdogStall",
         }
     }
 }
@@ -1014,6 +1028,11 @@ mod tests {
             Event::SloTargets {
                 ttft_secs: 3.0,
                 tpot_secs: 0.12,
+            },
+            Event::WatchdogStall {
+                intervals: 16,
+                queue_len: 5,
+                detail: "no serving progress for 8.0s".to_string(),
             },
         ];
         for event in variants {

@@ -356,3 +356,34 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The flight-recorder ring is a pure function of the record stream:
+    /// after any sequence of records it holds exactly the newest
+    /// `min(len, capacity)` of them, in arrival order, and has evicted
+    /// precisely the rest.
+    #[test]
+    fn ring_sink_retains_exactly_the_newest_capacity_records(
+        capacity in 1usize..64,
+        stream in prop::collection::vec((0u64..10_000u64, 0u64..1_000u64), 0..300),
+    ) {
+        use aum_sim::flight::RingSink;
+        use aum_sim::telemetry::{Event, TraceRecord, TraceSink};
+
+        let records: Vec<TraceRecord> = stream
+            .iter()
+            .map(|&(at_ms, id)| TraceRecord {
+                at: SimTime::from_secs_f64(at_ms as f64 / 1e3),
+                event: Event::RequestAdmitted { id, input_len: 16, output_len: 4 },
+            })
+            .collect();
+        let mut ring = RingSink::new(capacity);
+        for r in &records {
+            ring.record(r);
+        }
+        let kept = records.len().min(capacity);
+        prop_assert_eq!(ring.len(), kept);
+        prop_assert_eq!(ring.evicted(), (records.len() - kept) as u64);
+        prop_assert_eq!(ring.to_vec(), records[records.len() - kept..].to_vec());
+    }
+}
