@@ -38,6 +38,7 @@ enum CmdId {
     Run,
     List,
     Chaos,
+    FleetChaos,
     Attrib,
     TraceSummary,
     TraceDiff,
@@ -67,6 +68,11 @@ const COMMANDS: &[CommandSpec] = &[
         id: CmdId::Chaos,
         usage: "chaos",
         label: "chaos",
+    },
+    CommandSpec {
+        id: CmdId::FleetChaos,
+        usage: "fleet-chaos",
+        label: "fleet-chaos",
     },
     CommandSpec {
         id: CmdId::Attrib,
@@ -101,9 +107,15 @@ struct FlagSpec {
 }
 
 /// Commands that run experiments or studies.
-const RUNS: &[CmdId] = &[CmdId::Run, CmdId::Chaos, CmdId::Attrib];
+const RUNS: &[CmdId] = &[CmdId::Run, CmdId::Chaos, CmdId::FleetChaos, CmdId::Attrib];
 /// Commands that dispatch sweep cells through the parallel executor.
-const SWEEPS: &[CmdId] = &[CmdId::Run, CmdId::Chaos, CmdId::Attrib, CmdId::TraceDiff];
+const SWEEPS: &[CmdId] = &[
+    CmdId::Run,
+    CmdId::Chaos,
+    CmdId::FleetChaos,
+    CmdId::Attrib,
+    CmdId::TraceDiff,
+];
 
 const FLAGS: &[FlagSpec] = &[
     FlagSpec {
@@ -197,6 +209,7 @@ enum Command {
     All,
     One(String),
     Chaos { quick: bool },
+    FleetChaos { quick: bool },
     Attrib { study: String, quick: bool },
     TraceSummary(PathBuf),
     TraceDiff { a: PathBuf, b: PathBuf },
@@ -209,6 +222,7 @@ impl Command {
             Command::List => CmdId::List,
             Command::All | Command::One(_) => CmdId::Run,
             Command::Chaos { .. } => CmdId::Chaos,
+            Command::FleetChaos { .. } => CmdId::FleetChaos,
             Command::Attrib { .. } => CmdId::Attrib,
             Command::TraceSummary(_) => CmdId::TraceSummary,
             Command::TraceDiff { .. } => CmdId::TraceDiff,
@@ -223,6 +237,7 @@ impl Command {
             Command::All => "all".into(),
             Command::One(id) => id.clone(),
             Command::Chaos { .. } => "chaos".into(),
+            Command::FleetChaos { .. } => "fleet-chaos".into(),
             Command::Attrib { study, .. } => format!("attrib-{study}"),
             Command::TraceSummary(_) => "trace-summary".into(),
             Command::TraceDiff { .. } => "trace-diff".into(),
@@ -329,6 +344,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         ["list"] => Command::List,
         ["all"] => Command::All,
         ["chaos"] => Command::Chaos { quick },
+        ["fleet-chaos"] => Command::FleetChaos { quick },
         ["attrib", study] => Command::Attrib {
             study: (*study).to_owned(),
             quick,
@@ -629,6 +645,20 @@ fn main() {
             report_speedup("chaos", &before);
             if run.degenerate {
                 eprintln!("error: chaos matrix produced non-finite SLO guarantees");
+                exit_code = 1;
+            }
+        }
+        Command::FleetChaos { quick } => {
+            let t = Instant::now();
+            let before = aum_sim::exec::stats();
+            let run = aum_bench::fleetchaos::run(*quick);
+            emit("fleet-chaos", &run.text, t.elapsed());
+            report_speedup("fleet-chaos", &before);
+            if run.degenerate {
+                eprintln!(
+                    "error: fleet-chaos matrix failed conservation, finiteness, \
+                     or the node-crash acceptance gate"
+                );
                 exit_code = 1;
             }
         }

@@ -1,0 +1,375 @@
+//! Fleet-chaos study: node-fault matrix over the resilient fleet router.
+//!
+//! `repro fleet-chaos [--quick]` replays every node-scoped fault scenario
+//! (crash, crash/restart, straggler, router partition, rolling drain)
+//! against two routers on the heterogeneous demo fleet — FAILOVER (the
+//! health-checked epoch router, [`aum::fleet::run_fleet`] under
+//! `RoutingPolicy::Failover`) and STATIC (the same router with the
+//! AUV-weighted t=0 split frozen for the whole run) — and reports *SLO
+//! retention*: the fraction of each router's own healthy attainment it
+//! keeps under the fault, plus serving cost per million tokens.
+//!
+//! Every cell also re-checks the stranded-request conservation identity
+//! `dispatched == completed + redispatched + shed + dropped`, which the
+//! integer flow model must satisfy **exactly** — any violation (or a
+//! failover router that retains < 80% under the scripted node crash, or a
+//! static router that fails to do strictly worse) marks the report
+//! degenerate and the driver exits nonzero.
+//!
+//! `--quick` restricts the matrix to the acceptance-critical crash
+//! scenarios over a shorter run — the CI smoke configuration. Reports are
+//! byte-identical at any `--jobs` setting: the matrix dispatches through
+//! the deterministic sweep executor and the fleet model itself is pure
+//! integer arithmetic.
+
+use std::fmt::Write as _;
+
+use aum::cluster::{routing_weights, ClusterConfig, RoutingPolicy};
+use aum::fleet::{run_fleet, FleetOutcome, NodeFault, NodeFaultEvent, NodeFaultPlan};
+use aum::profiler::AuvModel;
+use aum_llm::traces::Scenario;
+use aum_sim::telemetry::Tracer;
+use aum_sim::time::SimDuration;
+use aum_workloads::be::BeKind;
+
+use crate::common::{harness_tracer, ModelCache};
+
+/// Seed written into every fleet config — the flow model is deterministic
+/// by construction, but the seed keeps serialized configs reproducible.
+const FLEET_SEED: u64 = 11;
+
+/// The rendered fleet-chaos report plus its health verdict.
+pub struct FleetChaosRun {
+    /// The full table, ready to print.
+    pub text: String,
+    /// `true` if conservation broke, anything came out non-finite, or the
+    /// node-crash acceptance criterion failed — the driver turns this
+    /// into a nonzero exit code.
+    pub degenerate: bool,
+}
+
+/// One named node-fault scenario of the matrix.
+struct FleetScenario {
+    name: &'static str,
+    plan: NodeFaultPlan,
+}
+
+/// Builds the node-fault matrix. Faults strike at `t0`; windowed faults
+/// recover at `t1`. `quick` keeps the acceptance-critical crash pair.
+fn scenarios(t0: f64, t1: f64, quick: bool) -> Vec<FleetScenario> {
+    let mut list = vec![
+        FleetScenario {
+            name: "node-crash",
+            plan: NodeFaultPlan::single(NodeFaultEvent::permanent(0, t0, NodeFault::Crash)),
+        },
+        FleetScenario {
+            name: "crash-restart",
+            plan: NodeFaultPlan::single(NodeFaultEvent::windowed(0, t0, t1, NodeFault::Crash)),
+        },
+    ];
+    if quick {
+        return list;
+    }
+    list.extend([
+        FleetScenario {
+            name: "straggler",
+            plan: NodeFaultPlan::single(NodeFaultEvent::windowed(
+                2,
+                t0,
+                t1,
+                NodeFault::Straggler { factor: 3.0 },
+            )),
+        },
+        FleetScenario {
+            name: "partition",
+            plan: NodeFaultPlan::single(NodeFaultEvent::windowed(1, t0, t1, NodeFault::Partition)),
+        },
+        FleetScenario {
+            // Nodes drain one after another, as a rolling restart would.
+            name: "rolling-drain",
+            plan: NodeFaultPlan::new(vec![
+                NodeFaultEvent::windowed(0, t0, t0 + 30.0, NodeFault::Drain),
+                NodeFaultEvent::windowed(1, t0 + 30.0, t0 + 60.0, NodeFault::Drain),
+                NodeFaultEvent::windowed(2, t0 + 60.0, t0 + 90.0, NodeFault::Drain),
+            ]),
+        },
+        FleetScenario {
+            name: "multi-fault-script",
+            plan: NodeFaultPlan::new(vec![
+                NodeFaultEvent::windowed(0, t0, t1, NodeFault::Crash),
+                NodeFaultEvent::windowed(2, t0 + 20.0, t1, NodeFault::Straggler { factor: 2.0 }),
+            ]),
+        },
+    ]);
+    list
+}
+
+/// The two routers under chaos, in report order.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FleetScheme {
+    Failover,
+    Static,
+}
+
+impl FleetScheme {
+    const ALL: [FleetScheme; 2] = [FleetScheme::Failover, FleetScheme::Static];
+
+    fn name(self) -> &'static str {
+        match self {
+            FleetScheme::Failover => "FAILOVER",
+            FleetScheme::Static => "STATIC",
+        }
+    }
+
+    /// The routing policy the fleet loop runs under. STATIC uses the same
+    /// AUV-weighted base split as FAILOVER — the *only* difference is
+    /// per-epoch health re-weighting, so the comparison isolates the
+    /// failover mechanism itself.
+    fn policy(self) -> RoutingPolicy {
+        match self {
+            FleetScheme::Failover => RoutingPolicy::Failover,
+            FleetScheme::Static => RoutingPolicy::AuvWeighted,
+        }
+    }
+}
+
+/// Runs one router under one plan. Only the FAILOVER cell streams into
+/// the harness tracer (matching the chaos study: headline scheme only),
+/// so `repro fleet-chaos --trace`/`--flight` capture the health
+/// transitions, re-dispatches and sheds without baseline noise.
+fn run_scheme(
+    scheme: FleetScheme,
+    base: &ClusterConfig,
+    plan: &NodeFaultPlan,
+    weights: &[f64],
+    tracer: &Tracer,
+) -> FleetOutcome {
+    let mut cfg = base.clone();
+    cfg.fault_plan = plan.clone();
+    let tracer = match scheme {
+        FleetScheme::Failover => tracer.clone(),
+        FleetScheme::Static => Tracer::disabled(),
+    };
+    run_fleet(&cfg, scheme.policy(), weights, &tracer)
+}
+
+/// Runs the node-fault matrix and renders the retention report.
+#[must_use]
+pub fn run(quick: bool) -> FleetChaosRun {
+    run_with(quick, &ModelCache::new())
+}
+
+/// [`run`] against a caller-supplied model cache — the parallel-determinism
+/// suite passes a smoke-scale cache so the identical matrix/executor code
+/// path stays testable in debug builds.
+#[must_use]
+pub fn run_with(quick: bool, cache: &ModelCache) -> FleetChaosRun {
+    let (duration, t0, t1) = if quick {
+        (120u64, 30.0, 90.0)
+    } else {
+        (300u64, 60.0, 200.0)
+    };
+    let mut base = ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
+    base.duration = SimDuration::from_secs(duration);
+    base.seed = FLEET_SEED;
+    // Fleet-scale offered rate: the demo config's per-server trickle is
+    // too sparse for whole-request epoch accounting (per-node capacity
+    // would floor to 0 requests/epoch). 120 req/s over 3 nodes keeps the
+    // integer rounding error of the flow model under a few percent.
+    base.total_rate = 120.0;
+    let scenarios = scenarios(t0, t1, quick);
+
+    // Profile every platform serially before any parallel dispatch (the
+    // capacity weights need the AUV models), so the profiler's trace lands
+    // ahead of every cell stream.
+    let bes: Vec<BeKind> = base
+        .servers
+        .iter()
+        .map(|s| s.be.unwrap_or(BeKind::SpecJbb))
+        .collect();
+    cache.warm(
+        base.servers
+            .iter()
+            .zip(&bes)
+            .map(|(s, &be)| (&s.platform, base.scenario, be)),
+    );
+    let models: Vec<AuvModel> = base
+        .servers
+        .iter()
+        .zip(&bes)
+        .map(|(s, &be)| (*cache.model(&s.platform, base.scenario, be)).clone())
+        .collect();
+    // Physical capacity shares: the profiled AUV split, independent of
+    // which routing policy a cell runs.
+    let capacity = routing_weights(&base, RoutingPolicy::AuvWeighted, &models);
+
+    // Healthy baselines: one per router, no faults.
+    let healthy: Vec<(FleetScheme, FleetOutcome)> = aum_sim::exec::sweep_traced(
+        &harness_tracer(),
+        FleetScheme::ALL.to_vec(),
+        |_, s, tracer| run_scheme(s, &base, &NodeFaultPlan::none(), &capacity, &tracer),
+    )
+    .into_iter()
+    .zip(FleetScheme::ALL)
+    .map(|(o, s)| (s, o))
+    .collect();
+
+    let mut out = String::new();
+    let mode = if quick { "quick" } else { "full" };
+    let _ = writeln!(
+        out,
+        "fleet-chaos resilience matrix ({mode}) \u{2014} heterogeneous 3-node fleet / chatbot, \
+         seed {FLEET_SEED}, {duration}s runs, node faults strike at t={t0:.0}s"
+    );
+    let _ = writeln!(
+        out,
+        "retention = attainment under fault / same router healthy; \
+         attainment = on-time / offered; conservation must hold exactly"
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<20} {:<10} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7} {:>10} {:>9} {:>9}",
+        "fault",
+        "router",
+        "offered",
+        "on-time",
+        "redisp",
+        "drop",
+        "shed",
+        "xition",
+        "attain",
+        "retention",
+        "$/Mtok",
+        "conserve"
+    );
+    let mut degenerate = false;
+    fn row(
+        out: &mut String,
+        name: &str,
+        scheme: FleetScheme,
+        o: &FleetOutcome,
+        retention: Option<f64>,
+        degenerate: &mut bool,
+    ) {
+        let conserve = if o.conservation_ok() {
+            "exact"
+        } else {
+            *degenerate = true;
+            "VIOLATED"
+        };
+        if !(o.attainment.is_finite() && o.usd_per_mtok.is_finite()) {
+            *degenerate = true;
+        }
+        let _ = writeln!(
+            out,
+            "{:<20} {:<10} {:>8} {:>8} {:>7} {:>7} {:>7} {:>6} {:>7.3} {:>9} {:>9} {:>9}",
+            name,
+            scheme.name(),
+            o.offered,
+            o.on_time,
+            o.redispatched,
+            o.dropped,
+            o.shed,
+            o.health_transitions,
+            o.attainment,
+            retention.map_or("-".to_string(), |r| format!("{:.1}%", r * 100.0)),
+            format!("{:.4}", o.usd_per_mtok),
+            conserve
+        );
+    }
+    for (scheme, o) in &healthy {
+        row(&mut out, "(healthy)", *scheme, o, None, &mut degenerate);
+    }
+
+    // The whole fault × router matrix is independent cells; dispatch it
+    // through the sweep executor in (scenario, router) order.
+    let matrix_cells: Vec<(usize, FleetScheme)> = (0..scenarios.len())
+        .flat_map(|i| FleetScheme::ALL.map(move |s| (i, s)))
+        .collect();
+    let matrix: Vec<FleetOutcome> =
+        aum_sim::exec::sweep_traced(&harness_tracer(), matrix_cells, |_, (i, scheme), tracer| {
+            run_scheme(scheme, &base, &scenarios[i].plan, &capacity, &tracer)
+        });
+    let mut matrix_iter = matrix.into_iter();
+
+    for sc in &scenarios {
+        let mut retentions: Vec<(FleetScheme, f64)> = Vec::new();
+        for (scheme, base_out) in &healthy {
+            let faulted = matrix_iter.next().expect("matrix covers every cell");
+            let retention = faulted.attainment / base_out.attainment.max(1e-9);
+            if !retention.is_finite() {
+                degenerate = true;
+            }
+            row(
+                &mut out,
+                sc.name,
+                *scheme,
+                &faulted,
+                Some(retention),
+                &mut degenerate,
+            );
+            retentions.push((*scheme, retention));
+        }
+        let failover = retentions[0].1;
+        let stat = retentions[1].1;
+        let verdict = if failover > stat {
+            "FAILOVER more resilient"
+        } else if failover < stat {
+            "STATIC more resilient"
+        } else {
+            "tie"
+        };
+        let _ = writeln!(
+            out,
+            "  -> FAILOVER retention {:.1}% vs STATIC {:.1}%  [{verdict}]",
+            failover * 100.0,
+            stat * 100.0
+        );
+        // Acceptance gate (ISSUE 7): under the scripted node crash the
+        // failover router must retain >= 80% of its healthy attainment
+        // and the static router must be strictly worse.
+        if sc.name == "node-crash" && !(failover >= 0.8 && stat < failover) {
+            degenerate = true;
+            let _ = writeln!(
+                out,
+                "  !! node-crash acceptance FAILED: failover {:.3} (need >= 0.8), \
+                 static {:.3} (need < failover)",
+                failover, stat
+            );
+        }
+    }
+
+    if degenerate {
+        out.push_str(
+            "\nDEGENERATE: conservation, finiteness, or the node-crash acceptance \
+             criterion failed \u{2014} failing the run\n",
+        );
+    }
+    FleetChaosRun {
+        text: out,
+        degenerate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aum::profiler::ProfilerConfig;
+
+    #[test]
+    fn quick_report_is_deterministic_and_healthy() {
+        let cache = ModelCache::with_profile(ProfilerConfig::smoke);
+        let a = run_with(true, &cache);
+        let b = run_with(true, &cache);
+        assert_eq!(a.text, b.text, "same seed must yield an identical report");
+        assert!(
+            !a.degenerate,
+            "quick matrix must pass its gates:\n{}",
+            a.text
+        );
+        assert!(a.text.contains("node-crash"));
+        assert!(a.text.contains("FAILOVER more resilient"));
+        assert!(!a.text.contains("VIOLATED"));
+    }
+}

@@ -11,6 +11,8 @@
 //! - [`extensions`]: bucket-granularity ablation, the §VIII cluster
 //!   extension, and precision/topology studies;
 //! - [`chaos`]: the fault-matrix resilience study (`repro chaos`);
+//! - [`fleetchaos`]: the node-fault fleet resilience study
+//!   (`repro fleet-chaos`);
 //! - [`attribution`]: the attribution-ledger study and trace diff
 //!   (`repro attrib`, `repro trace-diff`);
 //! - [`perfetto`]: Chrome Trace Event Format export of span traces
@@ -32,6 +34,7 @@ pub mod charact;
 pub mod common;
 pub mod evaluation;
 pub mod extensions;
+pub mod fleetchaos;
 pub mod perfetto;
 pub mod sharing;
 pub mod tracereport;

@@ -479,6 +479,53 @@ fn timeline(records: &[TraceRecord]) -> String {
                     ),
                 ));
             }
+            Event::NodeFault {
+                node,
+                kind,
+                detail,
+                active,
+            } => {
+                let verb = if *active { "struck" } else { "recovered" };
+                entries.push(entry_line(
+                    r.at,
+                    &format!("NODE FAULT {verb}: node {node} {kind} ({detail})"),
+                ));
+            }
+            Event::NodeHealthTransition {
+                node,
+                from,
+                to,
+                reason,
+            } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!("node {node} health {from:?} \u{2192} {to:?}: {reason}"),
+                ));
+            }
+            Event::RequestRedispatch {
+                node,
+                count,
+                attempt,
+                backoff_epochs,
+            } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!(
+                        "re-dispatch: {count} stranded on node {node}, \
+                         attempt {attempt} after {backoff_epochs}-epoch backoff"
+                    ),
+                ));
+            }
+            Event::LoadShed {
+                class,
+                count,
+                epoch,
+            } => {
+                entries.push(entry_line(
+                    r.at,
+                    &format!("load shed: {count} {class} request(s) at epoch {epoch}"),
+                ));
+            }
             Event::SensorRejected {
                 sensor,
                 observed,

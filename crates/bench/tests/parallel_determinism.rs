@@ -8,9 +8,10 @@
 //!
 //! The grids run at reduced scale (smoke profiler, short experiment
 //! durations) through the *same* code paths the paper-scale studies use —
-//! `build_model_traced`, `evaluation::scheme_grid_hists`, `chaos::run_with` —
-//! so the gate exercises the real cell dispatch, cache latching and
-//! ordered trace merge, not a test-only replica.
+//! `build_model_traced`, `evaluation::scheme_grid_hists`, `chaos::run_with`,
+//! `cluster::run_cluster_with`, `fleetchaos::run_with` — so the gate
+//! exercises the real cell dispatch, cache latching and ordered trace
+//! merge, not a test-only replica.
 
 use aum::profiler::{build_model_traced, ProfilerConfig};
 use aum_bench::common::{install_tracer, ModelCache, Scheme};
@@ -149,6 +150,76 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
     assert_eq!(
         chaos_trace_serial, chaos_trace_parallel,
         "chaos trace must be byte-identical at jobs 1 vs 8"
+    );
+
+    // --- Cluster fan-out (reduced scale): identical ClusterOutcome and
+    // byte-identical merged per-server trace. PR 4 gated profiler/fig14/
+    // chaos but never the cluster path. ---
+    let cluster = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let cache = ModelCache::with_profile(ProfilerConfig::smoke);
+        let mut cfg = aum::cluster::ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
+        cfg.duration = SimDuration::from_secs(20);
+        let models: Vec<aum::profiler::AuvModel> = cfg
+            .servers
+            .iter()
+            .map(|s| {
+                (*cache.model(&s.platform, cfg.scenario, s.be.unwrap_or(BeKind::SpecJbb))).clone()
+            })
+            .collect();
+        let out = with_captured_trace(|| {
+            let outcome = aum::cluster::run_cluster_with(
+                &cfg,
+                aum::cluster::RoutingPolicy::AuvWeighted,
+                &models,
+                &aum_bench::common::harness_tracer(),
+            );
+            serde_json::to_string(&outcome).expect("cluster outcome serializes")
+        });
+        exec::set_jobs(0);
+        out
+    };
+    let (cluster_serial, cluster_trace_serial) = cluster(1);
+    let (cluster_parallel, cluster_trace_parallel) = cluster(8);
+    assert_eq!(
+        cluster_serial, cluster_parallel,
+        "cluster outcome must not depend on the worker count"
+    );
+    assert!(
+        !cluster_trace_serial.is_empty(),
+        "per-server cells must emit trace events"
+    );
+    assert_eq!(
+        cluster_trace_serial, cluster_trace_parallel,
+        "cluster trace must be byte-identical at jobs 1 vs 8"
+    );
+
+    // --- Fleet-chaos quick matrix: identical report text, byte-identical
+    // trace (health transitions, re-dispatches, sheds all ride the
+    // canonical cell-merge order). ---
+    let fleet = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let cache = ModelCache::with_profile(ProfilerConfig::smoke);
+        let out = with_captured_trace(|| aum_bench::fleetchaos::run_with(true, &cache));
+        exec::set_jobs(0);
+        out
+    };
+    let (fleet_serial, fleet_trace_serial) = fleet(1);
+    let (fleet_parallel, fleet_trace_parallel) = fleet(8);
+    assert!(!fleet_serial.degenerate, "{}", fleet_serial.text);
+    assert_eq!(
+        fleet_serial.text, fleet_parallel.text,
+        "fleet-chaos report must not depend on the worker count"
+    );
+    assert!(
+        fleet_trace_serial
+            .iter()
+            .any(|l| l.contains("NodeHealthTransition")),
+        "fleet-chaos trace must carry health transitions"
+    );
+    assert_eq!(
+        fleet_trace_serial, fleet_trace_parallel,
+        "fleet-chaos trace must be byte-identical at jobs 1 vs 8"
     );
 
     // --- Flight recorder under chaos: the bounded ring's retained suffix,

@@ -9,17 +9,26 @@
 //! amortizes across every server of the same platform (§VII-D), the router
 //! can weight servers by their *profiled* serving capacity — the
 //! AUV-aware policy the paper anticipates.
+//!
+//! The split here is the *steady-state* one: each server simulates its
+//! share independently. The dynamic side — node faults, health-checked
+//! failover, retry/backoff and load shedding — lives in [`crate::fleet`],
+//! which replays the same [`ClusterConfig`] (plus its
+//! [`NodeFaultPlan`]/[`FleetParams`] fields) through an epoch-based
+//! router loop.
 
 use serde::{Deserialize, Serialize};
 
 use aum_llm::traces::Scenario;
 use aum_platform::spec::PlatformSpec;
+use aum_sim::telemetry::Tracer;
 use aum_sim::time::SimDuration;
 use aum_workloads::be::BeKind;
 
 use crate::baselines::AllAu;
 use crate::controller::AumController;
-use crate::experiment::{run_experiment, ExperimentConfig, Outcome};
+use crate::experiment::{run_experiment_traced, ExperimentConfig, Outcome};
+use crate::fleet::{FleetParams, NodeFaultPlan};
 use crate::prices::Prices;
 use crate::profiler::{build_model, AuvModel, ProfilerConfig};
 
@@ -35,6 +44,12 @@ pub enum RoutingPolicy {
     /// the AUV-aware policy: the same AUV models the runtime controllers
     /// use also inform routing.
     AuvWeighted,
+    /// AUV-weighted shares, re-weighted every epoch from node health by
+    /// the fleet router ([`crate::fleet::run_fleet`]): a failed node's
+    /// share redistributes to survivors. In the steady-state split of
+    /// [`run_cluster`] (no faults, no epochs) it is identical to
+    /// [`RoutingPolicy::AuvWeighted`].
+    Failover,
 }
 
 impl core::fmt::Display for RoutingPolicy {
@@ -43,6 +58,7 @@ impl core::fmt::Display for RoutingPolicy {
             RoutingPolicy::Uniform => write!(f, "uniform"),
             RoutingPolicy::BandwidthProportional => write!(f, "bw-proportional"),
             RoutingPolicy::AuvWeighted => write!(f, "auv-weighted"),
+            RoutingPolicy::Failover => write!(f, "failover"),
         }
     }
 }
@@ -57,6 +73,11 @@ pub struct ServerConfig {
 }
 
 /// Cluster experiment configuration.
+///
+/// The fleet fields (`fault_plan`, `fleet`) are declared last and carry
+/// serde defaults, so legacy cluster JSON written before the fleet
+/// resilience plane keeps deserializing (a missing plan means a healthy
+/// fleet, missing params mean the documented defaults).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// The servers.
@@ -71,6 +92,13 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Efficiency prices.
     pub prices: Prices,
+    /// Scripted node faults ([`crate::fleet::run_fleet`] replays them;
+    /// the steady-state [`run_cluster`] split ignores them).
+    #[serde(default)]
+    pub fault_plan: NodeFaultPlan,
+    /// Epoch router tunables for the fleet resilience plane.
+    #[serde(default)]
+    pub fleet: FleetParams,
 }
 
 impl ClusterConfig {
@@ -91,6 +119,8 @@ impl ClusterConfig {
             duration: SimDuration::from_secs(180),
             seed: 4242,
             prices: Prices::paper_default(),
+            fault_plan: NodeFaultPlan::none(),
+            fleet: FleetParams::default(),
         }
     }
 }
@@ -100,13 +130,19 @@ impl ClusterConfig {
 pub struct ClusterOutcome {
     /// Routing policy used.
     pub policy: String,
-    /// Per-server outcomes, in server order.
+    /// Outcomes of the servers that received traffic, in server order
+    /// (parallel to [`ClusterOutcome::served`]).
     pub per_server: Vec<Outcome>,
+    /// Indices of the servers that received traffic. Zero-weight servers
+    /// are skipped entirely — no synthetic trickle rate, no cell.
+    pub served: Vec<usize>,
     /// Routing weights applied, in server order (sum = 1).
     pub weights: Vec<f64>,
     /// Cluster-wide weighted efficiency: total value / total power.
     pub efficiency: f64,
-    /// Cluster-wide mean SLO violation rate (request-weighted).
+    /// Cluster-wide mean SLO violation rate, weighted by each server's
+    /// SLO-tracked requests (TTFT-tracked prefills plus TPOT-tracked
+    /// requests — see [`weighted_violation_rate`]).
     pub violation_rate: f64,
 }
 
@@ -138,7 +174,9 @@ pub fn routing_weights(
             .iter()
             .map(|s| s.platform.mem_bw.value())
             .collect(),
-        RoutingPolicy::AuvWeighted => models
+        // Failover starts from the same profiled-capacity split; the
+        // epoch loop is what re-weights it when health changes.
+        RoutingPolicy::AuvWeighted | RoutingPolicy::Failover => models
             .iter()
             .map(|m| {
                 // Profiled decode capacity of the server's best bucket.
@@ -154,6 +192,26 @@ pub fn routing_weights(
     raw.into_iter().map(|w| w / sum).collect()
 }
 
+/// Aggregates per-server violation rates into a cluster-wide one,
+/// weighting each server by its count of SLO-tracked requests. `per`
+/// holds `(violation_rate, tracked_requests)` pairs; servers with no
+/// tracked requests contribute nothing, and an idle cluster reports 0.
+#[must_use]
+pub fn weighted_violation_rate(per: &[(f64, f64)]) -> f64 {
+    let tracked: f64 = per.iter().map(|(_, n)| n).sum();
+    if tracked <= 0.0 {
+        return 0.0;
+    }
+    per.iter().map(|(v, n)| v * n).sum::<f64>() / tracked
+}
+
+/// Requests an [`Outcome`]'s SLO report actually tracked: TTFT-tracked
+/// prefills plus TPOT-tracked requests. Weighting by `prefills` alone
+/// would under-count decode-heavy servers whose violations are TPOT-side.
+fn slo_tracked(outcome: &Outcome) -> f64 {
+    outcome.slo.prefills as f64 + outcome.slo.tpot_req_hist.count() as f64
+}
+
 /// Runs the cluster under a routing policy with per-server AUM controllers
 /// (or ALL-AU when a server has no co-runner). Servers run concurrently.
 #[must_use]
@@ -163,63 +221,98 @@ pub fn run_cluster(cfg: &ClusterConfig, policy: RoutingPolicy) -> ClusterOutcome
         .iter()
         .map(|s| server_model(s, cfg.scenario))
         .collect();
-    let weights = routing_weights(cfg, policy, &models);
+    run_cluster_with(cfg, policy, &models, &Tracer::disabled())
+}
 
+/// [`run_cluster`] with pre-built AUV models (one per server) and a
+/// harness tracer. Per-server simulation traces merge into `tracer` in
+/// canonical server order via the sweep executor, so the merged trace is
+/// byte-identical at any `--jobs` setting.
+///
+/// # Panics
+///
+/// Panics if `models` does not provide one model per server.
+#[must_use]
+pub fn run_cluster_with(
+    cfg: &ClusterConfig,
+    policy: RoutingPolicy,
+    models: &[AuvModel],
+    tracer: &Tracer,
+) -> ClusterOutcome {
+    assert_eq!(models.len(), cfg.servers.len(), "one model per server");
+    let weights = routing_weights(cfg, policy, models);
+    run_cluster_weighted(cfg, policy.to_string(), &weights, models, tracer)
+}
+
+/// The shared cluster fan-out: splits `cfg.total_rate` by `weights`,
+/// skipping zero-weight servers, and simulates every served server.
+fn run_cluster_weighted(
+    cfg: &ClusterConfig,
+    policy: String,
+    weights: &[f64],
+    models: &[AuvModel],
+    tracer: &Tracer,
+) -> ClusterOutcome {
+    // A zero-weight server receives no traffic: skip the cell instead of
+    // flooring its rate to a synthetic trickle that would pollute the
+    // fleet aggregates with a near-idle simulation.
+    let cells: Vec<(usize, &ServerConfig, f64, AuvModel)> = cfg
+        .servers
+        .iter()
+        .zip(weights)
+        .zip(models)
+        .enumerate()
+        .filter(|(_, ((_, &weight), _))| weight > 0.0)
+        .map(|(i, ((server, &weight), model))| (i, server, weight, model.clone()))
+        .collect();
+    let served: Vec<usize> = cells.iter().map(|(i, ..)| *i).collect();
     // Each server's seed depends only on its index, so the sweep executor
     // reproduces the serial result bit-for-bit at any worker count (and
     // bounds concurrency by `--jobs` instead of one thread per server).
-    let cells: Vec<(&ServerConfig, f64, AuvModel)> = cfg
-        .servers
-        .iter()
-        .zip(&weights)
-        .zip(&models)
-        .map(|((server, &weight), model)| (server, weight, model.clone()))
-        .collect();
-    let outcomes: Vec<Outcome> = aum_sim::exec::sweep(cells, |i, (server, weight, model)| {
-        let exp = ExperimentConfig {
-            platform: server.platform.clone(),
-            scenario: cfg.scenario,
-            be: server.be,
-            duration: cfg.duration,
-            control_interval: SimDuration::from_millis(500),
-            seed: cfg.seed.wrapping_add(i as u64 * 7919),
-            rate: Some((cfg.total_rate * weight).max(1e-3)),
-            rate_profile: aum_llm::traces::RateProfile::Constant,
-            fault: crate::fault::FaultPlan::none(),
-            prices: cfg.prices,
-            model: aum_llm::config::ModelConfig::llama2_7b(),
-        };
-        match server.be {
-            Some(_) => run_experiment(&exp, &mut AumController::new(model)),
-            None => run_experiment(&exp, &mut AllAu::new(&server.platform)),
-        }
-    });
+    let outcomes: Vec<Outcome> = aum_sim::exec::sweep_traced(
+        tracer,
+        cells,
+        |_, (i, server, weight, model), cell_tracer| {
+            let exp = ExperimentConfig {
+                platform: server.platform.clone(),
+                scenario: cfg.scenario,
+                be: server.be,
+                duration: cfg.duration,
+                control_interval: SimDuration::from_millis(500),
+                seed: cfg.seed.wrapping_add(i as u64 * 7919),
+                rate: Some(cfg.total_rate * weight),
+                rate_profile: aum_llm::traces::RateProfile::Constant,
+                fault: crate::fault::FaultPlan::none(),
+                prices: cfg.prices,
+                model: aum_llm::config::ModelConfig::llama2_7b(),
+            };
+            match server.be {
+                Some(_) => run_experiment_traced(&exp, &mut AumController::new(model), cell_tracer),
+                None => run_experiment_traced(&exp, &mut AllAu::new(&server.platform), cell_tracer),
+            }
+        },
+    );
 
     let total_power: f64 = outcomes.iter().map(|o| o.avg_power_w).sum();
     let total_value: f64 = outcomes
         .iter()
-        .zip(&cfg.servers)
-        .map(|(o, s)| {
-            let gamma = s.be.map_or(0.0, Prices::gamma);
+        .zip(&served)
+        .map(|(o, &i)| {
+            let gamma = cfg.servers[i].be.map_or(0.0, Prices::gamma);
             cfg.prices.alpha * o.prefill_tps + cfg.prices.beta * o.decode_tps + gamma * o.be_rate
         })
         .sum();
-    let total_requests: f64 = outcomes.iter().map(|o| o.slo.prefills as f64).sum();
-    let violation_rate = if total_requests == 0.0 {
-        0.0
-    } else {
-        outcomes
-            .iter()
-            .map(|o| o.slo.violation_rate() * o.slo.prefills as f64)
-            .sum::<f64>()
-            / total_requests
-    };
+    let per_violation: Vec<(f64, f64)> = outcomes
+        .iter()
+        .map(|o| (o.slo.violation_rate(), slo_tracked(o)))
+        .collect();
     ClusterOutcome {
-        policy: policy.to_string(),
+        policy,
         per_server: outcomes,
-        weights,
+        served,
+        weights: weights.to_vec(),
         efficiency: total_value / total_power.max(1e-9),
-        violation_rate,
+        violation_rate: weighted_violation_rate(&per_violation),
     }
 }
 
@@ -245,12 +338,27 @@ mod tests {
             RoutingPolicy::Uniform,
             RoutingPolicy::BandwidthProportional,
             RoutingPolicy::AuvWeighted,
+            RoutingPolicy::Failover,
         ] {
             let w = routing_weights(&cfg, policy, &models);
             assert_eq!(w.len(), cfg.servers.len());
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{policy}");
             assert!(w.iter().all(|&x| x > 0.0));
         }
+    }
+
+    #[test]
+    fn failover_starts_from_the_auv_split() {
+        let cfg = small_cluster();
+        let models: Vec<AuvModel> = cfg
+            .servers
+            .iter()
+            .map(|s| server_model(s, cfg.scenario))
+            .collect();
+        assert_eq!(
+            routing_weights(&cfg, RoutingPolicy::Failover, &models),
+            routing_weights(&cfg, RoutingPolicy::AuvWeighted, &models),
+        );
     }
 
     #[test]
@@ -272,6 +380,7 @@ mod tests {
         let cfg = small_cluster();
         let out = run_cluster(&cfg, RoutingPolicy::AuvWeighted);
         assert_eq!(out.per_server.len(), 3);
+        assert_eq!(out.served, vec![0, 1, 2]);
         assert!(out.efficiency > 0.0);
         assert!((0.0..=1.0).contains(&out.violation_rate));
         for o in &out.per_server {
@@ -281,6 +390,41 @@ mod tests {
                 o.scheme
             );
         }
+    }
+
+    #[test]
+    fn zero_weight_servers_are_skipped_not_trickled() {
+        let cfg = small_cluster();
+        let models: Vec<AuvModel> = cfg
+            .servers
+            .iter()
+            .map(|s| server_model(s, cfg.scenario))
+            .collect();
+        let weights = [0.0, 0.6, 0.4];
+        let out = run_cluster_weighted(
+            &cfg,
+            "hand-weighted".to_string(),
+            &weights,
+            &models,
+            &Tracer::disabled(),
+        );
+        assert_eq!(out.served, vec![1, 2], "zero-weight server gets no cell");
+        assert_eq!(out.per_server.len(), 2);
+        assert_eq!(out.weights, weights);
+        assert!(out.per_server.iter().all(|o| o.decode_tps > 0.0));
+    }
+
+    #[test]
+    fn violation_rate_weights_by_tracked_requests() {
+        // Hand-computed: (0.1 * 30 + 0.5 * 10) / (30 + 10) = 8 / 40 = 0.2.
+        let agg = weighted_violation_rate(&[(0.1, 30.0), (0.5, 10.0)]);
+        assert!((agg - 0.2).abs() < 1e-12, "got {agg}");
+        // Prefill-only weighting would have said 0.1; a server with no
+        // tracked requests must contribute nothing.
+        let with_idle = weighted_violation_rate(&[(0.1, 30.0), (0.5, 10.0), (1.0, 0.0)]);
+        assert!((with_idle - 0.2).abs() < 1e-12, "got {with_idle}");
+        assert_eq!(weighted_violation_rate(&[]), 0.0);
+        assert_eq!(weighted_violation_rate(&[(0.7, 0.0)]), 0.0);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!
 //! This is the reproduction's equivalent of the paper's testbed runs behind
 //! Figures 14-18.
+//!
+//! One harness run simulates one server. Cluster-scale composition lives
+//! in [`crate::cluster`] (steady-state split across servers) and
+//! [`crate::fleet`] (the epoch-based resilient router above those
+//! servers); both reuse this harness per node.
 
 use serde::{Deserialize, Serialize};
 

@@ -17,6 +17,13 @@
 //! loss, lowest license class), so overlapping chaos scripts stay
 //! physically meaningful.
 //!
+//! This plane stops at the node boundary: every fault here degrades *one*
+//! server from the inside. Node-scoped failures — whole-node crashes,
+//! stragglers, router partitions, rolling-restart drains — live in the
+//! fleet resilience plane ([`crate::fleet::NodeFaultPlan`]), which reuses
+//! this module's scripting conventions (deterministic activation times,
+//! optional recovery, `null`-tolerant serde) at cluster granularity.
+//!
 //! Serde back-compat: older configs carried
 //! `"fault": {"BandwidthDegrade": {"at_secs": 120.0, "frac": 0.6}}` or
 //! `"fault": null`. [`FaultPlan`]'s hand-written `Deserialize` accepts both

@@ -1,0 +1,1239 @@
+//! Fleet resilience plane: node-level fault injection, health-checked
+//! failover routing, and graceful load shedding.
+//!
+//! The §VIII cluster sketch ([`crate::cluster`]) splits the offered rate
+//! once and never looks back — servers cannot fail and the router cannot
+//! react. This module models the cluster as a *dynamic* system at router
+//! granularity: a [`NodeFaultPlan`] scripts node-scoped failures
+//! (crash/restart, sustained straggler slowdown, network partition from
+//! the router, rolling-restart drain) with deterministic timing, and
+//! [`run_fleet`] replays them through an epoch-based router loop:
+//!
+//! - **Health state machine** — per epoch, every node is Healthy →
+//!   Suspect → Down (heartbeat misses), or Draining/Recovering (scripted
+//!   drains and fault recoveries), driven by heartbeat and violation-rate
+//!   signals ([`aum_sim::telemetry::NodeHealth`]).
+//! - **Failover re-weighting** — under [`RoutingPolicy::Failover`] the
+//!   router recomputes shares each epoch from health states, so a failed
+//!   node's share redistributes to survivors. Every other policy keeps
+//!   its t=0 split (the static-router baseline).
+//! - **Retry with exponential backoff** — requests assigned to a node
+//!   that cannot serve them strand; each stranded batch re-enters the
+//!   dispatch pool after a capped exponential backoff, until its retry
+//!   budget is exhausted and it is dropped against the SLO.
+//! - **Graceful degradation** — an admission controller sheds
+//!   best-effort and low-priority load first whenever the pool exceeds
+//!   the live fleet capacity, recording shed counts per class.
+//!
+//! All request accounting is integer (`u64`) flow arithmetic, so the
+//! conservation identity `dispatched == completed + redispatched + shed
+//! + dropped` holds **exactly**, not within a tolerance — the
+//! `repro fleet-chaos` study asserts it per cell. The loop emits
+//! [`Event::NodeFault`], [`Event::NodeHealthTransition`],
+//! [`Event::RequestRedispatch`] and [`Event::LoadShed`] telemetry; a
+//! `NodeHealthTransition` into `Down` also trips the flight recorder
+//! (`aum_sim::flight::TriggerKind::NodeDown`).
+
+use serde::{content_get, Content, DeError, Deserialize, Serialize};
+
+use aum_sim::telemetry::{Event, NodeHealth, Tracer};
+use aum_sim::time::SimTime;
+use aum_workloads::gpu::CpuAnchor;
+
+use crate::cluster::{ClusterConfig, RoutingPolicy};
+
+/// One node-scoped failure mode the fleet fault plane can inject.
+///
+/// Parameters describe magnitude only; *which node* and *when* live on the
+/// enclosing [`NodeFaultEvent`] (mirroring [`crate::fault::Fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeFault {
+    /// The node crashes: heartbeats stop, assigned requests strand.
+    /// Recovery models a restart (the node ramps back via Recovering).
+    Crash,
+    /// Sustained slowdown: the node keeps serving and heartbeating but at
+    /// `1/factor` of its profiled capacity — excess assignments complete
+    /// late, raising its violation-rate signal.
+    Straggler {
+        /// Capacity division factor, `> 1`.
+        factor: f64,
+    },
+    /// Network partition from the router: the node is healthy but
+    /// unreachable — heartbeats are lost and assigned requests strand,
+    /// indistinguishable from a crash until the partition heals.
+    Partition,
+    /// Rolling-restart drain: the node *cooperatively* stops accepting
+    /// new work (the router is told, so failover reacts immediately
+    /// instead of waiting for missed heartbeats).
+    Drain,
+}
+
+impl NodeFault {
+    /// Stable label for telemetry and reports.
+    #[must_use]
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            NodeFault::Crash => "Crash",
+            NodeFault::Straggler { .. } => "Straggler",
+            NodeFault::Partition => "Partition",
+            NodeFault::Drain => "Drain",
+        }
+    }
+
+    /// Human-readable parameter summary for telemetry.
+    #[must_use]
+    pub fn detail(&self) -> String {
+        match self {
+            NodeFault::Crash => "node crashed".into(),
+            NodeFault::Straggler { factor } => format!("capacity /{factor:.1}"),
+            NodeFault::Partition => "partitioned from router".into(),
+            NodeFault::Drain => "rolling-restart drain".into(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            NodeFault::Straggler { factor } => {
+                if factor.is_finite() && factor > 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("Straggler factor must be > 1, got {factor}"))
+                }
+            }
+            NodeFault::Crash | NodeFault::Partition | NodeFault::Drain => Ok(()),
+        }
+    }
+}
+
+/// One scheduled node fault: which node, what, when, and until when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeFaultEvent {
+    /// Index of the target node in fleet (server) order.
+    pub node: usize,
+    /// Activation time, seconds from run start; applied at the first
+    /// epoch boundary `t >= at_secs`.
+    pub at_secs: f64,
+    /// The failure mode.
+    pub fault: NodeFault,
+    /// Recovery time, seconds; reverted at the first boundary
+    /// `t >= recover_at_secs`. `None` = permanent.
+    #[serde(default)]
+    pub recover_at_secs: Option<f64>,
+}
+
+impl NodeFaultEvent {
+    /// A permanent node fault striking at `at_secs`.
+    #[must_use]
+    pub fn permanent(node: usize, at_secs: f64, fault: NodeFault) -> Self {
+        NodeFaultEvent {
+            node,
+            at_secs,
+            fault,
+            recover_at_secs: None,
+        }
+    }
+
+    /// A node fault active over `[at_secs, recover_at_secs)`.
+    #[must_use]
+    pub fn windowed(node: usize, at_secs: f64, recover_at_secs: f64, fault: NodeFault) -> Self {
+        NodeFaultEvent {
+            node,
+            at_secs,
+            fault,
+            recover_at_secs: Some(recover_at_secs),
+        }
+    }
+}
+
+/// An ordered script of timed node faults — the fleet chaos screenplay.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeFaultPlan {
+    /// The scripted events, sorted by activation time.
+    pub events: Vec<NodeFaultEvent>,
+}
+
+impl NodeFaultPlan {
+    /// A healthy fleet: no node faults.
+    #[must_use]
+    pub fn none() -> Self {
+        NodeFaultPlan::default()
+    }
+
+    /// A plan of the given events, sorted by activation time (stable for
+    /// ties, so same-instant events apply in authoring order).
+    #[must_use]
+    pub fn new(mut events: Vec<NodeFaultEvent>) -> Self {
+        events.sort_by(|a, b| {
+            a.at_secs
+                .partial_cmp(&b.at_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        NodeFaultPlan { events }
+    }
+
+    /// A single-event plan.
+    #[must_use]
+    pub fn single(event: NodeFaultEvent) -> Self {
+        NodeFaultPlan {
+            events: vec![event],
+        }
+    }
+
+    /// Whether the plan schedules anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every event for meaningful parameters and sane timing.
+    /// Node indices are checked against the fleet size at run time via
+    /// [`NodeFaultPlan::validate_for`] (the plan alone does not know it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed event.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            if !(ev.at_secs.is_finite() && ev.at_secs >= 0.0) {
+                return Err(format!(
+                    "event {i}: at_secs must be finite and >= 0, got {}",
+                    ev.at_secs
+                ));
+            }
+            if let Some(rec) = ev.recover_at_secs {
+                if !(rec.is_finite() && rec > ev.at_secs) {
+                    return Err(format!(
+                        "event {i}: recover_at_secs must be finite and > at_secs ({}), got {rec}",
+                        ev.at_secs
+                    ));
+                }
+            }
+            ev.fault.validate().map_err(|e| format!("event {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// [`NodeFaultPlan::validate`] plus node-index bounds for a fleet of
+    /// `nodes` servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed event.
+    pub fn validate_for(&self, nodes: usize) -> Result<(), String> {
+        self.validate()?;
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.node >= nodes {
+                return Err(format!(
+                    "event {i}: node {} out of range for a {nodes}-node fleet",
+                    ev.node
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for NodeFaultPlan {
+    fn to_content(&self) -> Content {
+        if self.events.is_empty() {
+            // Healthy default renders as `null`, the shape legacy
+            // ClusterConfig JSON (no fleet fields at all) degrades to.
+            return Content::Null;
+        }
+        Content::Map(vec![(
+            "events".to_string(),
+            Content::Seq(self.events.iter().map(Serialize::to_content).collect()),
+        )])
+    }
+}
+
+impl Deserialize for NodeFaultPlan {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let events: Vec<NodeFaultEvent> = match content {
+            Content::Null => Vec::new(),
+            Content::Map(entries) if content_get(entries, "events").is_some() => {
+                match content_get(entries, "events").expect("checked") {
+                    Content::Seq(items) => items
+                        .iter()
+                        .map(NodeFaultEvent::from_content)
+                        .collect::<Result<_, _>>()?,
+                    other => {
+                        return Err(DeError::expected("sequence", "NodeFaultPlan.events", other))
+                    }
+                }
+            }
+            Content::Seq(items) => items
+                .iter()
+                .map(NodeFaultEvent::from_content)
+                .collect::<Result<_, _>>()?,
+            other => return Err(DeError::expected("node fault plan", "NodeFaultPlan", other)),
+        };
+        let plan = NodeFaultPlan::new(events);
+        plan.validate()
+            .map_err(|e| DeError::custom(format!("invalid NodeFaultPlan: {e}")))?;
+        Ok(plan)
+    }
+}
+
+/// Tunables of the epoch router loop. Every field has a serde default,
+/// so legacy `ClusterConfig` JSON without a `fleet` object (and partial
+/// objects from hand-edited configs) keeps loading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetParams {
+    /// Router epoch length, seconds (health checks, re-weighting and
+    /// dispatch all happen at epoch boundaries).
+    #[serde(default)]
+    pub epoch_secs: f64,
+    /// Fleet capacity provisioned as a multiple of the offered rate;
+    /// distributed across nodes by profiled capacity weight.
+    #[serde(default)]
+    pub capacity_margin: f64,
+    /// Consecutive missed heartbeats before Healthy → Suspect.
+    #[serde(default)]
+    pub suspect_after_misses: u32,
+    /// Consecutive missed heartbeats before Suspect → Down.
+    #[serde(default)]
+    pub down_after_misses: u32,
+    /// Per-epoch violation rate above which a live node turns Suspect.
+    #[serde(default)]
+    pub violation_suspect: f64,
+    /// Re-dispatch budget: a stranded request is retried at most this
+    /// many times before it is dropped against the SLO.
+    #[serde(default)]
+    pub max_retries: u32,
+    /// Backoff of the first retry, epochs; doubles per attempt.
+    #[serde(default)]
+    pub backoff_base_epochs: u32,
+    /// Backoff ceiling, epochs.
+    #[serde(default)]
+    pub backoff_cap_epochs: u32,
+    /// Admission headroom: the pool is shed down to `headroom ×` the
+    /// live (routable) capacity each epoch.
+    #[serde(default)]
+    pub shed_headroom: f64,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        FleetParams {
+            epoch_secs: 1.0,
+            capacity_margin: 1.3,
+            suspect_after_misses: 1,
+            down_after_misses: 3,
+            violation_suspect: 0.5,
+            max_retries: 3,
+            backoff_base_epochs: 1,
+            backoff_cap_epochs: 8,
+            shed_headroom: 1.05,
+        }
+    }
+}
+
+impl FleetParams {
+    /// Zero-valued serde defaults (a field missing from JSON) are
+    /// replaced by the documented defaults, so partially-specified
+    /// `fleet` objects behave sanely.
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        let d = FleetParams::default();
+        if !(self.epoch_secs.is_finite() && self.epoch_secs > 0.0) {
+            self.epoch_secs = d.epoch_secs;
+        }
+        if !(self.capacity_margin.is_finite() && self.capacity_margin > 0.0) {
+            self.capacity_margin = d.capacity_margin;
+        }
+        if self.suspect_after_misses == 0 {
+            self.suspect_after_misses = d.suspect_after_misses;
+        }
+        if self.down_after_misses == 0 {
+            self.down_after_misses = d.down_after_misses;
+        }
+        if !(self.violation_suspect.is_finite() && self.violation_suspect > 0.0) {
+            self.violation_suspect = d.violation_suspect;
+        }
+        if self.backoff_base_epochs == 0 {
+            self.backoff_base_epochs = d.backoff_base_epochs;
+        }
+        if self.backoff_cap_epochs == 0 {
+            self.backoff_cap_epochs = d.backoff_cap_epochs;
+        }
+        if !(self.shed_headroom.is_finite() && self.shed_headroom > 0.0) {
+            self.shed_headroom = d.shed_headroom;
+        }
+        self
+    }
+}
+
+/// Admission priority classes, shed-first order, with their shares of the
+/// arrival stream (percent; sums to 100).
+const CLASSES: [(&str, u64); 3] = [("best-effort", 20), ("standard", 30), ("interactive", 50)];
+
+/// Stable labels of the admission classes, in shed-first order.
+#[must_use]
+pub fn class_labels() -> [&'static str; 3] {
+    [CLASSES[0].0, CLASSES[1].0, CLASSES[2].0]
+}
+
+/// Outcome of one fleet run: exact integer request-flow accounting plus
+/// derived SLO attainment and cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Routing policy used.
+    pub policy: String,
+    /// Router epochs simulated.
+    pub epochs: u64,
+    /// New requests offered to the fleet over the run.
+    pub offered: u64,
+    /// Requests entering the admission/dispatch pipeline, counting each
+    /// re-dispatch re-entry — the left side of the conservation identity.
+    pub dispatched: u64,
+    /// Requests completed by a live node.
+    pub completed: u64,
+    /// Completed requests that were served in capacity on their first
+    /// dispatch (never stranded, never beyond a node's epoch capacity).
+    pub on_time: u64,
+    /// Stranded requests re-queued for a later epoch.
+    pub redispatched: u64,
+    /// Stranded requests whose retry budget ran out.
+    pub dropped: u64,
+    /// Requests shed by the admission controller.
+    pub shed: u64,
+    /// Shed counts by class, in [`class_labels`] order.
+    pub shed_by_class: Vec<u64>,
+    /// Requests still waiting in the retry queue at run end.
+    pub pending: u64,
+    /// Node health transitions observed.
+    pub health_transitions: u64,
+    /// SLO attainment: `on_time / offered`.
+    pub attainment: f64,
+    /// Serving cost per million generated tokens, USD (amortized CapEx
+    /// plus energy over the whole provisioned fleet — dead nodes still
+    /// cost money, which is what makes resilience a TCO question).
+    pub usd_per_mtok: f64,
+}
+
+impl FleetOutcome {
+    /// The stranded-request conservation identity, which holds exactly
+    /// (integer flow accounting): every request entering the pipeline
+    /// leaves it as exactly one of completed / re-queued / shed / dropped.
+    #[must_use]
+    pub fn conservation_ok(&self) -> bool {
+        self.dispatched == self.completed + self.redispatched + self.shed + self.dropped
+    }
+}
+
+/// Per-node physical + router-visible state inside the epoch loop.
+struct NodeState {
+    crashed: bool,
+    partitioned: bool,
+    draining: bool,
+    straggle: f64,
+    health: NodeHealth,
+    missed: u32,
+    /// Violation rate the router observed from this node last epoch.
+    last_violation: f64,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            crashed: false,
+            partitioned: false,
+            draining: false,
+            straggle: 1.0,
+            health: NodeHealth::Healthy,
+            missed: 0,
+            last_violation: 0.0,
+        }
+    }
+
+    /// Heartbeats reach the router (drain is cooperative — it keeps
+    /// heartbeating).
+    fn responsive(&self) -> bool {
+        !self.crashed && !self.partitioned
+    }
+
+    /// Physically able to serve newly assigned requests this epoch.
+    fn serves(&self) -> bool {
+        !self.crashed && !self.partitioned && !self.draining
+    }
+}
+
+/// Routing share multiplier per health state under the failover policy.
+fn health_factor(health: NodeHealth) -> f64 {
+    match health {
+        NodeHealth::Healthy => 1.0,
+        // Suspect and Recovering carry a half share: enough traffic to
+        // observe them, not enough to bet the SLO on them.
+        NodeHealth::Suspect | NodeHealth::Recovering => 0.5,
+        NodeHealth::Down | NodeHealth::Draining => 0.0,
+    }
+}
+
+/// Splits `count` requests across nodes proportionally to `weights`
+/// using largest-remainder rounding — deterministic (ties break by node
+/// index) and exactly conserving (`sum == count`).
+fn split_requests(count: u64, weights: &[f64]) -> Vec<u64> {
+    let total: f64 = weights.iter().sum();
+    if count == 0 || total <= 0.0 {
+        return vec![0; weights.len()];
+    }
+    let mut out: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, w) in weights.iter().enumerate() {
+        let quota = count as f64 * (w / total);
+        let base = quota.floor() as u64;
+        out.push(base);
+        assigned += base;
+        fracs.push((i, quota - quota.floor()));
+    }
+    // Largest fractional parts get the remainder, node index breaks ties.
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(a.0.cmp(&b.0)));
+    let mut rest = count - assigned;
+    for (i, _) in fracs {
+        if rest == 0 {
+            break;
+        }
+        out[i] += 1;
+        rest -= 1;
+    }
+    out
+}
+
+/// A batch of stranded requests waiting out its backoff.
+struct RetryBatch {
+    ready_epoch: u64,
+    attempt: u32,
+    count: u64,
+}
+
+/// Runs the fleet flow model for `cfg` under `policy`.
+///
+/// `capacity_weights` is each node's share of the fleet's physical
+/// serving capacity (the AUV-profiled weights from
+/// [`crate::cluster::routing_weights`]); it is normalized internally and
+/// is independent of the routing policy — routing *shares* follow the
+/// policy, capacity follows the hardware.
+///
+/// Telemetry ([`Event::NodeFault`], [`Event::NodeHealthTransition`],
+/// [`Event::RequestRedispatch`], [`Event::LoadShed`],
+/// [`Event::FaultOutsideWindow`]) is emitted into `tracer` at epoch
+/// boundaries; pass [`Tracer::disabled`] to skip it.
+///
+/// # Panics
+///
+/// Panics if the cluster is empty, if `capacity_weights` disagrees with
+/// the server count, or if the fault plan is invalid for this fleet.
+#[must_use]
+pub fn run_fleet(
+    cfg: &ClusterConfig,
+    policy: RoutingPolicy,
+    capacity_weights: &[f64],
+    tracer: &Tracer,
+) -> FleetOutcome {
+    let n = cfg.servers.len();
+    assert!(n > 0, "fleet needs servers");
+    assert_eq!(capacity_weights.len(), n, "one capacity weight per server");
+    cfg.fault_plan
+        .validate_for(n)
+        .expect("invalid NodeFaultPlan");
+    let params = cfg.fleet.normalized();
+    let duration_secs = cfg.duration.as_secs_f64();
+    let epochs = (duration_secs / params.epoch_secs).ceil().max(1.0) as u64;
+    let at_of = |e: u64| SimTime::from_secs_f64(e as f64 * params.epoch_secs);
+    let epoch_at_or_after =
+        |secs: f64| -> u64 { (secs / params.epoch_secs).ceil().max(0.0) as u64 };
+
+    let cap_sum: f64 = capacity_weights.iter().sum();
+    let cap_share: Vec<f64> = capacity_weights.iter().map(|w| w / cap_sum).collect();
+    // Physical per-node capacity, requests per epoch.
+    let node_cap: Vec<f64> = cap_share
+        .iter()
+        .map(|share| params.capacity_margin * cfg.total_rate * params.epoch_secs * share)
+        .collect();
+    // The static split the non-failover policies hold for the whole run.
+    let base_weights: Vec<f64> = match policy {
+        RoutingPolicy::Uniform => vec![1.0; n],
+        RoutingPolicy::BandwidthProportional => cfg
+            .servers
+            .iter()
+            .map(|s| s.platform.mem_bw.value())
+            .collect(),
+        RoutingPolicy::AuvWeighted | RoutingPolicy::Failover => cap_share.clone(),
+    };
+
+    // Fault schedule: (epoch, seq, event index, apply?) sorted so edges at
+    // one boundary replay in plan order, apply edges before revert edges
+    // scheduled for the same instant by a later event.
+    let mut schedule: Vec<(u64, usize, usize, bool)> = Vec::new();
+    for (i, ev) in cfg.fault_plan.events.iter().enumerate() {
+        let at = epoch_at_or_after(ev.at_secs);
+        if at >= epochs {
+            tracer.emit(at_of(epochs.saturating_sub(1)), || {
+                Event::FaultOutsideWindow {
+                    kind: ev.fault.kind_label().to_string(),
+                    at_secs: ev.at_secs,
+                    duration_secs,
+                }
+            });
+            continue;
+        }
+        schedule.push((at, i, i, true));
+        if let Some(rec) = ev.recover_at_secs {
+            let rec_at = epoch_at_or_after(rec);
+            if rec_at < epochs {
+                schedule.push((rec_at, i, i, false));
+            }
+        }
+    }
+    schedule.sort_by_key(|&(e, seq, _, apply)| (e, seq, apply));
+    let mut schedule_iter = schedule.into_iter().peekable();
+
+    let mut nodes: Vec<NodeState> = (0..n).map(|_| NodeState::new()).collect();
+    let mut retry_queue: Vec<RetryBatch> = Vec::new();
+    let mut arrival_acc = 0.0f64;
+    let mut class_acc = [0.0f64; 3];
+
+    let mut offered = 0u64;
+    let mut dispatched = 0u64;
+    let mut completed = 0u64;
+    let mut on_time = 0u64;
+    let mut redispatched = 0u64;
+    let mut dropped = 0u64;
+    let mut shed = 0u64;
+    let mut shed_by_class = vec![0u64; CLASSES.len()];
+    let mut health_transitions = 0u64;
+
+    for e in 0..epochs {
+        let at = at_of(e);
+
+        // 1. Replay scripted fault edges landing on this boundary.
+        while let Some(&(edge_epoch, _, idx, apply)) = schedule_iter.peek() {
+            if edge_epoch != e {
+                break;
+            }
+            schedule_iter.next();
+            let ev = &cfg.fault_plan.events[idx];
+            let node = &mut nodes[ev.node];
+            match (ev.fault, apply) {
+                (NodeFault::Crash, a) => node.crashed = a,
+                (NodeFault::Straggler { factor }, true) => node.straggle = factor,
+                (NodeFault::Straggler { .. }, false) => node.straggle = 1.0,
+                (NodeFault::Partition, a) => node.partitioned = a,
+                (NodeFault::Drain, a) => node.draining = a,
+            }
+            tracer.emit(at, || Event::NodeFault {
+                node: ev.node,
+                kind: ev.fault.kind_label().to_string(),
+                detail: ev.fault.detail(),
+                active: apply,
+            });
+        }
+
+        // 2. Heartbeats and the health state machine.
+        for (i, node) in nodes.iter_mut().enumerate() {
+            if node.responsive() {
+                node.missed = 0;
+            } else {
+                node.missed = node.missed.saturating_add(1);
+            }
+            let (next, reason): (NodeHealth, String) = if node.draining {
+                (NodeHealth::Draining, "rolling-restart drain".to_string())
+            } else if !node.responsive() {
+                if node.missed >= params.down_after_misses {
+                    (
+                        NodeHealth::Down,
+                        format!("{} missed heartbeats", node.missed),
+                    )
+                } else if node.missed >= params.suspect_after_misses {
+                    (
+                        NodeHealth::Suspect,
+                        format!("{} missed heartbeat(s)", node.missed),
+                    )
+                } else {
+                    (node.health, String::new())
+                }
+            } else {
+                match node.health {
+                    NodeHealth::Down | NodeHealth::Draining => {
+                        (NodeHealth::Recovering, "heartbeat restored".to_string())
+                    }
+                    NodeHealth::Recovering => (NodeHealth::Healthy, "clean epoch".to_string()),
+                    NodeHealth::Suspect if node.last_violation <= params.violation_suspect => {
+                        (NodeHealth::Healthy, "signal cleared".to_string())
+                    }
+                    NodeHealth::Healthy if node.last_violation > params.violation_suspect => (
+                        NodeHealth::Suspect,
+                        format!("violation rate {:.2}", node.last_violation),
+                    ),
+                    current => (current, String::new()),
+                }
+            };
+            if next != node.health {
+                let from = node.health;
+                node.health = next;
+                health_transitions += 1;
+                tracer.emit(at, || Event::NodeHealthTransition {
+                    node: i,
+                    from,
+                    to: next,
+                    reason: reason.clone(),
+                });
+            }
+        }
+
+        // 3. Routing weights for this epoch: failover re-weights from
+        // health, every other policy keeps the t=0 split.
+        let weights: Vec<f64> = match policy {
+            RoutingPolicy::Failover => base_weights
+                .iter()
+                .zip(&nodes)
+                .map(|(w, s)| w * health_factor(s.health))
+                .collect(),
+            _ => base_weights.clone(),
+        };
+
+        // 4. Assemble the dispatch pool: fresh arrivals (exact integer
+        // accumulation of the offered rate, split into priority classes)
+        // plus retry batches whose backoff expired.
+        arrival_acc += cfg.total_rate * params.epoch_secs;
+        let arrivals = arrival_acc.floor() as u64;
+        arrival_acc -= arrivals as f64;
+        let mut fresh = [0u64; 3];
+        for (c, (_, share)) in CLASSES.iter().enumerate() {
+            class_acc[c] += arrivals as f64 * (*share as f64 / 100.0);
+            fresh[c] = class_acc[c].floor() as u64;
+            class_acc[c] -= fresh[c] as f64;
+        }
+        offered += fresh.iter().sum::<u64>();
+        let mut ready: Vec<RetryBatch> = Vec::new();
+        retry_queue.retain_mut(|b| {
+            if b.ready_epoch <= e {
+                ready.push(RetryBatch {
+                    ready_epoch: b.ready_epoch,
+                    attempt: b.attempt,
+                    count: b.count,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        let fresh_total: u64 = fresh.iter().sum();
+        let ready_total: u64 = ready.iter().map(|b| b.count).sum();
+        dispatched += fresh_total + ready_total;
+
+        // 5. Admission control: shed down to the live capacity the router
+        // believes it has, lowest class first. Retries are already
+        // admitted work and are never shed.
+        let live_cap: f64 = node_cap
+            .iter()
+            .zip(&weights)
+            .zip(&nodes)
+            .map(|((cap, w), s)| if *w > 0.0 { cap / s.straggle } else { 0.0 })
+            .sum();
+        let budget = (params.shed_headroom * live_cap).floor() as u64;
+        let pool_total = fresh_total + ready_total;
+        if pool_total > budget {
+            let mut excess = pool_total - budget;
+            for (c, count) in fresh.iter_mut().enumerate() {
+                if excess == 0 {
+                    break;
+                }
+                let cut = (*count).min(excess);
+                if cut > 0 {
+                    *count -= cut;
+                    excess -= cut;
+                    shed += cut;
+                    shed_by_class[c] += cut;
+                    tracer.emit(at, || Event::LoadShed {
+                        class: CLASSES[c].0.to_string(),
+                        count: cut,
+                        epoch: e,
+                    });
+                }
+            }
+            // Excess beyond all fresh arrivals stays in the pool: retries
+            // ride through admission unconditionally.
+        }
+        let admitted_fresh: u64 = fresh.iter().sum();
+
+        // 6. Dispatch: split every pool component across nodes by this
+        // epoch's weights (retries first — they are the oldest work).
+        let fresh_assigned = split_requests(admitted_fresh, &weights);
+        let ready_assigned: Vec<Vec<u64>> = ready
+            .iter()
+            .map(|b| split_requests(b.count, &weights))
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        // 7. Service and stranding, with exact flow accounting.
+        let strand = |node_idx: usize,
+                      attempt: u32,
+                      count: u64,
+                      redispatched: &mut u64,
+                      dropped: &mut u64,
+                      retry_queue: &mut Vec<RetryBatch>| {
+            if count == 0 {
+                return;
+            }
+            if attempt > params.max_retries {
+                *dropped += count;
+                return;
+            }
+            let backoff = params
+                .backoff_base_epochs
+                .saturating_mul(1u32 << (attempt - 1).min(16))
+                .min(params.backoff_cap_epochs)
+                .max(1);
+            *redispatched += count;
+            retry_queue.push(RetryBatch {
+                ready_epoch: e + 1 + u64::from(backoff),
+                attempt: attempt + 1,
+                count,
+            });
+            tracer.emit(at, || Event::RequestRedispatch {
+                node: node_idx,
+                count,
+                attempt: attempt + 1,
+                backoff_epochs: backoff,
+            });
+        };
+
+        if total_weight <= 0.0 {
+            // Nothing routable: the whole pool strands at the router.
+            strand(
+                0,
+                1,
+                admitted_fresh,
+                &mut redispatched,
+                &mut dropped,
+                &mut retry_queue,
+            );
+            for b in &ready {
+                strand(
+                    0,
+                    b.attempt,
+                    b.count,
+                    &mut redispatched,
+                    &mut dropped,
+                    &mut retry_queue,
+                );
+            }
+        } else {
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let fresh_i = fresh_assigned[i];
+                let retry_i: u64 = ready_assigned.iter().map(|v| v[i]).sum();
+                if node.serves() {
+                    let cap = (node_cap[i] / node.straggle).floor() as u64;
+                    let served = fresh_i + retry_i;
+                    // Retries complete but are late by construction (they
+                    // blew TTFT stranded on a dead node); fresh work
+                    // beyond the node's epoch capacity completes late too.
+                    let on_time_i = fresh_i.min(cap.saturating_sub(retry_i));
+                    completed += served;
+                    on_time += on_time_i;
+                    node.last_violation = if served == 0 {
+                        0.0
+                    } else {
+                        (served - on_time_i) as f64 / served as f64
+                    };
+                } else {
+                    // Stranded: re-queue with backoff or drop when the
+                    // retry budget is spent.
+                    strand(
+                        i,
+                        1,
+                        fresh_i,
+                        &mut redispatched,
+                        &mut dropped,
+                        &mut retry_queue,
+                    );
+                    for (b, assigned) in ready.iter().zip(&ready_assigned) {
+                        strand(
+                            i,
+                            b.attempt,
+                            assigned[i],
+                            &mut redispatched,
+                            &mut dropped,
+                            &mut retry_queue,
+                        );
+                    }
+                    node.last_violation = 0.0;
+                }
+            }
+        }
+
+        // Coalesce retry batches sharing (ready, attempt) so the queue
+        // stays bounded regardless of run length.
+        retry_queue.sort_by_key(|b| (b.ready_epoch, b.attempt));
+        retry_queue.dedup_by(|b, a| {
+            if a.ready_epoch == b.ready_epoch && a.attempt == b.attempt {
+                a.count += b.count;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    let pending: u64 = retry_queue.iter().map(|b| b.count).sum();
+    let attainment = if offered == 0 {
+        1.0
+    } else {
+        on_time as f64 / offered as f64
+    };
+    // Cost: amortized CapEx plus energy over the whole provisioned fleet
+    // for the whole run (a crashed node still costs money).
+    let anchor = CpuAnchor::gen_a_paper();
+    let node_usd_per_sec =
+        anchor.cost_usd / AMORTIZATION_SECS + anchor.power_w / 1000.0 * USD_PER_KWH / 3600.0;
+    let fleet_cost = node_usd_per_sec * n as f64 * duration_secs;
+    let tokens = completed as f64 * cfg.scenario.mean_output() as f64;
+    let usd_per_mtok = fleet_cost / (tokens.max(1.0) / 1e6);
+
+    FleetOutcome {
+        policy: policy.to_string(),
+        epochs,
+        offered,
+        dispatched,
+        completed,
+        on_time,
+        redispatched,
+        dropped,
+        shed,
+        shed_by_class,
+        pending,
+        health_transitions,
+        attainment,
+        usd_per_mtok,
+    }
+}
+
+/// CapEx amortization horizon: 3 years of seconds.
+const AMORTIZATION_SECS: f64 = 3.0 * 365.0 * 24.0 * 3600.0;
+/// Electricity price, USD per kWh.
+const USD_PER_KWH: f64 = 0.10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aum_llm::traces::Scenario;
+    use aum_sim::telemetry::{MemorySink, TraceRecord};
+
+    fn fleet_cfg(plan: NodeFaultPlan) -> ClusterConfig {
+        let mut cfg = ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
+        cfg.duration = aum_sim::time::SimDuration::from_secs(120);
+        cfg.total_rate = 30.0;
+        cfg.fault_plan = plan;
+        cfg
+    }
+
+    fn even_weights(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    fn crash_plan() -> NodeFaultPlan {
+        NodeFaultPlan::single(NodeFaultEvent::permanent(0, 20.0, NodeFault::Crash))
+    }
+
+    fn captured(
+        cfg: &ClusterConfig,
+        policy: RoutingPolicy,
+        weights: &[f64],
+    ) -> (FleetOutcome, Vec<TraceRecord>) {
+        let (tracer, sink) = Tracer::shared(MemorySink::new());
+        let out = run_fleet(cfg, policy, weights, &tracer);
+        let records = sink.lock().expect("sink lock").records().to_vec();
+        (out, records)
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let bad_factor = NodeFaultPlan::single(NodeFaultEvent::permanent(
+            0,
+            1.0,
+            NodeFault::Straggler { factor: 1.0 },
+        ));
+        assert!(bad_factor.validate().is_err());
+        let negative = NodeFaultPlan::single(NodeFaultEvent::permanent(0, -1.0, NodeFault::Crash));
+        assert!(negative.validate().is_err());
+        let inverted =
+            NodeFaultPlan::single(NodeFaultEvent::windowed(0, 10.0, 5.0, NodeFault::Partition));
+        assert!(inverted.validate().is_err());
+        let out_of_range =
+            NodeFaultPlan::single(NodeFaultEvent::permanent(7, 1.0, NodeFault::Crash));
+        assert!(out_of_range.validate().is_ok());
+        assert!(out_of_range.validate_for(3).is_err());
+    }
+
+    #[test]
+    fn healthy_fleet_attains_everything_and_conserves() {
+        let cfg = fleet_cfg(NodeFaultPlan::none());
+        for policy in [
+            RoutingPolicy::Uniform,
+            RoutingPolicy::AuvWeighted,
+            RoutingPolicy::Failover,
+        ] {
+            let out = run_fleet(&cfg, policy, &even_weights(3), &Tracer::disabled());
+            assert!(out.conservation_ok(), "{policy}: {out:?}");
+            assert_eq!(out.dropped, 0, "{policy}");
+            assert_eq!(out.shed, 0, "{policy}");
+            assert!(out.attainment > 0.999, "{policy}: {}", out.attainment);
+        }
+    }
+
+    #[test]
+    fn conservation_is_exact_under_every_fault_kind() {
+        let plans = [
+            crash_plan(),
+            NodeFaultPlan::single(NodeFaultEvent::windowed(
+                1,
+                20.0,
+                70.0,
+                NodeFault::Partition,
+            )),
+            NodeFaultPlan::single(NodeFaultEvent::windowed(
+                2,
+                20.0,
+                70.0,
+                NodeFault::Straggler { factor: 3.0 },
+            )),
+            NodeFaultPlan::new(vec![
+                NodeFaultEvent::windowed(0, 20.0, 40.0, NodeFault::Drain),
+                NodeFaultEvent::windowed(1, 40.0, 60.0, NodeFault::Drain),
+                NodeFaultEvent::windowed(2, 60.0, 80.0, NodeFault::Drain),
+            ]),
+        ];
+        for plan in plans {
+            for policy in [RoutingPolicy::AuvWeighted, RoutingPolicy::Failover] {
+                let cfg = fleet_cfg(plan.clone());
+                let out = run_fleet(&cfg, policy, &even_weights(3), &Tracer::disabled());
+                assert!(
+                    out.conservation_ok(),
+                    "{policy}: dispatched {} != completed {} + redispatched {} + shed {} + dropped {}",
+                    out.dispatched,
+                    out.completed,
+                    out.redispatched,
+                    out.shed,
+                    out.dropped
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failover_beats_static_routing_under_a_crash() {
+        let cfg = fleet_cfg(crash_plan());
+        let failover = run_fleet(
+            &cfg,
+            RoutingPolicy::Failover,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        let stat = run_fleet(
+            &cfg,
+            RoutingPolicy::AuvWeighted,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        assert!(
+            failover.attainment >= 0.8,
+            "failover must retain >= 80%: {}",
+            failover.attainment
+        );
+        assert!(
+            stat.attainment < failover.attainment,
+            "static {} must be strictly worse than failover {}",
+            stat.attainment,
+            failover.attainment
+        );
+        // The static router keeps feeding the dead node, so it drops
+        // requests once retry budgets run out; failover stops after the
+        // detection lag and drops nothing.
+        assert!(stat.dropped > 0);
+        assert_eq!(failover.dropped, 0);
+    }
+
+    #[test]
+    fn crash_walks_the_health_machine_and_emits_redispatches() {
+        let cfg = fleet_cfg(NodeFaultPlan::single(NodeFaultEvent::windowed(
+            0,
+            20.0,
+            60.0,
+            NodeFault::Crash,
+        )));
+        let (out, records) = captured(&cfg, RoutingPolicy::Failover, &even_weights(3));
+        assert!(out.conservation_ok());
+        let transitions: Vec<(NodeHealth, NodeHealth)> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::NodeHealthTransition {
+                    node: 0, from, to, ..
+                } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (NodeHealth::Healthy, NodeHealth::Suspect),
+                (NodeHealth::Suspect, NodeHealth::Down),
+                (NodeHealth::Down, NodeHealth::Recovering),
+                (NodeHealth::Recovering, NodeHealth::Healthy),
+            ],
+            "crash/restart must walk the full machine"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r.event, Event::RequestRedispatch { node: 0, .. })),
+            "detection-lag strands must be re-dispatched"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(&r.event, Event::NodeFault { node: 0, active, .. } if !active)),
+            "recovery edge must be traced"
+        );
+    }
+
+    #[test]
+    fn cooperative_drain_strands_nothing_under_failover() {
+        let cfg = fleet_cfg(NodeFaultPlan::single(NodeFaultEvent::windowed(
+            1,
+            20.0,
+            50.0,
+            NodeFault::Drain,
+        )));
+        let failover = run_fleet(
+            &cfg,
+            RoutingPolicy::Failover,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        assert_eq!(
+            failover.redispatched, 0,
+            "the router is told about drains before traffic strands"
+        );
+        let stat = run_fleet(
+            &cfg,
+            RoutingPolicy::AuvWeighted,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        assert!(
+            stat.redispatched > 0,
+            "a static router keeps routing into the draining node"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_best_effort_first() {
+        let mut cfg = fleet_cfg(NodeFaultPlan::none());
+        // Offered load 1.6x the provisioned capacity margin: the admission
+        // controller must shed, and must exhaust best-effort before
+        // touching the standard class.
+        cfg.total_rate = 30.0 * 1.6;
+        cfg.fleet.capacity_margin = 1.3 / 1.6;
+        let (out, records) = captured(&cfg, RoutingPolicy::Failover, &even_weights(3));
+        assert!(out.conservation_ok());
+        assert!(out.shed > 0, "overload must shed");
+        assert!(
+            out.shed_by_class[0] >= out.shed_by_class[1],
+            "best-effort sheds first: {:?}",
+            out.shed_by_class
+        );
+        assert_eq!(
+            out.shed_by_class[2], 0,
+            "interactive is shed last and should survive this overload: {:?}",
+            out.shed_by_class
+        );
+        assert!(records
+            .iter()
+            .any(|r| matches!(&r.event, Event::LoadShed { class, .. } if class == "best-effort")));
+    }
+
+    #[test]
+    fn straggler_raises_violations_and_failover_reacts() {
+        let cfg = fleet_cfg(NodeFaultPlan::single(NodeFaultEvent::windowed(
+            2,
+            20.0,
+            80.0,
+            NodeFault::Straggler { factor: 4.0 },
+        )));
+        let (_, records) = captured(&cfg, RoutingPolicy::Failover, &even_weights(3));
+        assert!(
+            records.iter().any(|r| matches!(
+                &r.event,
+                Event::NodeHealthTransition {
+                    node: 2,
+                    to: NodeHealth::Suspect,
+                    ..
+                }
+            )),
+            "sustained slowdown must surface through the violation signal"
+        );
+        let failover = run_fleet(
+            &cfg,
+            RoutingPolicy::Failover,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        let stat = run_fleet(
+            &cfg,
+            RoutingPolicy::AuvWeighted,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        assert!(
+            failover.attainment > stat.attainment,
+            "down-weighting the straggler must pay: {} vs {}",
+            failover.attainment,
+            stat.attainment
+        );
+    }
+
+    #[test]
+    fn events_past_the_run_window_warn_instead_of_firing() {
+        let cfg = fleet_cfg(NodeFaultPlan::single(NodeFaultEvent::permanent(
+            0,
+            10_000.0,
+            NodeFault::Crash,
+        )));
+        let (out, records) = captured(&cfg, RoutingPolicy::Failover, &even_weights(3));
+        assert!(out.attainment > 0.999, "the fault never fires");
+        assert!(records.iter().any(
+            |r| matches!(&r.event, Event::FaultOutsideWindow { kind, .. } if kind == "Crash")
+        ));
+    }
+
+    #[test]
+    fn split_requests_conserves_and_is_deterministic() {
+        for count in [0u64, 1, 7, 100, 1001] {
+            for weights in [vec![0.2, 0.3, 0.5], vec![1.0, 0.0, 0.0], vec![0.5, 0.5]] {
+                let split = split_requests(count, &weights);
+                assert_eq!(split.iter().sum::<u64>(), count, "{count} {weights:?}");
+                assert_eq!(split, split_requests(count, &weights));
+            }
+        }
+        assert_eq!(split_requests(10, &[0.0, 0.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn plan_serde_round_trips_and_accepts_null() {
+        let plan = NodeFaultPlan::new(vec![
+            NodeFaultEvent::windowed(0, 20.0, 60.0, NodeFault::Crash),
+            NodeFaultEvent::permanent(1, 30.0, NodeFault::Straggler { factor: 2.5 }),
+            NodeFaultEvent::windowed(2, 40.0, 50.0, NodeFault::Partition),
+            NodeFaultEvent::permanent(0, 90.0, NodeFault::Drain),
+        ]);
+        let json = serde_json::to_string(&plan).expect("encode");
+        let back: NodeFaultPlan = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, plan);
+        let empty: NodeFaultPlan = serde_json::from_str("null").expect("null decodes");
+        assert!(empty.is_empty());
+        assert_eq!(serde_json::to_string(&empty).expect("encode"), "null");
+    }
+}

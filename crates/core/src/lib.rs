@@ -28,7 +28,11 @@
 //!   implements;
 //! - [`calib`]: AU cache-affinity calibration (Fig 13);
 //! - [`cluster`]: the §VIII scale-out extension — AUV-aware load balancing
-//!   across heterogeneous AU-enabled servers.
+//!   across heterogeneous AU-enabled servers;
+//! - [`fleet`]: the fleet resilience plane — node-scoped fault injection
+//!   ([`fleet::NodeFaultPlan`]), an epoch-based router with health-checked
+//!   failover, capped retry/backoff re-dispatch, and graceful load
+//!   shedding.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +70,7 @@ pub mod controller;
 pub mod error;
 pub mod experiment;
 pub mod fault;
+pub mod fleet;
 pub mod manager;
 pub mod prices;
 pub mod profiler;
@@ -75,6 +80,7 @@ pub use controller::AumController;
 pub use error::AumError;
 pub use experiment::{run_experiment, try_run_experiment, ExperimentConfig, Outcome};
 pub use fault::{Fault, FaultEvent, FaultPlan};
+pub use fleet::{run_fleet, FleetOutcome, FleetParams, NodeFault, NodeFaultEvent, NodeFaultPlan};
 pub use manager::{Decision, ResourceManager, StaticManager, SystemState};
 pub use prices::{e_cpu, Prices};
 pub use profiler::{build_model, AuvModel, Bucket, ProfilerConfig};

@@ -42,7 +42,7 @@ use std::path::{Path, PathBuf};
 
 use crate::attrib;
 use crate::span::SpanKind;
-use crate::telemetry::{Event, NullSink, ResilienceMode, TraceRecord, TraceSink};
+use crate::telemetry::{Event, NodeHealth, NullSink, ResilienceMode, TraceRecord, TraceSink};
 use crate::time::{SimDuration, SimTime};
 
 /// A [`TraceSink`] that retains only the newest `capacity` records.
@@ -131,6 +131,9 @@ pub enum TriggerKind {
     AttribNearMiss,
     /// The run-health watchdog reported a stalled cell.
     WatchdogStall,
+    /// The fleet router declared a node Down
+    /// ([`Event::NodeHealthTransition`] into [`NodeHealth::Down`]).
+    NodeDown,
 }
 
 impl TriggerKind {
@@ -143,6 +146,7 @@ impl TriggerKind {
             TriggerKind::Fault => "fault",
             TriggerKind::AttribNearMiss => "attrib-near-miss",
             TriggerKind::WatchdogStall => "watchdog-stall",
+            TriggerKind::NodeDown => "node-down",
         }
     }
 }
@@ -426,6 +430,10 @@ impl<S: TraceSink> FlightRecorder<S> {
                 ..
             } => Some(TriggerKind::SafeMode),
             Event::FaultInjected { .. } => Some(TriggerKind::Fault),
+            Event::NodeHealthTransition {
+                to: NodeHealth::Down,
+                ..
+            } => Some(TriggerKind::NodeDown),
             Event::WatchdogStall { .. } => Some(TriggerKind::WatchdogStall),
             Event::AttributionSample { dt_secs, time, .. } if *dt_secs > 0.0 => {
                 let rel = (time.sum() - dt_secs).abs() / dt_secs;
@@ -678,6 +686,49 @@ mod tests {
         assert!(!parsed
             .iter()
             .any(|r| r.at.as_secs_f64() < 20.0 && !matches!(r.event, Event::SloTargets { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn node_down_transition_triggers_a_dump_and_other_transitions_do_not() {
+        let dir = temp_dir("node-down");
+        let mut fr = FlightRecorder::new(FlightConfig::new(&dir));
+        for i in 0..20u64 {
+            fr.record(&rec(i as f64, finished(i, 0.2)));
+        }
+        // Healthy→Suspect is advisory: no dump.
+        fr.record(&rec(
+            20.0,
+            Event::NodeHealthTransition {
+                node: 1,
+                from: NodeHealth::Healthy,
+                to: NodeHealth::Suspect,
+                reason: "1 missed heartbeat".to_string(),
+            },
+        ));
+        assert_eq!(fr.incidents().len(), 0);
+        fr.record(&rec(
+            22.0,
+            Event::NodeHealthTransition {
+                node: 1,
+                from: NodeHealth::Suspect,
+                to: NodeHealth::Down,
+                reason: "3 missed heartbeats".to_string(),
+            },
+        ));
+        assert_eq!(fr.incidents().len(), 1);
+        let inc = &fr.incidents()[0];
+        assert_eq!(inc.trigger, TriggerKind::NodeDown);
+        assert!(inc.path.ends_with("incident-0001-node-down.jsonl"));
+        let text = std::fs::read_to_string(&inc.path).expect("read dump");
+        let parsed = parse_jsonl(&text).expect("dump parses");
+        assert!(parsed.iter().any(|r| matches!(
+            r.event,
+            Event::NodeHealthTransition {
+                to: NodeHealth::Down,
+                ..
+            }
+        )));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -92,6 +92,25 @@ pub enum ResilienceMode {
     Recovering,
 }
 
+/// A fleet node's health as the router sees it (epoch state machine).
+///
+/// Driven by heartbeat and violation-rate signals in `aum::fleet`; lives
+/// here so [`Event::NodeHealthTransition`] can carry typed states without
+/// a cross-crate dependency (mirroring [`ResilienceMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// Heartbeats fresh, violation rate nominal: full routing share.
+    Healthy,
+    /// Missed heartbeats or elevated violations: share held, under watch.
+    Suspect,
+    /// Declared dead: receives no traffic; stranded requests re-dispatch.
+    Down,
+    /// Rolling-restart drain: finishes what it has, accepts nothing new.
+    Draining,
+    /// Back from Down/Draining: ramping toward a full share.
+    Recovering,
+}
+
 /// What kind of action a controller decision took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DecisionKind {
@@ -307,6 +326,51 @@ pub enum Event {
         /// Per-token (TPOT/TBT) deadline, seconds.
         tpot_secs: f64,
     },
+    /// The fleet fault plane activated (or recovered) a node-scoped fault.
+    NodeFault {
+        /// Index of the affected node in fleet order.
+        node: usize,
+        /// Stable fault-kind label, e.g. `"Crash"` or `"Straggler"`.
+        kind: String,
+        /// Human-readable parameters, e.g. `"capacity /3.0"`.
+        detail: String,
+        /// `true` on activation, `false` on the recovery edge.
+        active: bool,
+    },
+    /// The router's per-node health state machine changed state.
+    NodeHealthTransition {
+        /// Index of the node in fleet order.
+        node: usize,
+        /// State before.
+        from: NodeHealth,
+        /// State after.
+        to: NodeHealth,
+        /// What drove the transition, e.g. `"3 missed heartbeats"`.
+        reason: String,
+    },
+    /// Requests stranded on a dead/unreachable node were queued for
+    /// re-dispatch with exponential backoff (one aggregate record per node
+    /// per epoch).
+    RequestRedispatch {
+        /// Node the requests were stranded on.
+        node: usize,
+        /// How many requests re-entered the dispatch pool.
+        count: u64,
+        /// Delivery attempt these requests are now on (first retry = 2).
+        attempt: u32,
+        /// Epochs the batch backs off before re-dispatch.
+        backoff_epochs: u32,
+    },
+    /// The admission controller shed load under aggregate overload (one
+    /// record per priority class per epoch where shedding occurred).
+    LoadShed {
+        /// Priority class shed, e.g. `"best-effort"`.
+        class: String,
+        /// Requests shed from that class this epoch.
+        count: u64,
+        /// Router epoch index the shed happened in.
+        epoch: u64,
+    },
     /// The run-health watchdog saw a cell make no serving progress for
     /// `intervals` consecutive control intervals while work was queued — a
     /// stall that would otherwise only surface as a hung sweep. Emitted
@@ -345,6 +409,10 @@ impl Event {
             Event::SpanOpen { .. } => "SpanOpen",
             Event::SpanClose { .. } => "SpanClose",
             Event::SloTargets { .. } => "SloTargets",
+            Event::NodeFault { .. } => "NodeFault",
+            Event::NodeHealthTransition { .. } => "NodeHealthTransition",
+            Event::RequestRedispatch { .. } => "RequestRedispatch",
+            Event::LoadShed { .. } => "LoadShed",
             Event::WatchdogStall { .. } => "WatchdogStall",
         }
     }
@@ -1028,6 +1096,29 @@ mod tests {
             Event::SloTargets {
                 ttft_secs: 3.0,
                 tpot_secs: 0.12,
+            },
+            Event::NodeFault {
+                node: 2,
+                kind: "Straggler".to_string(),
+                detail: "capacity /3.0".to_string(),
+                active: true,
+            },
+            Event::NodeHealthTransition {
+                node: 1,
+                from: NodeHealth::Suspect,
+                to: NodeHealth::Down,
+                reason: "3 missed heartbeats".to_string(),
+            },
+            Event::RequestRedispatch {
+                node: 1,
+                count: 42,
+                attempt: 2,
+                backoff_epochs: 4,
+            },
+            Event::LoadShed {
+                class: "best-effort".to_string(),
+                count: 17,
+                epoch: 12,
             },
             Event::WatchdogStall {
                 intervals: 16,

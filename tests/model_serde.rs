@@ -3,8 +3,10 @@
 //! (profile once on a dedicated node, ship to thousands of servers,
 //! §VII-D).
 
+use aum::cluster::{ClusterConfig, RoutingPolicy};
 use aum::experiment::ExperimentConfig;
 use aum::fault::{Fault, FaultEvent, FaultPlan};
+use aum::fleet::{FleetParams, NodeFault, NodeFaultEvent, NodeFaultPlan};
 use aum::profiler::{build_model, AuvModel, ProfilerConfig};
 use aum_llm::traces::Scenario;
 use aum_platform::spec::PlatformSpec;
@@ -141,6 +143,112 @@ fn malformed_fault_plans_are_rejected() {
             "must reject: {bad}"
         );
     }
+}
+
+#[test]
+fn node_fault_plan_round_trips_every_kind() {
+    let plan = NodeFaultPlan::new(vec![
+        NodeFaultEvent::windowed(0, 20.0, 60.0, NodeFault::Crash),
+        NodeFaultEvent::permanent(1, 30.0, NodeFault::Straggler { factor: 2.5 }),
+        NodeFaultEvent::windowed(2, 40.0, 50.0, NodeFault::Partition),
+        NodeFaultEvent::permanent(0, 90.0, NodeFault::Drain),
+    ]);
+    let json = serde_json::to_string(&plan).expect("encode");
+    let back: NodeFaultPlan = serde_json::from_str(&json).expect("decode");
+    assert_eq!(back, plan);
+    // The healthy plan renders as null and decodes back from it.
+    let empty: NodeFaultPlan = serde_json::from_str("null").expect("null decodes");
+    assert!(empty.is_empty());
+    assert_eq!(serde_json::to_string(&empty).expect("encode"), "null");
+}
+
+#[test]
+fn malformed_node_fault_plans_are_rejected() {
+    for bad in [
+        // Negative injection time.
+        r#"{"events":[{"node":0,"at_secs":-1.0,"fault":"Crash"}]}"#,
+        // Straggler factor must exceed 1.
+        r#"{"events":[{"node":0,"at_secs":10.0,"fault":{"Straggler":{"factor":1.0}}}]}"#,
+        // Recovery before injection.
+        r#"{"events":[{"node":0,"at_secs":10.0,"recover_at_secs":5.0,"fault":"Partition"}]}"#,
+        // Unknown fault kind.
+        r#"{"events":[{"node":0,"at_secs":10.0,"fault":{"MeteorStrike":{}}}]}"#,
+    ] {
+        assert!(
+            serde_json::from_str::<NodeFaultPlan>(bad).is_err(),
+            "must reject: {bad}"
+        );
+    }
+}
+
+#[test]
+fn routing_policy_round_trips_every_variant() {
+    for policy in [
+        RoutingPolicy::Uniform,
+        RoutingPolicy::BandwidthProportional,
+        RoutingPolicy::AuvWeighted,
+        RoutingPolicy::Failover,
+    ] {
+        let json = serde_json::to_string(&policy).expect("encode");
+        let back: RoutingPolicy = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, policy, "{json}");
+    }
+}
+
+#[test]
+fn cluster_config_with_fleet_fields_round_trips() {
+    let mut cfg = ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
+    cfg.fault_plan =
+        NodeFaultPlan::single(NodeFaultEvent::windowed(1, 20.0, 80.0, NodeFault::Crash));
+    cfg.fleet = FleetParams {
+        epoch_secs: 2.0,
+        max_retries: 5,
+        ..FleetParams::default()
+    };
+    let json = serde_json::to_string(&cfg).expect("encode");
+    let back: ClusterConfig = serde_json::from_str(&json).expect("decode");
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn legacy_cluster_configs_without_fleet_fields_still_parse() {
+    // Pre-fleet cluster JSON carried no `fault_plan`/`fleet` keys at all.
+    // Build that legacy shape by stripping the exact serialized substrings
+    // of the defaults from a current config's JSON.
+    let cfg = ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
+    let json = serde_json::to_string(&cfg).expect("encode");
+    let plan_key = format!(
+        ",\"fault_plan\":{}",
+        serde_json::to_string(&cfg.fault_plan).expect("encode plan")
+    );
+    let fleet_key = format!(
+        ",\"fleet\":{}",
+        serde_json::to_string(&cfg.fleet).expect("encode fleet")
+    );
+    let legacy = json.replace(&plan_key, "").replace(&fleet_key, "");
+    assert_ne!(legacy, json, "both fleet fields must have been stripped");
+    assert!(!legacy.contains("fault_plan") && !legacy.contains("\"fleet\""));
+    let back: ClusterConfig = serde_json::from_str(&legacy).expect("legacy cluster decode");
+    assert!(back.fault_plan.is_empty(), "missing plan means healthy");
+    assert_eq!(back, cfg, "defaults must reconstruct the modern config");
+}
+
+#[test]
+fn partial_fleet_params_fall_back_to_documented_defaults() {
+    // A hand-edited config naming only some fields: the untouched ones
+    // decode as zero and normalize to the documented defaults at run time.
+    let partial: FleetParams =
+        serde_json::from_str(r#"{"epoch_secs":2.0,"max_retries":7}"#).expect("partial decode");
+    assert_eq!(partial.epoch_secs, 2.0);
+    assert_eq!(partial.max_retries, 7);
+    let norm = partial.normalized();
+    assert_eq!(norm.epoch_secs, 2.0);
+    assert_eq!(norm.max_retries, 7);
+    assert_eq!(
+        norm.down_after_misses,
+        FleetParams::default().down_after_misses
+    );
+    assert_eq!(norm.shed_headroom, FleetParams::default().shed_headroom);
 }
 
 #[test]
