@@ -7,11 +7,14 @@
 //! the per-command validity checks pick it up.
 //!
 //! Observability plane (all optional, all off by default):
+//!
+//! ```text
 //!   --flight <dir>        anomaly-triggered flight recorder; incident
 //!                         dumps are JSONL consumable by `trace-summary`
 //!                         and `trace-export --perfetto`
 //!   --serve-metrics <a>   live Prometheus endpoint with run-health gauges
 //!   --watchdog <secs>     stall detector (exit 3 instead of hanging)
+//! ```
 //!
 //! Exit codes:
 //!   0  success

@@ -25,10 +25,10 @@
 use std::fmt::Write as _;
 
 use aum::cluster::{routing_weights, ClusterConfig, RoutingPolicy};
-use aum::fleet::{run_fleet, FleetOutcome, NodeFault, NodeFaultEvent, NodeFaultPlan};
+use aum::fleet::{run_fleet_traced, FleetOutcome, NodeFault, NodeFaultEvent, NodeFaultPlan};
 use aum::profiler::AuvModel;
 use aum_llm::traces::Scenario;
-use aum_sim::telemetry::Tracer;
+use aum_sim::telemetry::{MetricsSnapshot, Tracer};
 use aum_sim::time::SimDuration;
 use aum_workloads::be::BeKind;
 
@@ -143,6 +143,7 @@ fn run_scheme(
     plan: &NodeFaultPlan,
     weights: &[f64],
     tracer: &Tracer,
+    scenario: &str,
 ) -> FleetOutcome {
     let mut cfg = base.clone();
     cfg.fault_plan = plan.clone();
@@ -150,7 +151,82 @@ fn run_scheme(
         FleetScheme::Failover => tracer.clone(),
         FleetScheme::Static => Tracer::disabled(),
     };
-    run_fleet(&cfg, scheme.policy(), weights, &tracer)
+    // Every traced cell gets its own span track (`fleet/<policy>/<fault>`)
+    // — span ids are only unique per track, and all cells merge into one
+    // harness trace.
+    let track = format!("fleet/{}/{scenario}", scheme.policy());
+    run_fleet_traced(&cfg, scheme.policy(), weights, &tracer, &track)
+}
+
+/// Publishes one completed FAILOVER cell to the live `/metrics` endpoint
+/// (when installed): fleet-level aggregate series plus the per-node
+/// registry snapshots under a `node` label. Wall-clock observability
+/// only — the text never feeds back into the matrix.
+fn publish_live_fleet(scenario: &str, outcome: &FleetOutcome) {
+    let Some(live) = aum_sim::live::installed() else {
+        return;
+    };
+    let mut text = String::new();
+    let esc = aum_sim::prom::escape_label_value(scenario);
+    let counters: [(&str, &str, u64); 7] = [
+        (
+            "aum_fleet_offered_requests",
+            "New requests offered to the fleet.",
+            outcome.offered,
+        ),
+        (
+            "aum_fleet_dispatched_requests",
+            "Requests entering dispatch, counting retries.",
+            outcome.dispatched,
+        ),
+        (
+            "aum_fleet_completed_requests",
+            "Requests completed by a live node.",
+            outcome.completed,
+        ),
+        (
+            "aum_fleet_on_time_requests",
+            "Requests served in capacity on first dispatch.",
+            outcome.on_time,
+        ),
+        (
+            "aum_fleet_redispatched_requests",
+            "Stranded requests re-queued with backoff.",
+            outcome.redispatched,
+        ),
+        (
+            "aum_fleet_dropped_requests",
+            "Stranded requests whose retry budget ran out.",
+            outcome.dropped,
+        ),
+        (
+            "aum_fleet_shed_requests",
+            "Requests shed by the admission controller.",
+            outcome.shed,
+        ),
+    ];
+    for (name, help, v) in counters {
+        let _ = writeln!(text, "# HELP {name} {help}");
+        let _ = writeln!(text, "# TYPE {name} counter");
+        let _ = writeln!(text, "{name}{{scenario=\"{esc}\"}} {v}");
+    }
+    let _ = writeln!(
+        text,
+        "# HELP aum_fleet_attainment SLO attainment, on-time / offered."
+    );
+    let _ = writeln!(text, "# TYPE aum_fleet_attainment gauge");
+    let _ = writeln!(
+        text,
+        "aum_fleet_attainment{{scenario=\"{esc}\"}} {}",
+        outcome.attainment
+    );
+    let series: Vec<(String, &MetricsSnapshot)> = outcome
+        .node_metrics
+        .iter()
+        .map(|m| (m.label.clone(), &m.snapshot))
+        .collect();
+    text.push_str(&aum_sim::prom::render_node_registries(&series));
+    live.publish_exposition(text);
 }
 
 /// Runs the node-fault matrix and renders the retention report.
@@ -169,6 +245,10 @@ pub fn run_with(quick: bool, cache: &ModelCache) -> FleetChaosRun {
     } else {
         (300u64, 60.0, 200.0)
     };
+    // Name the study phase on the live endpoint for the whole matrix
+    // (restored on exit so the CLI's command-level phase survives).
+    let live = aum_sim::live::installed();
+    let prev_phase = live.as_ref().map(|l| l.set_phase("fleet"));
     let mut base = ClusterConfig::heterogeneous_demo(Scenario::Chatbot);
     base.duration = SimDuration::from_secs(duration);
     base.seed = FLEET_SEED;
@@ -207,7 +287,16 @@ pub fn run_with(quick: bool, cache: &ModelCache) -> FleetChaosRun {
     let healthy: Vec<(FleetScheme, FleetOutcome)> = aum_sim::exec::sweep_traced(
         &harness_tracer(),
         FleetScheme::ALL.to_vec(),
-        |_, s, tracer| run_scheme(s, &base, &NodeFaultPlan::none(), &capacity, &tracer),
+        |_, s, tracer| {
+            run_scheme(
+                s,
+                &base,
+                &NodeFaultPlan::none(),
+                &capacity,
+                &tracer,
+                "healthy",
+            )
+        },
     )
     .into_iter()
     .zip(FleetScheme::ALL)
@@ -252,7 +341,9 @@ pub fn run_with(quick: bool, cache: &ModelCache) -> FleetChaosRun {
         retention: Option<f64>,
         degenerate: &mut bool,
     ) {
-        let conserve = if o.conservation_ok() {
+        // Both identities must hold: fleet-level flow conservation and
+        // the per-node rollup partitioning those totals exactly.
+        let conserve = if o.conservation_ok() && o.node_conservation_ok() {
             "exact"
         } else {
             *degenerate = true;
@@ -289,7 +380,14 @@ pub fn run_with(quick: bool, cache: &ModelCache) -> FleetChaosRun {
         .collect();
     let matrix: Vec<FleetOutcome> =
         aum_sim::exec::sweep_traced(&harness_tracer(), matrix_cells, |_, (i, scheme), tracer| {
-            run_scheme(scheme, &base, &scenarios[i].plan, &capacity, &tracer)
+            run_scheme(
+                scheme,
+                &base,
+                &scenarios[i].plan,
+                &capacity,
+                &tracer,
+                scenarios[i].name,
+            )
         });
     let mut matrix_iter = matrix.into_iter();
 
@@ -300,6 +398,9 @@ pub fn run_with(quick: bool, cache: &ModelCache) -> FleetChaosRun {
             let retention = faulted.attainment / base_out.attainment.max(1e-9);
             if !retention.is_finite() {
                 degenerate = true;
+            }
+            if *scheme == FleetScheme::Failover {
+                publish_live_fleet(sc.name, &faulted);
             }
             row(
                 &mut out,
@@ -345,6 +446,9 @@ pub fn run_with(quick: bool, cache: &ModelCache) -> FleetChaosRun {
             "\nDEGENERATE: conservation, finiteness, or the node-crash acceptance \
              criterion failed \u{2014} failing the run\n",
         );
+    }
+    if let (Some(live), Some(prev)) = (live.as_ref(), prev_phase) {
+        live.set_phase(&prev);
     }
     FleetChaosRun {
         text: out,

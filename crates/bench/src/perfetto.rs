@@ -299,6 +299,89 @@ mod tests {
     }
 
     #[test]
+    fn fleet_traces_export_per_node_tracks() {
+        fn pair(
+            kind: SpanKind,
+            payload: u64,
+            track: &str,
+            label: &str,
+            t0: f64,
+            t1: f64,
+        ) -> [TraceRecord; 2] {
+            let id = SpanId::derive(kind, payload);
+            [
+                rec(
+                    t0,
+                    Event::SpanOpen {
+                        id: id.0,
+                        parent: None,
+                        kind,
+                        track: track.to_string(),
+                        label: label.to_string(),
+                    },
+                ),
+                rec(
+                    t1,
+                    Event::SpanClose {
+                        id: id.0,
+                        kind,
+                        track: track.to_string(),
+                    },
+                ),
+            ]
+        }
+        // The shape `run_fleet` emits: epochs on the fleet track, health
+        // episodes and hops on per-node tracks.
+        let mut records = Vec::new();
+        records.extend(pair(
+            SpanKind::FleetEpoch,
+            0,
+            "fleet/failover",
+            "epoch 0",
+            0.0,
+            1.0,
+        ));
+        records.extend(pair(
+            SpanKind::NodeHealthEpisode,
+            1 << 40,
+            "fleet/failover/node1",
+            "Suspect",
+            0.2,
+            0.9,
+        ));
+        records.extend(pair(
+            SpanKind::RedispatchHop,
+            (1 << 40) | 1,
+            "fleet/failover/node0",
+            "batch r2a2 x12",
+            0.3,
+            2.0,
+        ));
+        let json = export(&records).expect("fleet trace exports");
+        // One Chrome process (pid) per track, named after the track.
+        for track in [
+            "fleet/failover",
+            "fleet/failover/node0",
+            "fleet/failover/node1",
+        ] {
+            assert!(
+                json.contains(&format!("\"name\":\"{track}\"")),
+                "missing process for {track}: {json}"
+            );
+        }
+        let pids: std::collections::BTreeSet<&str> = json
+            .match_indices("\"process_name\"")
+            .map(|(i, _)| &json[i..json[i..].find('}').unwrap() + i])
+            .collect();
+        assert_eq!(pids.len(), 3, "{json}");
+        assert!(json.contains("\"name\":\"batch r2a2 x12\""), "{json}");
+        assert!(json.contains("\"cat\":\"hop\""), "{json}");
+        assert!(json.contains("\"cat\":\"health\""), "{json}");
+        assert!(json.contains("\"cat\":\"epoch\""), "{json}");
+        serde_json::from_str::<serde_json::Value>(&json).expect("valid JSON");
+    }
+
+    #[test]
     fn labels_are_json_escaped() {
         let a = SpanId::derive(SpanKind::FaultWindow, 0);
         let records = vec![

@@ -9,7 +9,9 @@ use std::fmt::Write as _;
 
 use aum_sim::hist::LogHistogram;
 use aum_sim::span::{collect_spans, SpanId, SpanKind};
-use aum_sim::telemetry::{DecisionKind, Event, SlackVerdict, SloMetric, TraceRecord};
+use aum_sim::telemetry::{
+    DecisionKind, Event, MetricsSnapshot, NodeHealth, SlackVerdict, SloMetric, TraceRecord,
+};
 use aum_sim::SimTime;
 
 /// Timeline entries beyond this count are elided from the middle so a
@@ -59,8 +61,163 @@ pub fn summarize(records: &[TraceRecord]) -> String {
     out.push_str(&decision_stats(records));
     out.push_str(&attribution_stats(records));
     out.push_str(&slo_digest(records));
+    out.push_str(&fleet_digest(records));
     out.push_str(&worst_request_drilldown(records));
     out.push_str(&timeline(records));
+    out
+}
+
+/// How many health transitions a node's timeline row prints before
+/// eliding the rest.
+const HEALTH_TIMELINE_CAP: usize = 8;
+
+/// The fleet health digest: per-node health timeline table, redispatch
+/// hop-chain depth distribution, shed-by-class breakdown, and a
+/// worst-node drill-down carrying the node's last metric snapshot.
+/// Absent when the trace holds no fleet events (single-node traces).
+fn fleet_digest(records: &[TraceRecord]) -> String {
+    let mut timelines: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut down_count: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut strands: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut depth: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut shed_by_class: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut snapshots: BTreeMap<usize, (&String, &MetricsSnapshot)> = BTreeMap::new();
+    let mut fleet_events = 0usize;
+    for r in records {
+        match &r.event {
+            Event::NodeHealthTransition { node, from, to, .. } => {
+                fleet_events += 1;
+                timelines
+                    .entry(*node)
+                    .or_default()
+                    .push(format!("t={:.0}s {from:?}\u{2192}{to:?}", secs(r.at)));
+                if *to == NodeHealth::Down {
+                    *down_count.entry(*node).or_insert(0) += 1;
+                }
+            }
+            Event::RequestRedispatch {
+                node,
+                count,
+                attempt,
+                ..
+            } => {
+                fleet_events += 1;
+                *strands.entry(*node).or_insert(0) += count;
+                *depth.entry(*attempt).or_insert(0) += count;
+            }
+            Event::LoadShed { class, count, .. } => {
+                fleet_events += 1;
+                *shed_by_class.entry(class.as_str()).or_insert(0) += count;
+            }
+            Event::NodeMetricsSnapshot {
+                node,
+                label,
+                snapshot,
+            } => {
+                fleet_events += 1;
+                // Later snapshots overwrite earlier ones: the drill-down
+                // wants each node's freshest state.
+                snapshots.insert(*node, (label, snapshot));
+            }
+            Event::NodeFault { .. } => fleet_events += 1,
+            _ => {}
+        }
+    }
+    if fleet_events == 0 {
+        return String::new();
+    }
+    let mut out = String::from("\nfleet health digest:\n");
+    if timelines.is_empty() {
+        out.push_str("  per-node health timeline: no transitions recorded\n");
+    } else {
+        out.push_str("  per-node health timeline:\n");
+        for (node, entries) in &timelines {
+            let shown = entries
+                .iter()
+                .take(HEALTH_TIMELINE_CAP)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("  ");
+            let elided = entries.len().saturating_sub(HEALTH_TIMELINE_CAP);
+            let tail = if elided > 0 {
+                format!("  \u{2026} {elided} more")
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "    node {node}: {} transition(s)  {shown}{tail}",
+                entries.len()
+            );
+        }
+    }
+    if depth.is_empty() {
+        out.push_str("  hop chains: none (no requests stranded)\n");
+    } else {
+        let total: u64 = depth.values().sum();
+        let deepest = depth.keys().max().copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  hop-chain depth distribution ({total} stranded dispatches, deepest chain \
+             attempt {deepest}):"
+        );
+        for (attempt, n) in &depth {
+            let _ = writeln!(out, "    attempt {attempt}: {n} request(s)");
+        }
+    }
+    if !shed_by_class.is_empty() {
+        let total: u64 = shed_by_class.values().sum();
+        let line = shed_by_class
+            .iter()
+            .map(|(c, n)| format!("{c} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  shed by class: {total} total ({line})");
+    }
+    // Worst node: most stranded requests, ties to the most Down
+    // transitions, then the lowest index.
+    let mut candidates: Vec<usize> = timelines.keys().copied().collect();
+    for n in strands.keys() {
+        if !candidates.contains(n) {
+            candidates.push(*n);
+        }
+    }
+    if let Some(&worst) = candidates.iter().max_by_key(|n| {
+        (
+            strands.get(n).copied().unwrap_or(0),
+            down_count.get(n).copied().unwrap_or(0),
+            std::cmp::Reverse(**n),
+        )
+    }) {
+        let _ = writeln!(
+            out,
+            "  worst-node drill-down: node {worst} ({} stranded request(s), {} Down \
+             transition(s))",
+            strands.get(&worst).copied().unwrap_or(0),
+            down_count.get(&worst).copied().unwrap_or(0)
+        );
+        match snapshots.get(&worst) {
+            Some((label, snap)) => {
+                let counters = snap
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k} {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "    last snapshot [{label}] at t={:.0}s: {}",
+                    secs(snap.at),
+                    if counters.is_empty() {
+                        "no counters yet".to_string()
+                    } else {
+                        counters
+                    }
+                );
+            }
+            None => out.push_str("    no metric snapshot in trace\n"),
+        }
+    }
     out
 }
 
@@ -854,6 +1011,104 @@ mod tests {
         );
         assert!(s.contains("lifecycle t=0.500s .. t=4.000s"), "{s}");
         assert!(s.contains("prefill 0 t=1.000s"), "{s}");
+    }
+
+    #[test]
+    fn fleet_events_get_a_health_digest() {
+        use std::sync::Arc;
+        let snapshot = MetricsSnapshot {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(32.0),
+            counters: Arc::new([("redispatched".to_string(), 52u64)].into_iter().collect()),
+            gauges: Arc::new(std::collections::BTreeMap::new()),
+        };
+        let records = vec![
+            rec(
+                30.0,
+                Event::NodeHealthTransition {
+                    node: 0,
+                    from: NodeHealth::Healthy,
+                    to: NodeHealth::Suspect,
+                    reason: "1 missed heartbeat(s)".into(),
+                },
+            ),
+            rec(
+                32.0,
+                Event::NodeHealthTransition {
+                    node: 0,
+                    from: NodeHealth::Suspect,
+                    to: NodeHealth::Down,
+                    reason: "3 missed heartbeats".into(),
+                },
+            ),
+            rec(
+                30.0,
+                Event::RequestRedispatch {
+                    node: 0,
+                    count: 40,
+                    attempt: 2,
+                    backoff_epochs: 1,
+                },
+            ),
+            rec(
+                31.0,
+                Event::RequestRedispatch {
+                    node: 0,
+                    count: 12,
+                    attempt: 3,
+                    backoff_epochs: 2,
+                },
+            ),
+            rec(
+                33.0,
+                Event::LoadShed {
+                    class: "best-effort".into(),
+                    count: 9,
+                    epoch: 33,
+                },
+            ),
+            rec(
+                32.0,
+                Event::NodeMetricsSnapshot {
+                    node: 0,
+                    label: "node0/GenA-SPR-HBM".into(),
+                    snapshot,
+                },
+            ),
+        ];
+        let s = summarize(&records);
+        assert!(s.contains("fleet health digest"), "{s}");
+        assert!(s.contains("node 0: 2 transition(s)"), "{s}");
+        assert!(s.contains("Healthy\u{2192}Suspect"), "{s}");
+        assert!(
+            s.contains(
+                "hop-chain depth distribution (52 stranded dispatches, deepest chain \
+                 attempt 3)"
+            ),
+            "{s}"
+        );
+        assert!(s.contains("attempt 2: 40 request(s)"), "{s}");
+        assert!(s.contains("shed by class: 9 total (best-effort 9)"), "{s}");
+        assert!(
+            s.contains(
+                "worst-node drill-down: node 0 (52 stranded request(s), 1 Down transition(s))"
+            ),
+            "{s}"
+        );
+        assert!(
+            s.contains("last snapshot [node0/GenA-SPR-HBM] at t=32s: redispatched 52"),
+            "{s}"
+        );
+        // Traces without fleet events omit the section entirely.
+        let plain = summarize(&[rec(
+            1.0,
+            Event::RequestFinished {
+                id: 1,
+                generated: 1,
+                mean_tpot_secs: 0.01,
+                ttft_secs: 0.1,
+            },
+        )]);
+        assert!(!plain.contains("fleet health digest"), "{plain}");
     }
 
     #[test]

@@ -217,9 +217,31 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
             .any(|l| l.contains("NodeHealthTransition")),
         "fleet-chaos trace must carry health transitions"
     );
+    // The fleet observability streams — epoch spans, per-node health
+    // episodes, redispatch hop chains, and per-node metric snapshots — must
+    // all be present and covered by the byte-identity gate below.
+    for marker in [
+        "\"FleetEpoch\"",
+        "\"NodeHealthEpisode\"",
+        "\"RedispatchHop\"",
+        "NodeMetricsSnapshot",
+    ] {
+        assert!(
+            fleet_trace_serial.iter().any(|l| l.contains(marker)),
+            "fleet-chaos trace must carry {marker} events"
+        );
+    }
     assert_eq!(
         fleet_trace_serial, fleet_trace_parallel,
         "fleet-chaos trace must be byte-identical at jobs 1 vs 8"
+    );
+    // The per-node rollup itself rides the report's conservation column
+    // (row() marks any cell whose node rollup fails to partition the fleet
+    // totals as VIOLATED, which flips the degenerate flag checked above).
+    assert!(
+        fleet_serial.text.contains("exact"),
+        "fleet report must confirm node-level conservation:\n{}",
+        fleet_serial.text
     );
 
     // --- Flight recorder under chaos: the bounded ring's retained suffix,

@@ -123,6 +123,19 @@ impl ClusterConfig {
             fleet: FleetParams::default(),
         }
     }
+
+    /// Stable per-node labels for fleet telemetry and node-labeled
+    /// Prometheus series: `node<i>/<platform name>`, in server order.
+    /// Platform names are config strings, so consumers must escape them
+    /// before embedding in exposition labels.
+    #[must_use]
+    pub fn node_labels(&self) -> Vec<String> {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("node{i}/{}", s.platform.name))
+            .collect()
+    }
 }
 
 /// Outcome of one cluster run.

@@ -33,10 +33,33 @@
 //! [`Event::RequestRedispatch`] and [`Event::LoadShed`] telemetry; a
 //! `NodeHealthTransition` into `Down` also trips the flight recorder
 //! (`aum_sim::flight::TriggerKind::NodeDown`).
+//!
+//! ## Fleet observability
+//!
+//! Beyond the flat events, [`run_fleet_traced`] emits a span stream
+//! (`aum_sim::span`): one [`SpanKind::FleetEpoch`] span per router epoch
+//! on the fleet track, [`SpanKind::NodeHealthEpisode`] spans covering
+//! each contiguous unhealthy window on per-node tracks
+//! (`<track>/node<i>`), and [`SpanKind::RedispatchHop`] spans covering
+//! each stranded batch's backoff window, labeled with the merged
+//! request-batch id (`batch r<ready-epoch>a<attempt>`) that links the
+//! hops of one retry chain. Every node also owns a
+//! [`MetricsRegistry`] (completions, redispatches, sheds,
+//! violation-tracked requests) plus a [`LogHistogram`] per-epoch latency
+//! proxy; their final snapshots roll up into
+//! [`FleetOutcome::node_metrics`], whose per-node counters sum back to
+//! the fleet totals exactly ([`FleetOutcome::node_conservation_ok`]).
+//! Health transitions additionally emit
+//! [`Event::NodeMetricsSnapshot`] so `node-down` incident dumps carry
+//! the offending node's state. All ids derive from (node, epoch,
+//! sequence-within-epoch) — no global counters — so the stream is
+//! byte-identical at any `--jobs` level.
 
 use serde::{content_get, Content, DeError, Deserialize, Serialize};
 
-use aum_sim::telemetry::{Event, NodeHealth, Tracer};
+use aum_sim::hist::LogHistogram;
+use aum_sim::span::{SpanId, SpanKind};
+use aum_sim::telemetry::{Event, MetricsRegistry, MetricsSnapshot, NodeHealth, Tracer};
 use aum_sim::time::SimTime;
 use aum_workloads::gpu::CpuAnchor;
 
@@ -374,6 +397,29 @@ pub fn class_labels() -> [&'static str; 3] {
     [CLASSES[0].0, CLASSES[1].0, CLASSES[2].0]
 }
 
+/// One node's metrics rollup at run end: the final registry snapshot
+/// (counters `assigned`/`completed`/`on_time`/`redispatched`/`dropped`/
+/// `shed`/`violation_tracked`, plus latency-proxy quantile gauges) and
+/// the whole-run per-epoch latency-proxy histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeMetricsRollup {
+    /// Stable node label from config strings, `node<i>/<platform name>`.
+    pub label: String,
+    /// Final [`MetricsRegistry`] snapshot of the node.
+    pub snapshot: MetricsSnapshot,
+    /// Per-epoch latency proxy (`epoch_secs × served / capacity`) over
+    /// every epoch the node served traffic; mergeable across runs.
+    pub latency_proxy: LogHistogram,
+}
+
+impl NodeMetricsRollup {
+    /// A counter from the final snapshot (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
 /// Outcome of one fleet run: exact integer request-flow accounting plus
 /// derived SLO attainment and cost.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -410,6 +456,11 @@ pub struct FleetOutcome {
     /// plus energy over the whole provisioned fleet — dead nodes still
     /// cost money, which is what makes resilience a TCO question).
     pub usd_per_mtok: f64,
+    /// Per-node metric rollups in fleet (server) order; every counter is
+    /// a partition of the matching fleet total
+    /// ([`FleetOutcome::node_conservation_ok`]).
+    #[serde(default)]
+    pub node_metrics: Vec<NodeMetricsRollup>,
 }
 
 impl FleetOutcome {
@@ -419,6 +470,25 @@ impl FleetOutcome {
     #[must_use]
     pub fn conservation_ok(&self) -> bool {
         self.dispatched == self.completed + self.redispatched + self.shed + self.dropped
+    }
+
+    /// The per-node rollup partitions the fleet totals exactly: summing
+    /// any flow counter over [`FleetOutcome::node_metrics`] reproduces
+    /// the matching fleet field, and per-node assignments plus sheds
+    /// cover everything dispatched. Trivially true when the rollup is
+    /// absent (legacy outcomes decoded without `node_metrics`).
+    #[must_use]
+    pub fn node_conservation_ok(&self) -> bool {
+        if self.node_metrics.is_empty() {
+            return true;
+        }
+        let sum = |name: &str| -> u64 { self.node_metrics.iter().map(|m| m.counter(name)).sum() };
+        sum("completed") == self.completed
+            && sum("on_time") == self.on_time
+            && sum("redispatched") == self.redispatched
+            && sum("dropped") == self.dropped
+            && sum("shed") == self.shed
+            && sum("assigned") + self.shed == self.dispatched
     }
 }
 
@@ -532,6 +602,35 @@ pub fn run_fleet(
     capacity_weights: &[f64],
     tracer: &Tracer,
 ) -> FleetOutcome {
+    run_fleet_traced(
+        cfg,
+        policy,
+        capacity_weights,
+        tracer,
+        &format!("fleet/{policy}"),
+    )
+}
+
+/// [`run_fleet`] with an explicit span track name.
+///
+/// The flat events land on no track, but the span stream
+/// ([`SpanKind::FleetEpoch`] on `track`, [`SpanKind::NodeHealthEpisode`]
+/// and [`SpanKind::RedispatchHop`] on `<track>/node<i>`) keys span ids
+/// per track — callers merging several traced fleet runs into one sink
+/// (e.g. the fleet-chaos matrix) must pass a distinct track per run or
+/// the streams collide as duplicate opens.
+///
+/// # Panics
+///
+/// Same as [`run_fleet`].
+#[must_use]
+pub fn run_fleet_traced(
+    cfg: &ClusterConfig,
+    policy: RoutingPolicy,
+    capacity_weights: &[f64],
+    tracer: &Tracer,
+    track: &str,
+) -> FleetOutcome {
     let n = cfg.servers.len();
     assert!(n > 0, "fleet needs servers");
     assert_eq!(capacity_weights.len(), n, "one capacity weight per server");
@@ -591,6 +690,16 @@ pub fn run_fleet(
     let mut schedule_iter = schedule.into_iter().peekable();
 
     let mut nodes: Vec<NodeState> = (0..n).map(|_| NodeState::new()).collect();
+    // Per-node observability: labels/tracks from config strings, one
+    // metrics registry and latency-proxy histogram per node, the payload
+    // of each node's currently-open health-episode span, and a per-epoch
+    // hop-span sequence number (ids derive from (node, epoch, seq) — no
+    // global counters, so the stream is identical at any --jobs level).
+    let node_labels = cfg.node_labels();
+    let node_tracks: Vec<String> = (0..n).map(|i| format!("{track}/node{i}")).collect();
+    let mut node_regs: Vec<MetricsRegistry> = (0..n).map(|_| MetricsRegistry::new()).collect();
+    let mut node_hist: Vec<LogHistogram> = vec![LogHistogram::default(); n];
+    let mut episode_open: Vec<Option<u64>> = vec![None; n];
     let mut retry_queue: Vec<RetryBatch> = Vec::new();
     let mut arrival_acc = 0.0f64;
     let mut class_acc = [0.0f64; 3];
@@ -607,6 +716,23 @@ pub fn run_fleet(
 
     for e in 0..epochs {
         let at = at_of(e);
+
+        // 0. One FleetEpoch span per router epoch on the fleet track
+        // (the close lands on the next boundary; OrderingSink time-sorts
+        // at flush, so emitting it now is safe).
+        let epoch_span = SpanId::derive(SpanKind::FleetEpoch, e).0;
+        tracer.emit(at, || Event::SpanOpen {
+            id: epoch_span,
+            parent: None,
+            kind: SpanKind::FleetEpoch,
+            track: track.to_string(),
+            label: format!("epoch {e}"),
+        });
+        tracer.emit(at_of(e + 1), || Event::SpanClose {
+            id: epoch_span,
+            kind: SpanKind::FleetEpoch,
+            track: track.to_string(),
+        });
 
         // 1. Replay scripted fault edges landing on this boundary.
         while let Some(&(edge_epoch, _, idx, apply)) = schedule_iter.peek() {
@@ -680,6 +806,38 @@ pub fn run_fleet(
                     to: next,
                     reason: reason.clone(),
                 });
+                // Health-episode spans on the node's track: close the
+                // running episode (if any), open a new one unless the
+                // node just turned Healthy. Payload packs (node, epoch).
+                if let Some(payload) = episode_open[i].take() {
+                    let id = SpanId::derive(SpanKind::NodeHealthEpisode, payload).0;
+                    tracer.emit(at, || Event::SpanClose {
+                        id,
+                        kind: SpanKind::NodeHealthEpisode,
+                        track: node_tracks[i].clone(),
+                    });
+                }
+                if next != NodeHealth::Healthy {
+                    let payload = ((i as u64) << 40) | e;
+                    episode_open[i] = Some(payload);
+                    let id = SpanId::derive(SpanKind::NodeHealthEpisode, payload).0;
+                    tracer.emit(at, || Event::SpanOpen {
+                        id,
+                        parent: None,
+                        kind: SpanKind::NodeHealthEpisode,
+                        track: node_tracks[i].clone(),
+                        label: format!("{next:?}"),
+                    });
+                }
+                // Snapshot unconditionally (registry state must not
+                // depend on whether the tracer is enabled) so node-down
+                // incident dumps carry the offending node's metrics.
+                let snap = node_regs[i].snapshot(at).clone();
+                tracer.emit(at, || Event::NodeMetricsSnapshot {
+                    node: i,
+                    label: node_labels[i].clone(),
+                    snapshot: snap,
+                });
             }
         }
 
@@ -735,6 +893,7 @@ pub fn run_fleet(
             .sum();
         let budget = (params.shed_headroom * live_cap).floor() as u64;
         let pool_total = fresh_total + ready_total;
+        let mut shed_this_epoch = 0u64;
         if pool_total > budget {
             let mut excess = pool_total - budget;
             for (c, count) in fresh.iter_mut().enumerate() {
@@ -746,6 +905,7 @@ pub fn run_fleet(
                     *count -= cut;
                     excess -= cut;
                     shed += cut;
+                    shed_this_epoch += cut;
                     shed_by_class[c] += cut;
                     tracer.emit(at, || Event::LoadShed {
                         class: CLASSES[c].0.to_string(),
@@ -756,6 +916,25 @@ pub fn run_fleet(
             }
             // Excess beyond all fresh arrivals stays in the pool: retries
             // ride through admission unconditionally.
+        }
+        // Attribute the shed work to the nodes whose (un)availability
+        // forced it, by this epoch's routing shares — split_requests
+        // conserves exactly, keeping the per-node rollup a partition of
+        // the fleet totals. With nothing routable the router itself shed,
+        // which the rollup books on node 0 (like router-level strands).
+        if shed_this_epoch > 0 {
+            if weights.iter().sum::<f64>() > 0.0 {
+                for (i, part) in split_requests(shed_this_epoch, &weights)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if part > 0 {
+                        node_regs[i].counter_add("shed", part);
+                    }
+                }
+            } else {
+                node_regs[0].counter_add("shed", shed_this_epoch);
+            }
         }
         let admitted_fresh: u64 = fresh.iter().sum();
 
@@ -768,10 +947,15 @@ pub fn run_fleet(
             .collect();
         let total_weight: f64 = weights.iter().sum();
 
-        // 7. Service and stranding, with exact flow accounting.
+        // 7. Service and stranding, with exact flow accounting. Hop-span
+        // ids derive from (per-node sequence, epoch); the sequence resets
+        // every epoch so ids are a pure function of simulation state.
+        let mut hop_seq: Vec<u64> = vec![0; n];
         let strand = |node_idx: usize,
                       attempt: u32,
                       count: u64,
+                      reg: &mut MetricsRegistry,
+                      hop: &mut u64,
                       redispatched: &mut u64,
                       dropped: &mut u64,
                       retry_queue: &mut Vec<RetryBatch>| {
@@ -780,6 +964,7 @@ pub fn run_fleet(
             }
             if attempt > params.max_retries {
                 *dropped += count;
+                reg.counter_add("dropped", count);
                 return;
             }
             let backoff = params
@@ -788,8 +973,10 @@ pub fn run_fleet(
                 .min(params.backoff_cap_epochs)
                 .max(1);
             *redispatched += count;
+            reg.counter_add("redispatched", count);
+            let ready_epoch = e + 1 + u64::from(backoff);
             retry_queue.push(RetryBatch {
-                ready_epoch: e + 1 + u64::from(backoff),
+                ready_epoch,
                 attempt: attempt + 1,
                 count,
             });
@@ -799,14 +986,41 @@ pub fn run_fleet(
                 attempt: attempt + 1,
                 backoff_epochs: backoff,
             });
+            // One RedispatchHop span per stranded batch on the failing
+            // node's track, covering the backoff window. The label is the
+            // merged batch id (`r<ready>a<attempt>`) the batch carries
+            // when it re-enters dispatch — the link tying consecutive
+            // hops of one retry chain together.
+            let seq = *hop;
+            *hop += 1;
+            let id = SpanId::derive(SpanKind::RedispatchHop, (seq << 40) | e).0;
+            tracer.emit(at, || Event::SpanOpen {
+                id,
+                parent: None,
+                kind: SpanKind::RedispatchHop,
+                track: node_tracks[node_idx].clone(),
+                label: format!("batch r{ready_epoch}a{} x{count}", attempt + 1),
+            });
+            tracer.emit(at_of(ready_epoch.min(epochs)), || Event::SpanClose {
+                id,
+                kind: SpanKind::RedispatchHop,
+                track: node_tracks[node_idx].clone(),
+            });
         };
 
         if total_weight <= 0.0 {
-            // Nothing routable: the whole pool strands at the router.
+            // Nothing routable: the whole pool strands at the router,
+            // booked on node 0 (like the router-level shed above).
+            let pool = admitted_fresh + ready_total;
+            if pool > 0 {
+                node_regs[0].counter_add("assigned", pool);
+            }
             strand(
                 0,
                 1,
                 admitted_fresh,
+                &mut node_regs[0],
+                &mut hop_seq[0],
                 &mut redispatched,
                 &mut dropped,
                 &mut retry_queue,
@@ -816,6 +1030,8 @@ pub fn run_fleet(
                     0,
                     b.attempt,
                     b.count,
+                    &mut node_regs[0],
+                    &mut hop_seq[0],
                     &mut redispatched,
                     &mut dropped,
                     &mut retry_queue,
@@ -825,6 +1041,9 @@ pub fn run_fleet(
             for (i, node) in nodes.iter_mut().enumerate() {
                 let fresh_i = fresh_assigned[i];
                 let retry_i: u64 = ready_assigned.iter().map(|v| v[i]).sum();
+                if fresh_i + retry_i > 0 {
+                    node_regs[i].counter_add("assigned", fresh_i + retry_i);
+                }
                 if node.serves() {
                     let cap = (node_cap[i] / node.straggle).floor() as u64;
                     let served = fresh_i + retry_i;
@@ -839,6 +1058,22 @@ pub fn run_fleet(
                     } else {
                         (served - on_time_i) as f64 / served as f64
                     };
+                    if served > 0 {
+                        let reg = &mut node_regs[i];
+                        reg.counter_add("completed", served);
+                        if on_time_i > 0 {
+                            reg.counter_add("on_time", on_time_i);
+                        }
+                        if served > on_time_i {
+                            reg.counter_add("violation_tracked", served - on_time_i);
+                        }
+                        reg.gauge_set("violation_rate", node.last_violation);
+                        if cap > 0 {
+                            // Latency proxy: the fraction of the epoch the
+                            // node's capacity was busy on this load.
+                            node_hist[i].record(params.epoch_secs * served as f64 / cap as f64);
+                        }
+                    }
                 } else {
                     // Stranded: re-queue with backoff or drop when the
                     // retry budget is spent.
@@ -846,6 +1081,8 @@ pub fn run_fleet(
                         i,
                         1,
                         fresh_i,
+                        &mut node_regs[i],
+                        &mut hop_seq[i],
                         &mut redispatched,
                         &mut dropped,
                         &mut retry_queue,
@@ -855,6 +1092,8 @@ pub fn run_fleet(
                             i,
                             b.attempt,
                             assigned[i],
+                            &mut node_regs[i],
+                            &mut hop_seq[i],
                             &mut redispatched,
                             &mut dropped,
                             &mut retry_queue,
@@ -875,6 +1114,35 @@ pub fn run_fleet(
             } else {
                 false
             }
+        });
+    }
+
+    // Close health episodes still open at run end (balanced span streams
+    // export cleanly) and roll each node's registry up into the outcome.
+    let end = at_of(epochs);
+    for (i, open) in episode_open.iter_mut().enumerate() {
+        if let Some(payload) = open.take() {
+            let id = SpanId::derive(SpanKind::NodeHealthEpisode, payload).0;
+            tracer.emit(end, || Event::SpanClose {
+                id,
+                kind: SpanKind::NodeHealthEpisode,
+                track: node_tracks[i].clone(),
+            });
+        }
+    }
+    let mut node_metrics: Vec<NodeMetricsRollup> = Vec::with_capacity(n);
+    for (i, mut reg) in node_regs.into_iter().enumerate() {
+        let h = &node_hist[i];
+        if h.count() > 0 {
+            reg.gauge_set("epoch_latency_proxy_secs/p50", h.quantile(0.5));
+            reg.gauge_set("epoch_latency_proxy_secs/p90", h.quantile(0.9));
+            reg.gauge_set("epoch_latency_proxy_secs/p99", h.quantile(0.99));
+        }
+        let snapshot = reg.snapshot(end).clone();
+        node_metrics.push(NodeMetricsRollup {
+            label: node_labels[i].clone(),
+            snapshot,
+            latency_proxy: h.clone(),
         });
     }
 
@@ -908,6 +1176,7 @@ pub fn run_fleet(
         health_transitions,
         attainment,
         usd_per_mtok,
+        node_metrics,
     }
 }
 
@@ -1219,6 +1488,127 @@ mod tests {
             }
         }
         assert_eq!(split_requests(10, &[0.0, 0.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn validate_for_boundary_cases() {
+        // A node index exactly equal to the fleet size is the first
+        // out-of-range value.
+        let at_edge = NodeFaultPlan::single(NodeFaultEvent::permanent(3, 1.0, NodeFault::Crash));
+        assert!(at_edge.validate_for(3).is_err());
+        assert!(at_edge.validate_for(4).is_ok());
+        // An empty plan is valid for any fleet, including a nonzero one.
+        assert!(NodeFaultPlan::none().validate_for(5).is_ok());
+        assert!(NodeFaultPlan::none().validate_for(0).is_ok());
+        // Duplicate (node, time) entries are legal: same-instant edges
+        // replay in authoring order and simply reapply the state.
+        let dup = NodeFaultPlan::new(vec![
+            NodeFaultEvent::permanent(1, 10.0, NodeFault::Crash),
+            NodeFaultEvent::permanent(1, 10.0, NodeFault::Crash),
+        ]);
+        assert!(dup.validate_for(3).is_ok());
+        let cfg = fleet_cfg(dup);
+        let out = run_fleet(
+            &cfg,
+            RoutingPolicy::Failover,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        assert!(out.conservation_ok());
+    }
+
+    #[test]
+    fn forced_shed_plus_drop_mix_conserves_exactly() {
+        // Overload (forces shedding) plus a permanent crash (forces drops
+        // under static routing): both leak paths active at once.
+        let mut cfg = fleet_cfg(crash_plan());
+        cfg.total_rate = 30.0 * 1.6;
+        cfg.fleet.capacity_margin = 1.3 / 1.6;
+        for policy in [RoutingPolicy::AuvWeighted, RoutingPolicy::Failover] {
+            let out = run_fleet(&cfg, policy, &even_weights(3), &Tracer::disabled());
+            assert!(out.shed > 0, "{policy} must shed under overload");
+            assert!(out.conservation_ok(), "{policy}: {out:?}");
+            assert!(out.node_conservation_ok(), "{policy}: {out:?}");
+        }
+        let stat = run_fleet(
+            &cfg,
+            RoutingPolicy::AuvWeighted,
+            &even_weights(3),
+            &Tracer::disabled(),
+        );
+        assert!(stat.dropped > 0, "static routing must also drop");
+        // The identity is falsifiable: any single-counter perturbation
+        // breaks it.
+        let mut leak = stat.clone();
+        leak.completed += 1;
+        assert!(!leak.conservation_ok());
+        let mut ghost = stat;
+        ghost.dispatched += 1;
+        assert!(!ghost.conservation_ok());
+    }
+
+    #[test]
+    fn node_rollup_partitions_fleet_totals() {
+        let cfg = fleet_cfg(crash_plan());
+        for policy in [RoutingPolicy::AuvWeighted, RoutingPolicy::Failover] {
+            let out = run_fleet(&cfg, policy, &even_weights(3), &Tracer::disabled());
+            assert_eq!(out.node_metrics.len(), 3, "{policy}");
+            assert!(out.node_conservation_ok(), "{policy}: {out:?}");
+            assert!(
+                out.node_metrics[0].label.starts_with("node0/"),
+                "labels come from config strings: {}",
+                out.node_metrics[0].label
+            );
+            assert!(
+                out.node_metrics[0].counter("redispatched") > 0,
+                "{policy}: the crashed node books its strands"
+            );
+            let survivor = &out.node_metrics[1];
+            assert!(survivor.counter("completed") > 0, "{policy}");
+            assert!(
+                survivor.latency_proxy.count() > 0,
+                "{policy}: serving epochs feed the latency proxy"
+            );
+            assert!(
+                survivor
+                    .snapshot
+                    .gauges
+                    .contains_key("epoch_latency_proxy_secs/p50"),
+                "{policy}: quantile gauges materialize at rollup"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_spans_fold_into_balanced_per_node_tracks() {
+        let cfg = fleet_cfg(crash_plan());
+        let (out, records) = captured(&cfg, RoutingPolicy::Failover, &even_weights(3));
+        let forest = aum_sim::span::collect_spans(&records).expect("balanced span stream");
+        let track = format!("fleet/{}", RoutingPolicy::Failover);
+        let epochs: Vec<_> = forest.of_kind(SpanKind::FleetEpoch).collect();
+        assert_eq!(epochs.len() as u64, out.epochs, "one span per router epoch");
+        assert!(epochs.iter().all(|s| s.track == track));
+        let health: Vec<_> = forest.of_kind(SpanKind::NodeHealthEpisode).collect();
+        assert!(
+            health.iter().any(|s| s.track == format!("{track}/node0")),
+            "a crash must open health episodes on the node's own track"
+        );
+        // The crash is permanent, so node 0's last episode only closes at
+        // the run-end boundary.
+        let run_end = cfg.duration.as_secs_f64();
+        assert!(health.iter().any(|s| s.track == format!("{track}/node0")
+            && (s.close.as_secs_f64() - run_end).abs() < 1e-9));
+        let hops: Vec<_> = forest.of_kind(SpanKind::RedispatchHop).collect();
+        assert!(!hops.is_empty(), "detection-lag strands must emit hops");
+        assert!(hops
+            .iter()
+            .all(|s| s.duration_secs() > 0.0 && s.label.starts_with("batch r")));
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r.event, Event::NodeMetricsSnapshot { node: 0, .. })),
+            "health transitions must carry the node's metric snapshot"
+        );
     }
 
     #[test]

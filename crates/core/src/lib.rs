@@ -80,7 +80,10 @@ pub use controller::AumController;
 pub use error::AumError;
 pub use experiment::{run_experiment, try_run_experiment, ExperimentConfig, Outcome};
 pub use fault::{Fault, FaultEvent, FaultPlan};
-pub use fleet::{run_fleet, FleetOutcome, FleetParams, NodeFault, NodeFaultEvent, NodeFaultPlan};
+pub use fleet::{
+    run_fleet, run_fleet_traced, FleetOutcome, FleetParams, NodeFault, NodeFaultEvent,
+    NodeFaultPlan, NodeMetricsRollup,
+};
 pub use manager::{Decision, ResourceManager, StaticManager, SystemState};
 pub use prices::{e_cpu, Prices};
 pub use profiler::{build_model, AuvModel, Bucket, ProfilerConfig};

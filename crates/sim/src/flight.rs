@@ -346,6 +346,10 @@ pub struct FlightRecorder<S: TraceSink = NullSink> {
     ring: RingSink,
     burn: BurnTracker,
     pinned_targets: Option<TraceRecord>,
+    /// Latest [`Event::NodeMetricsSnapshot`] seen per node, pinned into
+    /// `node-down` dumps so the incident carries the offending node's
+    /// metric state even when the snapshot aged out of the window.
+    pinned_node_metrics: std::collections::BTreeMap<usize, TraceRecord>,
     last_dump_at: Option<SimTime>,
     triggers: u64,
     incidents: Vec<Incident>,
@@ -377,6 +381,7 @@ impl<S: TraceSink> FlightRecorder<S> {
             ring: RingSink::new(capacity),
             burn: BurnTracker::new(),
             pinned_targets: None,
+            pinned_node_metrics: std::collections::BTreeMap::new(),
             last_dump_at: None,
             triggers: 0,
             incidents: Vec::new(),
@@ -491,8 +496,20 @@ impl<S: TraceSink> FlightRecorder<S> {
         slice
     }
 
-    fn dump(&mut self, trigger: TriggerKind, at: SimTime) {
+    fn dump(&mut self, trigger: TriggerKind, at: SimTime, node: Option<usize>) {
         let mut slice = self.window_slice(at);
+        // Pin the offending node's latest metric snapshot so a `node-down`
+        // incident carries the node's counters even when the snapshot aged
+        // out of the window.
+        if let Some(node) = node {
+            if let Some(pinned) = self.pinned_node_metrics.get(&node) {
+                if !slice.iter().any(|r| {
+                    matches!(&r.event, Event::NodeMetricsSnapshot { node: n, .. } if *n == node)
+                }) {
+                    slice.insert(0, pinned.clone());
+                }
+            }
+        }
         // Pin the run's SLO targets so the incident is self-contained for
         // burn-rate analysis even when the preamble aged out of the window.
         if let Some(pinned) = &self.pinned_targets {
@@ -541,11 +558,18 @@ impl<S: TraceSink> TraceSink for FlightRecorder<S> {
             self.burn.arm(ttft_secs, tpot_secs);
             self.pinned_targets = Some(record.clone());
         }
+        if let Event::NodeMetricsSnapshot { node, .. } = &record.event {
+            self.pinned_node_metrics.insert(*node, record.clone());
+        }
         self.ring.record(record);
         if let Some(trigger) = self.trigger_for(record) {
             self.triggers += 1;
             if self.dump_allowed(record.at) {
-                self.dump(trigger, record.at);
+                let node = match &record.event {
+                    Event::NodeHealthTransition { node, .. } => Some(*node),
+                    _ => None,
+                };
+                self.dump(trigger, record.at, node);
             }
         }
     }
@@ -728,6 +752,68 @@ mod tests {
                 to: NodeHealth::Down,
                 ..
             }
+        )));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn node_down_dump_pins_the_offending_nodes_metric_snapshot() {
+        use crate::telemetry::MetricsSnapshot;
+        use std::sync::Arc;
+
+        let dir = temp_dir("node-down-snap");
+        let mut cfg = FlightConfig::new(&dir);
+        cfg.window = SimDuration::from_secs(10);
+        let mut fr = FlightRecorder::new(cfg);
+        let snapshot_for = |at: f64, completed: u64| MetricsSnapshot {
+            at: SimTime::from_secs_f64(at),
+            counters: Arc::new([("completed".to_string(), completed)].into_iter().collect()),
+            gauges: Arc::new(std::collections::BTreeMap::new()),
+        };
+        // Snapshots for two nodes, both far outside the 10 s window at
+        // trigger time. Only node 1's (the one that goes Down) is pinned.
+        fr.record(&rec(
+            5.0,
+            Event::NodeMetricsSnapshot {
+                node: 0,
+                label: "node0/GenA".to_string(),
+                snapshot: snapshot_for(5.0, 7),
+            },
+        ));
+        fr.record(&rec(
+            6.0,
+            Event::NodeMetricsSnapshot {
+                node: 1,
+                label: "node1/GenB".to_string(),
+                snapshot: snapshot_for(6.0, 3),
+            },
+        ));
+        for i in 31..40u64 {
+            fr.record(&rec(i as f64, finished(i, 0.2)));
+        }
+        fr.record(&rec(
+            40.0,
+            Event::NodeHealthTransition {
+                node: 1,
+                from: NodeHealth::Suspect,
+                to: NodeHealth::Down,
+                reason: "3 missed heartbeats".to_string(),
+            },
+        ));
+        assert_eq!(fr.incidents().len(), 1);
+        let text = std::fs::read_to_string(&fr.incidents()[0].path).expect("read dump");
+        let parsed = parse_jsonl(&text).expect("dump parses");
+        let snaps: Vec<usize> = parsed
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::NodeMetricsSnapshot { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(snaps, vec![1], "only the downed node's snapshot is pinned");
+        assert!(parsed.iter().any(|r| matches!(
+            &r.event,
+            Event::NodeMetricsSnapshot { label, .. } if label == "node1/GenB"
         )));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,8 +1,8 @@
 //! Prometheus text-format (exposition format v0.0.4) rendering.
 //!
 //! `repro attrib <study> --metrics-out <file.prom>` writes the final
-//! [`MetricsSnapshot`](crate::telemetry::MetricsSnapshot) plus the run's
-//! attribution [`Ledger`](crate::attrib::Ledger) in the plain-text format
+//! [`MetricsSnapshot`] plus the run's
+//! attribution [`Ledger`] in the plain-text format
 //! every Prometheus-compatible scraper understands, so external tooling
 //! can ingest simulator runs without parsing our JSONL traces.
 //!
@@ -94,6 +94,71 @@ pub fn render_registry(snapshot: &MetricsSnapshot) -> String {
         );
         let _ = writeln!(out, "# TYPE {metric} gauge");
         let _ = writeln!(out, "{metric} {}", fmt_f64(*value));
+    }
+    out
+}
+
+/// Renders a family of per-node metrics snapshots as `node`-labeled
+/// series: each registry metric renders as `aum_node_<name>` with one
+/// `# HELP`/`# TYPE` header per family, followed by one
+/// `{node="<label>"}` row per node that carries it, plus
+/// `aum_node_snapshot_sim_seconds{node=...}` rows marking each
+/// snapshot's time. Node labels come from config strings and are escaped
+/// via [`escape_label_value`].
+#[must_use]
+pub fn render_node_registries(series: &[(String, &MetricsSnapshot)]) -> String {
+    use std::collections::BTreeSet;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP aum_node_snapshot_sim_seconds Simulated time of each node's metrics snapshot."
+    );
+    let _ = writeln!(out, "# TYPE aum_node_snapshot_sim_seconds gauge");
+    for (node, snapshot) in series {
+        let _ = writeln!(
+            out,
+            "aum_node_snapshot_sim_seconds{{node=\"{}\"}} {}",
+            escape_label_value(node),
+            fmt_f64(snapshot.at.as_secs_f64())
+        );
+    }
+    let counter_names: BTreeSet<&String> =
+        series.iter().flat_map(|(_, s)| s.counters.keys()).collect();
+    for name in counter_names {
+        let metric = format!("aum_node_{}", sanitize_name(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Counter `{name}` from the per-node AUM metrics registries."
+        );
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        for (node, snapshot) in series {
+            if let Some(value) = snapshot.counters.get(name.as_str()) {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{node=\"{}\"}} {value}",
+                    escape_label_value(node)
+                );
+            }
+        }
+    }
+    let gauge_names: BTreeSet<&String> = series.iter().flat_map(|(_, s)| s.gauges.keys()).collect();
+    for name in gauge_names {
+        let metric = format!("aum_node_{}", sanitize_name(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Gauge `{name}` from the per-node AUM metrics registries."
+        );
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for (node, snapshot) in series {
+            if let Some(value) = snapshot.gauges.get(name.as_str()) {
+                let _ = writeln!(
+                    out,
+                    "{metric}{{node=\"{}\"}} {}",
+                    escape_label_value(node),
+                    fmt_f64(*value)
+                );
+            }
+        }
     }
     out
 }
@@ -298,6 +363,61 @@ mod tests {
         assert!(text.contains("# TYPE tpot_secs_p50 gauge"));
         assert!(text.contains("tpot_secs_p50 0.031"));
         assert!(text.contains("aum_snapshot_sim_seconds 2"));
+    }
+
+    #[test]
+    fn node_registries_render_labeled_series_under_shared_headers() {
+        let mut a = crate::telemetry::MetricsRegistry::new();
+        a.counter_add("completed", 10);
+        a.counter_add("redispatched", 2);
+        a.gauge_set("health_factor", 1.0);
+        let mut b = crate::telemetry::MetricsRegistry::new();
+        b.counter_add("completed", 7);
+        let snap_a = a.snapshot(SimTime::from_secs(3)).clone();
+        let snap_b = b.snapshot(SimTime::from_secs(3)).clone();
+        let text = render_node_registries(&[
+            ("node0/GenA".to_string(), &snap_a),
+            ("node1/GenB".to_string(), &snap_b),
+        ]);
+        assert!(text.contains("aum_node_completed{node=\"node0/GenA\"} 10"));
+        assert!(text.contains("aum_node_completed{node=\"node1/GenB\"} 7"));
+        assert!(text.contains("aum_node_redispatched{node=\"node0/GenA\"} 2"));
+        // A metric absent on a node emits no row rather than a zero.
+        assert!(!text.contains("aum_node_redispatched{node=\"node1/GenB\"}"));
+        assert!(text.contains("aum_node_health_factor{node=\"node0/GenA\"} 1"));
+        // Shared headers: exactly one TYPE line per metric family.
+        let type_lines = text
+            .lines()
+            .filter(|l| *l == "# TYPE aum_node_completed counter")
+            .count();
+        assert_eq!(type_lines, 1);
+        assert!(text.contains("aum_node_snapshot_sim_seconds{node=\"node0/GenA\"} 3"));
+    }
+
+    #[test]
+    fn node_labels_from_config_strings_are_escaped() {
+        // Node labels come from config strings, so the registry renderer
+        // must survive the same pathological values the histogram path
+        // already escapes: `"`, `\`, and newlines.
+        let mut reg = crate::telemetry::MetricsRegistry::new();
+        reg.counter_add("completed", 1);
+        reg.gauge_set("health_factor", 0.5);
+        let snap = reg.snapshot(SimTime::from_secs(1)).clone();
+        let hostile = "node\"0\\weird\nname";
+        let text = render_node_registries(&[(hostile.to_string(), &snap)]);
+        // The raw hostile bytes never appear unescaped.
+        assert!(!text.contains(hostile));
+        assert!(text.contains("aum_node_completed{node=\"node\\\"0\\\\weird\\nname\"} 1"));
+        assert!(text.contains("aum_node_health_factor{node=\"node\\\"0\\\\weird\\nname\"} 0.5"));
+        // No sample line is split by a raw newline from the label value:
+        // every non-comment line ends in a value that parses as a number.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "line broken by unescaped label: {line:?}"
+            );
+        }
     }
 
     #[test]

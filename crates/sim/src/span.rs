@@ -48,17 +48,29 @@ pub enum SpanKind {
     ProfilerCell,
     /// One injected fault's active window.
     FaultWindow,
+    /// One routing epoch of the fleet loop ([`crate::telemetry::Event`]
+    /// stream from `run_fleet`), on the fleet track.
+    FleetEpoch,
+    /// One contiguous unhealthy window of a node (Suspect/Down/Draining/
+    /// Recovering), on that node's per-node track.
+    NodeHealthEpisode,
+    /// One redispatch hop of a retried request batch, on the track of the
+    /// node that failed the batch; hops of one batch chain by parent id.
+    RedispatchHop,
 }
 
 impl SpanKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [SpanKind; 6] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::RequestLifecycle,
         SpanKind::Prefill,
         SpanKind::DecodeIteration,
         SpanKind::ControllerInterval,
         SpanKind::ProfilerCell,
         SpanKind::FaultWindow,
+        SpanKind::FleetEpoch,
+        SpanKind::NodeHealthEpisode,
+        SpanKind::RedispatchHop,
     ];
 
     /// Stable human-readable label.
@@ -71,6 +83,9 @@ impl SpanKind {
             SpanKind::ControllerInterval => "interval",
             SpanKind::ProfilerCell => "cell",
             SpanKind::FaultWindow => "fault",
+            SpanKind::FleetEpoch => "epoch",
+            SpanKind::NodeHealthEpisode => "health",
+            SpanKind::RedispatchHop => "hop",
         }
     }
 
@@ -84,6 +99,9 @@ impl SpanKind {
             SpanKind::ControllerInterval => 4,
             SpanKind::ProfilerCell => 5,
             SpanKind::FaultWindow => 6,
+            SpanKind::FleetEpoch => 7,
+            SpanKind::NodeHealthEpisode => 8,
+            SpanKind::RedispatchHop => 9,
         }
     }
 }

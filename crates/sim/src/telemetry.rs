@@ -371,6 +371,18 @@ pub enum Event {
         /// Router epoch index the shed happened in.
         epoch: u64,
     },
+    /// One fleet node's metrics registry, snapshotted at an epoch boundary
+    /// (emitted by `aum::fleet::run_fleet` on health transitions so the
+    /// flight recorder can pin the offending node's state into `node-down`
+    /// incident dumps — see [`crate::flight`]).
+    NodeMetricsSnapshot {
+        /// Index of the node in fleet order.
+        node: usize,
+        /// Stable node label, e.g. `"node0/GenA-SPR-HBM"`.
+        label: String,
+        /// The node's registry state at snapshot time.
+        snapshot: MetricsSnapshot,
+    },
     /// The run-health watchdog saw a cell make no serving progress for
     /// `intervals` consecutive control intervals while work was queued — a
     /// stall that would otherwise only surface as a hung sweep. Emitted
@@ -413,6 +425,7 @@ impl Event {
             Event::NodeHealthTransition { .. } => "NodeHealthTransition",
             Event::RequestRedispatch { .. } => "RequestRedispatch",
             Event::LoadShed { .. } => "LoadShed",
+            Event::NodeMetricsSnapshot { .. } => "NodeMetricsSnapshot",
             Event::WatchdogStall { .. } => "WatchdogStall",
         }
     }
@@ -1119,6 +1132,38 @@ mod tests {
                 class: "best-effort".to_string(),
                 count: 17,
                 epoch: 12,
+            },
+            Event::NodeMetricsSnapshot {
+                node: 0,
+                label: "node0/GenA-SPR-HBM".to_string(),
+                snapshot: MetricsSnapshot {
+                    at: SimTime::from_secs(42),
+                    counters: Arc::new([("completed".to_string(), 1234u64)].into_iter().collect()),
+                    gauges: Arc::new(
+                        [("epoch_latency_proxy/p50".to_string(), 0.31f64)]
+                            .into_iter()
+                            .collect(),
+                    ),
+                },
+            },
+            Event::SpanOpen {
+                id: crate::span::SpanId::derive(crate::span::SpanKind::FleetEpoch, 3).0,
+                parent: None,
+                kind: crate::span::SpanKind::FleetEpoch,
+                track: "fleet/failover/node-crash".to_string(),
+                label: "epoch 3".to_string(),
+            },
+            Event::SpanOpen {
+                id: crate::span::SpanId::derive(crate::span::SpanKind::NodeHealthEpisode, 1).0,
+                parent: None,
+                kind: crate::span::SpanKind::NodeHealthEpisode,
+                track: "fleet/failover/node-crash/node1".to_string(),
+                label: "Suspect".to_string(),
+            },
+            Event::SpanClose {
+                id: crate::span::SpanId::derive(crate::span::SpanKind::RedispatchHop, 77).0,
+                kind: crate::span::SpanKind::RedispatchHop,
+                track: "fleet/failover/node-crash/node0".to_string(),
             },
             Event::WatchdogStall {
                 intervals: 16,
