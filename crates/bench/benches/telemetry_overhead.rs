@@ -86,6 +86,67 @@ fn bench(c: &mut Criterion) {
         })
     });
     snap_group.finish();
+
+    // Self-profiling scoped-timer budget: the disabled path is one relaxed
+    // atomic load and must stay within 1.05x of the bare loop — that is the
+    // contract that lets the `aum_sim::prof` scopes live permanently inside
+    // `iteration_cost` and the engine step loop. The enabled row prices a
+    // full enter/exit (two `Instant` reads plus two relaxed `fetch_add`s);
+    // it has no hard budget but is reported so a registry-lock regression
+    // on the enter path is visible.
+    let mut prof_group = c.benchmark_group("prof_overhead");
+    prof_group.sample_size(20);
+    // A serially-dependent mul-xor-shift mix at roughly the cost of one
+    // cost-model iteration (~100 ns) — the granularity the permanent
+    // scopes actually wrap. The xor-shift rounds have no closed-form
+    // composition, so the optimizer cannot fold the chain away (a plain
+    // `acc*m+c` chain composes into a single affine map), which would
+    // turn the ratio below into a measurement of the timer against
+    // nothing.
+    let work = |x: u64| -> u64 {
+        let mut acc = x | 1;
+        for _ in 0..64u64 {
+            acc ^= acc >> 13;
+            acc = acc.wrapping_mul(6364136223846793005);
+            acc ^= acc >> 7;
+        }
+        acc
+    };
+    aum_sim::prof::set_enabled(false);
+    prof_group.bench_function("baseline_no_timer", |b| {
+        b.iter(|| {
+            let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..1000u64 {
+                acc = work(black_box(acc));
+            }
+            acc
+        })
+    });
+    prof_group.bench_function("scope_disabled", |b| {
+        b.iter(|| {
+            let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..1000u64 {
+                let _s = aum_sim::prof::scope("bench.cell");
+                acc = work(black_box(acc));
+            }
+            acc
+        })
+    });
+    aum_sim::prof::reset();
+    aum_sim::prof::set_enabled(true);
+    prof_group.bench_function("scope_enabled", |b| {
+        b.iter(|| {
+            let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..1000u64 {
+                let _s = aum_sim::prof::scope("bench.cell");
+                acc = work(black_box(acc));
+            }
+            acc
+        })
+    });
+    aum_sim::prof::set_enabled(false);
+    aum_sim::prof::reset();
+    prof_group.finish();
 }
 
 criterion_group!(benches, bench);

@@ -19,8 +19,9 @@
 //! Exit codes:
 //!   0  success
 //!   1  a study failed its own gate (degenerate chaos matrix, attribution
-//!      conservation violation, trace-diff regression, export error) or an
-//!      incident dump could not be written
+//!      conservation violation, trace-diff regression, perf-report
+//!      regression vs --baseline, export error) or an incident dump could
+//!      not be written
 //!   2  unknown or malformed arguments
 //!   3  the run-health watchdog fired (no progress for the configured
 //!      wall-clock timeout)
@@ -43,6 +44,7 @@ enum CmdId {
     Chaos,
     FleetChaos,
     Attrib,
+    PerfReport,
     TraceSummary,
     TraceDiff,
     TraceExport,
@@ -83,6 +85,11 @@ const COMMANDS: &[CommandSpec] = &[
         label: "attrib",
     },
     CommandSpec {
+        id: CmdId::PerfReport,
+        usage: "perf-report <id>",
+        label: "perf-report",
+    },
+    CommandSpec {
         id: CmdId::TraceSummary,
         usage: "trace-summary <file.jsonl>",
         label: "trace-summary",
@@ -110,13 +117,20 @@ struct FlagSpec {
 }
 
 /// Commands that run experiments or studies.
-const RUNS: &[CmdId] = &[CmdId::Run, CmdId::Chaos, CmdId::FleetChaos, CmdId::Attrib];
+const RUNS: &[CmdId] = &[
+    CmdId::Run,
+    CmdId::Chaos,
+    CmdId::FleetChaos,
+    CmdId::Attrib,
+    CmdId::PerfReport,
+];
 /// Commands that dispatch sweep cells through the parallel executor.
 const SWEEPS: &[CmdId] = &[
     CmdId::Run,
     CmdId::Chaos,
     CmdId::FleetChaos,
     CmdId::Attrib,
+    CmdId::PerfReport,
     CmdId::TraceDiff,
 ];
 
@@ -163,6 +177,24 @@ const FLAGS: &[FlagSpec] = &[
         value: Some(("<out.json>", "a file path")),
         applies: &[CmdId::TraceExport],
         help: "output path of the Chrome Trace Event Format JSON (required)",
+    },
+    FlagSpec {
+        name: "--flame",
+        value: Some(("<file.folded>", "a file path")),
+        applies: &[CmdId::PerfReport],
+        help: "write the self-time tree as collapsed stacks (inferno/speedscope input)",
+    },
+    FlagSpec {
+        name: "--bench-out",
+        value: Some(("<file.json>", "a file path")),
+        applies: &[CmdId::PerfReport],
+        help: "destination of the machine-readable summary (default BENCH_<sha>.json)",
+    },
+    FlagSpec {
+        name: "--baseline",
+        value: Some(("<file.json>", "a file path")),
+        applies: &[CmdId::PerfReport],
+        help: "compare cells/sec against a previous BENCH_<sha>.json; exit 1 on a >20% drop",
     },
     FlagSpec {
         name: "--flight",
@@ -214,6 +246,7 @@ enum Command {
     Chaos { quick: bool },
     FleetChaos { quick: bool },
     Attrib { study: String, quick: bool },
+    PerfReport { study: String, quick: bool },
     TraceSummary(PathBuf),
     TraceDiff { a: PathBuf, b: PathBuf },
     TraceExport { input: PathBuf, perfetto: PathBuf },
@@ -227,6 +260,7 @@ impl Command {
             Command::Chaos { .. } => CmdId::Chaos,
             Command::FleetChaos { .. } => CmdId::FleetChaos,
             Command::Attrib { .. } => CmdId::Attrib,
+            Command::PerfReport { .. } => CmdId::PerfReport,
             Command::TraceSummary(_) => CmdId::TraceSummary,
             Command::TraceDiff { .. } => CmdId::TraceDiff,
             Command::TraceExport { .. } => CmdId::TraceExport,
@@ -242,6 +276,7 @@ impl Command {
             Command::Chaos { .. } => "chaos".into(),
             Command::FleetChaos { .. } => "fleet-chaos".into(),
             Command::Attrib { study, .. } => format!("attrib-{study}"),
+            Command::PerfReport { study, .. } => format!("perf-report-{study}"),
             Command::TraceSummary(_) => "trace-summary".into(),
             Command::TraceDiff { .. } => "trace-diff".into(),
             Command::TraceExport { .. } => "trace-export".into(),
@@ -263,6 +298,9 @@ struct Cli {
     serve_metrics: Option<String>,
     serve_hold_secs: u64,
     watchdog_secs: Option<u64>,
+    flame: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
 }
 
 /// Raw flag values captured by the table-driven scan, indexed like
@@ -353,6 +391,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             quick,
         },
         ["attrib"] => return Err("attrib requires a study name (fig14 or chaos)".into()),
+        ["perf-report", study] => Command::PerfReport {
+            study: (*study).to_owned(),
+            quick,
+        },
+        ["perf-report"] => return Err("perf-report requires a study id (see `repro list`)".into()),
         ["trace-summary", file] => Command::TraceSummary(PathBuf::from(file)),
         ["trace-summary"] => return Err("trace-summary requires a file".into()),
         ["trace-diff", a, b] => Command::TraceDiff {
@@ -446,6 +489,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         serve_metrics: raw.get("--serve-metrics").map(str::to_owned),
         serve_hold_secs,
         watchdog_secs,
+        flame: raw.path("--flame"),
+        bench_out: raw.path("--bench-out"),
+        baseline: raw.path("--baseline"),
     })
 }
 
@@ -607,12 +653,16 @@ fn main() {
         let d = aum_sim::exec::stats().since(before);
         if d.cells > 0 {
             eprintln!(
-                "{name}: {} sweep cells, busy {:.2?} / wall {:.2?}, speedup {:.2}x (jobs {})",
+                "{name}: {} sweep cells, busy {:.2?} / wall {:.2?}, speedup {:.2}x (jobs {}; \
+                 claim {:.2?}, merge {:.2?}, idle {:.2?})",
                 d.cells,
                 d.busy,
                 d.wall,
                 d.speedup(),
-                aum_sim::exec::jobs()
+                aum_sim::exec::jobs(),
+                d.claim,
+                d.merge,
+                d.idle,
             );
         }
     };
@@ -684,6 +734,76 @@ fn main() {
                 Err(msg) => {
                     eprintln!("error: {msg}");
                     exit_code = 1;
+                }
+            }
+        }
+        Command::PerfReport { study, quick } => {
+            let t = Instant::now();
+            let before = aum_sim::exec::stats();
+            match aum_bench::perfreport::collect(study, *quick) {
+                Ok(report) => {
+                    let name = format!("perf-report-{study}");
+                    let text = format!(
+                        "{}\n{}\n{}",
+                        report.study_output, report.deterministic, report.timing
+                    );
+                    emit(&name, &text, t.elapsed());
+                    report_speedup(&name, &before);
+                    if let Some(path) = &cli.flame {
+                        if let Err(e) = std::fs::write(path, &report.folded) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            exit_code = 1;
+                        } else {
+                            eprintln!(
+                                "flame: {} stack(s) \u{2192} {}",
+                                report.folded.lines().count(),
+                                path.display()
+                            );
+                        }
+                    }
+                    let bench_path = cli.bench_out.clone().unwrap_or_else(|| {
+                        PathBuf::from(format!("BENCH_{}.json", report.bench.sha))
+                    });
+                    match serde_json::to_string_pretty(&report.bench) {
+                        Ok(json) => {
+                            if let Err(e) = std::fs::write(&bench_path, json) {
+                                eprintln!("cannot write {}: {e}", bench_path.display());
+                                exit_code = 1;
+                            } else {
+                                eprintln!("bench: {}", bench_path.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("cannot serialize bench summary: {e}");
+                            exit_code = 1;
+                        }
+                    }
+                    if let Some(path) = &cli.baseline {
+                        let gate = std::fs::read_to_string(path)
+                            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+                            .and_then(|text| {
+                                serde_json::from_str::<aum_bench::perfreport::BenchSummary>(&text)
+                                    .map_err(|e| {
+                                        format!("malformed baseline {}: {e}", path.display())
+                                    })
+                            })
+                            .and_then(|baseline| {
+                                report.bench.regression_against(&baseline).map_err(|msg| {
+                                    format!("perf regression vs {}: {msg}", path.display())
+                                })
+                            });
+                        match gate {
+                            Ok(line) => eprintln!("perf gate: {line}"),
+                            Err(msg) => {
+                                eprintln!("error: {msg}");
+                                exit_code = 1;
+                            }
+                        }
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    std::process::exit(2);
                 }
             }
         }

@@ -138,6 +138,41 @@ pub struct ModelCache {
     /// tests substitute `ProfilerConfig::smoke` to keep runtimes sane while
     /// exercising the identical cache/executor code path.
     profile: fn(PlatformSpec, Scenario, BeKind) -> ProfilerConfig,
+    lookups: std::sync::atomic::AtomicU64,
+    builds: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time copy of one [`ModelCache`]'s hit/miss accounting.
+///
+/// `hits = lookups − builds`: a lookup counts as a *hit* unless this very
+/// call ran the profiling sweep. A caller that blocks on another thread's
+/// in-flight build is a hit — the work was shared — which keeps the counts
+/// deterministic at every `--jobs` level (one lookup per call site, one
+/// build per distinct key).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Model requests served ([`ModelCache::model`] calls).
+    pub lookups: u64,
+    /// Requests that ran the profiling sweep (distinct keys built).
+    pub builds: u64,
+}
+
+impl CacheStats {
+    /// Lookups served without running a profiling sweep.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.lookups.saturating_sub(self.builds)
+    }
+
+    /// Fraction of lookups served from cache (1.0 for an idle cache).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / self.lookups as f64
+        }
+    }
 }
 
 impl Default for ModelCache {
@@ -159,6 +194,8 @@ impl ModelCache {
         ModelCache {
             models: Mutex::new(HashMap::new()),
             profile,
+            lookups: std::sync::atomic::AtomicU64::new(0),
+            builds: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -170,17 +207,33 @@ impl ModelCache {
     /// every needed model first so profiler events keep their serial
     /// position in the merged trace.
     pub fn model(&self, spec: &PlatformSpec, scenario: Scenario, be: BeKind) -> Arc<AuvModel> {
+        use std::sync::atomic::Ordering;
+        let _prof = aum_sim::prof::scope("model_cache.lookup");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        aum_sim::prof::count("model_cache.lookup", 1);
         let key = (intern_platform(&spec.name), scenario, be);
         let slot = {
             let mut models = self.models.lock().expect("model cache lock");
             Arc::clone(models.entry(key).or_default())
         };
         Arc::clone(slot.get_or_init(|| {
+            let _prof = aum_sim::prof::scope("model_cache.build");
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            aum_sim::prof::count("model_cache.build", 1);
             Arc::new(build_model_traced(
                 &(self.profile)(spec.clone(), scenario, be),
                 harness_tracer(),
             ))
         }))
+    }
+
+    /// Hit/miss accounting for this cache instance (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        use std::sync::atomic::Ordering;
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
     }
 
     /// Eagerly builds the models for every listed configuration, in order.
@@ -314,4 +367,34 @@ pub fn exclusive_capacity(spec: &PlatformSpec, scenario: Scenario, rate: f64) ->
     cfg.rate = Some(rate);
     let mut mgr = AllAu::new(spec);
     run_experiment(&cfg, &mut mgr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-counted cache accounting: 6 lookups over 2 distinct keys must
+    /// report exactly 6 lookups, 2 builds, 4 hits — the counts are defined
+    /// by which lookups actually ran the build closure, so they hold at
+    /// any worker count (the profiling sweep runs once per key).
+    #[test]
+    fn model_cache_hit_miss_counts_are_exact() {
+        let cache = ModelCache::with_profile(ProfilerConfig::smoke);
+        let start = cache.stats();
+        assert_eq!((start.lookups, start.builds), (0, 0));
+        assert!((start.hit_rate() - 1.0).abs() < f64::EPSILON);
+
+        let spec = PlatformSpec::gen_a();
+        for _ in 0..3 {
+            cache.model(&spec, Scenario::Chatbot, BeKind::SpecJbb);
+        }
+        for _ in 0..3 {
+            cache.model(&spec, Scenario::Chatbot, BeKind::Olap);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 6, "every model() call is a lookup");
+        assert_eq!(stats.builds, 2, "one profiling sweep per distinct key");
+        assert_eq!(stats.hits(), 4, "hits = lookups - builds");
+        assert!((stats.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
 }

@@ -17,6 +17,9 @@
 //!   (`repro attrib`, `repro trace-diff`);
 //! - [`perfetto`]: Chrome Trace Event Format export of span traces
 //!   (`repro trace-export`);
+//! - [`perfreport`]: the simulator self-performance profile
+//!   (`repro perf-report`), including the `BENCH_<sha>.json` writer and
+//!   regression gate;
 //! - [`tracereport`]: the `trace-summary` renderer, including the SLO
 //!   burn-rate digest and per-request span drill-down;
 //! - [`common`]: scheme construction and model caching.
@@ -36,6 +39,7 @@ pub mod evaluation;
 pub mod extensions;
 pub mod fleetchaos;
 pub mod perfetto;
+pub mod perfreport;
 pub mod sharing;
 pub mod tracereport;
 pub mod variations;

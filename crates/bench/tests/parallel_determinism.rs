@@ -340,4 +340,87 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
         "expected an exactly-zero diff:\n{}",
         diff.text
     );
+
+    // --- Perf-report deterministic section: sweep/cell counts, model-cache
+    // accounting, scope-tree shape and call counts must be byte-identical
+    // at jobs 1 vs 8. Host timings live in the separate `timing` section,
+    // which is deliberately absent from this comparison — the determinism
+    // contract the self-profiler documents in DESIGN.md §15. ---
+    let perf = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let report = aum_bench::perfreport::collect("fig14", true).expect("fig14 quick profiles");
+        exec::set_jobs(0);
+        report
+    };
+    let report_serial = perf(1);
+    let report_parallel = perf(8);
+    assert_eq!(
+        report_serial.deterministic, report_parallel.deterministic,
+        "perf-report deterministic section must be byte-identical at jobs 1 vs 8"
+    );
+    assert!(
+        report_serial
+            .deterministic
+            .contains("model cache: lookups="),
+        "deterministic section must carry cache accounting:\n{}",
+        report_serial.deterministic
+    );
+    assert!(
+        report_serial.deterministic.contains("exec.cell"),
+        "deterministic section must carry the scope tree:\n{}",
+        report_serial.deterministic
+    );
+    // The timing section is where nondeterministic host figures live — it
+    // must render, but nothing in it is identity-gated.
+    assert!(
+        report_serial.timing.contains("study wall")
+            && !report_serial.deterministic.contains("cells/sec"),
+        "host timings must stay out of the deterministic section"
+    );
+    // Flamegraph stack *paths* are part of the tree shape: the set of
+    // folded stacks must match even though the sample weights differ.
+    let stacks = |report: &aum_bench::perfreport::PerfReport| {
+        let mut s: Vec<String> = report
+            .folded
+            .lines()
+            .filter_map(|l| l.rsplit_once(' ').map(|(path, _)| path.to_string()))
+            .collect();
+        s.sort_unstable();
+        s
+    };
+    let stacks_serial = stacks(&report_serial);
+    assert!(
+        !stacks_serial.is_empty(),
+        "profiled run must emit folded stacks"
+    );
+    assert_eq!(
+        stacks_serial,
+        stacks(&report_parallel),
+        "flamegraph stack set must not depend on the worker count"
+    );
+
+    // --- Nested sweeps must not double-count executor wall time. A serial
+    // outer sweep whose cell runs an inner sweep sleeps ~10 ms of wall but
+    // accrues ~15 ms of busy (the inner cell is inside the outer cell); if
+    // the inner sweep also added its wall, wall would exceed busy. ---
+    exec::set_jobs(1);
+    let exec_before = exec::stats();
+    let outer = exec::sweep_jobs(1, vec![0u64], |_, _| {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        exec::sweep_jobs(1, vec![0u64], |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            1u64
+        })
+    });
+    exec::set_jobs(0);
+    assert_eq!(outer, vec![vec![1u64]]);
+    let nested = exec::stats().since(&exec_before);
+    assert_eq!(nested.sweeps, 2, "both sweeps must be counted");
+    assert_eq!(nested.cells, 2, "both cells must be counted");
+    assert!(
+        nested.wall < nested.busy,
+        "outermost-only wall accounting: wall {:?} must stay below busy {:?}",
+        nested.wall,
+        nested.busy
+    );
 }

@@ -651,6 +651,13 @@ impl ResourceManager for AumController {
         // copies-on-write so other holders keep the pristine profile.
         if let Some(alpha) = self.refine_alpha {
             let idx = self.current.0 * self.model.cfg_count + self.current.1;
+            if Arc::strong_count(&self.model) > 1 {
+                // `make_mut` below will clone the whole profile for this
+                // controller — the copy-on-write event the perf report
+                // counts against `ModelCache` savings.
+                aum_sim::prof::count("model.cow_clone", 1);
+            }
+            aum_sim::prof::count("model.refine", 1);
             let b = &mut Arc::make_mut(&mut self.model).buckets[idx];
             if state.recent_ttft_p90 > 0.0 {
                 b.ttft_p90 = (1.0 - alpha) * b.ttft_p90 + alpha * state.recent_ttft_p90;

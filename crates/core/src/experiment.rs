@@ -374,6 +374,7 @@ pub fn try_run_experiment_traced(
         std::collections::VecDeque::new();
 
     for step in 0..steps {
+        let _prof = aum_sim::prof::scope("ctrl.interval");
         let now = SimTime::ZERO + dt * step as u64;
         let until = now + dt;
         tracer.emit(now, || Event::SpanOpen {
@@ -520,7 +521,10 @@ pub fn try_run_experiment_traced(
             }
             state
         };
-        let decision = manager.decide(&state);
+        let decision = {
+            let _prof = aum_sim::prof::scope("ctrl.decide");
+            manager.decide(&state)
+        };
         let div = decision.division;
         assert_eq!(
             div.total_cores(),
@@ -658,7 +662,10 @@ pub fn try_run_experiment_traced(
             platform.thermal().drop_for(AuUsageLevel::Low).value(),
             platform.thermal().drop_for(AuUsageLevel::None).value(),
         ];
-        let snap = platform.step(dt, &loads);
+        let snap = {
+            let _prof = aum_sim::prof::scope("platform.step");
+            platform.step(dt, &loads)
+        };
 
         // --- 3. Advance the serving engine with granted resources. ---
         let smt = be_profile

@@ -362,6 +362,7 @@ pub fn build_model_traced(cfg: &ProfilerConfig, tracer: Tracer) -> AuvModel {
         cfg.allocations.len(),
     );
     let buckets = aum_sim::exec::sweep_traced(&tracer, cells, |cell_idx, (div_idx, cfg_idx), t| {
+        let _prof = aum_sim::prof::scope("profiler.cell");
         let division = cfg.divisions[div_idx];
         let allocation = cfg.allocations[cfg_idx];
         // One ProfilerCell span per grid cell on the synthetic cumulative

@@ -56,6 +56,7 @@ impl PrefillQueue {
 
     /// Pops up to `max` requests FCFS for one prefill batch.
     pub fn pop_batch(&mut self, max: usize) -> Vec<Request> {
+        let _prof = aum_sim::prof::scope("batch.pop");
         let n = max.min(self.waiting.len());
         self.waiting.drain(..n).collect()
     }
@@ -172,6 +173,7 @@ impl DecodePool {
     /// active request emits one token; finished requests are retired and
     /// returned.
     pub fn step(&mut self, exec: SimDuration) -> Vec<ActiveRequest> {
+        let _prof = aum_sim::prof::scope("batch.step");
         let secs = exec.as_secs_f64();
         for r in &mut self.active {
             r.context += 1;

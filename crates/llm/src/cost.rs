@@ -91,6 +91,7 @@ pub fn iteration_cost(
     ctx: &ExecContext,
     pmu: &mut PmuCounters,
 ) -> IterationCost {
+    let _prof = aum_sim::prof::scope("cost.iteration");
     let ops = iteration_ops(model, phase, tokens, context);
     cost_of_ops(&ops, prec, kernels, ctx, pmu)
 }
@@ -105,6 +106,7 @@ pub fn cost_of_ops(
     ctx: &ExecContext,
     pmu: &mut PmuCounters,
 ) -> IterationCost {
+    let _prof = aum_sim::prof::scope("cost.eval_ops");
     let mut total = SimDuration::ZERO;
     let mut flops = 0.0;
     let mut bytes = 0.0;

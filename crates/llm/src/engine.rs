@@ -344,6 +344,7 @@ impl LlmEngine {
     /// Runs one prefill *step*: either a whole batch (unchunked) or one
     /// chunk of the in-flight prompt (chunked mode).
     fn run_prefill_step(&mut self, res: &ExecContext, stats: &mut IntervalStats) {
+        let _prof = aum_sim::prof::scope("engine.prefill_step");
         match self.cfg.prefill_chunk {
             None => {
                 let batch = self.queue.pop_batch(self.cfg.prefill_batch);
@@ -542,6 +543,7 @@ impl LlmEngine {
     }
 
     fn run_decode_iteration(&mut self, res: &ExecContext, stats: &mut IntervalStats) {
+        let _prof = aum_sim::prof::scope("engine.decode_iter");
         let batch = self.pool.batch();
         debug_assert!(batch > 0);
         let ctx = self.pool.mean_context();
@@ -608,6 +610,7 @@ impl LlmEngine {
     /// with the current resources (clocks may overshoot slightly; the next
     /// interval starts from the overshoot).
     pub fn run_interval(&mut self, until: SimTime, res: &EngineResources) -> IntervalStats {
+        let _prof = aum_sim::prof::scope("engine.interval");
         let start_p = self.prefill_clock;
         let start_d = self.decode_clock;
         let interval_start = start_p.min(start_d);

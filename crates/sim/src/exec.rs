@@ -45,6 +45,35 @@ static SWEEPS: AtomicU64 = AtomicU64::new(0);
 static CELLS: AtomicU64 = AtomicU64::new(0);
 static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+static CLAIM_NANOS: AtomicU64 = AtomicU64::new(0);
+static MERGE_NANOS: AtomicU64 = AtomicU64::new(0);
+static IDLE_NANOS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Cell-nesting depth of the current thread. A sweep started from
+    /// inside another sweep's cell (an unwarmed `ModelCache` build, say)
+    /// must not add its wall time to [`WALL_NANOS`] — the outer sweep's
+    /// wall already covers it, and double counting would understate every
+    /// speedup ratio derived from the stats. The depth is thread-local
+    /// (not a global count) so concurrent *independent* sweeps — parallel
+    /// test threads — still each count their own wall.
+    static CELL_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII marker for "this thread is executing a sweep cell".
+struct CellDepthGuard;
+
+impl CellDepthGuard {
+    fn enter() -> CellDepthGuard {
+        CELL_DEPTH.with(|d| d.set(d.get() + 1));
+        CellDepthGuard
+    }
+}
+
+impl Drop for CellDepthGuard {
+    fn drop(&mut self) {
+        CELL_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
 
 /// Overrides the worker count for subsequent [`sweep`] calls.
 ///
@@ -87,6 +116,14 @@ pub struct ExecStats {
     pub busy: Duration,
     /// Summed sweep wall-clock time (what the parallel run paid).
     pub wall: Duration,
+    /// Time pool workers spent claiming cells (cursor bump + slot take).
+    pub claim: Duration,
+    /// Time spent re-emitting per-cell trace records into the parent
+    /// tracer after a [`sweep_traced`] sweep (the ordered merge).
+    pub merge: Duration,
+    /// Pool-worker wall time not accounted to compute or claiming —
+    /// result sends plus waiting out the sweep's straggler cells.
+    pub idle: Duration,
 }
 
 impl ExecStats {
@@ -98,6 +135,9 @@ impl ExecStats {
             cells: self.cells.saturating_sub(earlier.cells),
             busy: self.busy.saturating_sub(earlier.busy),
             wall: self.wall.saturating_sub(earlier.wall),
+            claim: self.claim.saturating_sub(earlier.claim),
+            merge: self.merge.saturating_sub(earlier.merge),
+            idle: self.idle.saturating_sub(earlier.idle),
         }
     }
 
@@ -122,6 +162,9 @@ pub fn stats() -> ExecStats {
         cells: CELLS.load(Ordering::Relaxed),
         busy: Duration::from_nanos(BUSY_NANOS.load(Ordering::Relaxed)),
         wall: Duration::from_nanos(WALL_NANOS.load(Ordering::Relaxed)),
+        claim: Duration::from_nanos(CLAIM_NANOS.load(Ordering::Relaxed)),
+        merge: Duration::from_nanos(MERGE_NANOS.load(Ordering::Relaxed)),
+        idle: Duration::from_nanos(IDLE_NANOS.load(Ordering::Relaxed)),
     }
 }
 
@@ -156,12 +199,36 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    /// Panic-safe wall accounting: the outermost sweep's wall
+    /// contribution must land even when a cell panic unwinds through
+    /// `sweep_jobs` (tests assert on the stats afterwards).
+    struct WallGuard {
+        outermost: bool,
+        t0: Instant,
+    }
+    impl Drop for WallGuard {
+        fn drop(&mut self) {
+            if self.outermost {
+                WALL_NANOS.fetch_add(self.t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
     let n = cells.len();
     let jobs = jobs.max(1).min(n.max(1));
-    let wall_t0 = Instant::now();
+    let wall_guard = WallGuard {
+        outermost: CELL_DEPTH.with(std::cell::Cell::get) == 0,
+        t0: Instant::now(),
+    };
     SWEEPS.fetch_add(1, Ordering::Relaxed);
     CELLS.fetch_add(n as u64, Ordering::Relaxed);
     crate::live::sweep_started(n);
+
+    // Self-profiling: the sweep itself is a scope on the calling thread,
+    // and every cell runs re-rooted under it ([`crate::prof::with_parent`])
+    // so the self-time tree has the same shape at every worker count.
+    let prof_sweep = crate::prof::scope("exec.sweep");
+    let prof_parent = crate::prof::current_parent();
 
     let out: Vec<R> = if jobs <= 1 {
         cells
@@ -169,7 +236,11 @@ where
             .enumerate()
             .map(|(i, cell)| {
                 let t0 = Instant::now();
-                let r = f(i, cell);
+                let r = {
+                    let _depth = CellDepthGuard::enter();
+                    let _cell_scope = crate::prof::scope("exec.cell");
+                    f(i, cell)
+                };
                 BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 crate::live::cell_finished();
                 r
@@ -188,24 +259,43 @@ where
                 let slots = &slots;
                 let cursor = &cursor;
                 let f = &f;
-                workers.push(scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                workers.push(scope.spawn(move || {
+                    let worker_t0 = Instant::now();
+                    let mut busy_w: u64 = 0;
+                    let mut claim_w: u64 = 0;
+                    loop {
+                        let claim_t0 = Instant::now();
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let cell = slots[i]
+                            .lock()
+                            .expect("cell slot lock")
+                            .take()
+                            .expect("each cell is claimed exactly once");
+                        claim_w += claim_t0.elapsed().as_nanos() as u64;
+                        let t0 = Instant::now();
+                        let r = crate::prof::with_parent(prof_parent, || {
+                            let _depth = CellDepthGuard::enter();
+                            let _cell_scope = crate::prof::scope("exec.cell");
+                            f(i, cell)
+                        });
+                        let busy = t0.elapsed().as_nanos() as u64;
+                        busy_w += busy;
+                        BUSY_NANOS.fetch_add(busy, Ordering::Relaxed);
+                        crate::live::cell_finished();
+                        // The collector outlives every sender; a send only
+                        // fails if it panicked, and then the scope propagates
+                        // that panic anyway.
+                        let _ = tx.send((i, r));
                     }
-                    let cell = slots[i]
-                        .lock()
-                        .expect("cell slot lock")
-                        .take()
-                        .expect("each cell is claimed exactly once");
-                    let t0 = Instant::now();
-                    let r = f(i, cell);
-                    BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    crate::live::cell_finished();
-                    // The collector outlives every sender; a send only
-                    // fails if it panicked, and then the scope propagates
-                    // that panic anyway.
-                    let _ = tx.send((i, r));
+                    CLAIM_NANOS.fetch_add(claim_w, Ordering::Relaxed);
+                    let total = worker_t0.elapsed().as_nanos() as u64;
+                    IDLE_NANOS.fetch_add(
+                        total.saturating_sub(busy_w).saturating_sub(claim_w),
+                        Ordering::Relaxed,
+                    );
                 }));
             }
             drop(tx);
@@ -225,7 +315,8 @@ where
             .map(|r| r.expect("every cell reports exactly once"))
             .collect()
     };
-    WALL_NANOS.fetch_add(wall_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    drop(prof_sweep);
+    drop(wall_guard);
     out
 }
 
@@ -251,11 +342,16 @@ where
         let records = sink.lock().expect("cell sink lock").records().to_vec();
         (r, records)
     });
-    for (_, records) in &traced {
-        for record in records {
-            parent.emit(record.at, || record.event.clone());
+    let merge_t0 = Instant::now();
+    {
+        let _merge_scope = crate::prof::scope("exec.merge");
+        for (_, records) in &traced {
+            for record in records {
+                parent.emit(record.at, || record.event.clone());
+            }
         }
     }
+    MERGE_NANOS.fetch_add(merge_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     traced.drain(..).map(|(r, _)| r).collect()
 }
 

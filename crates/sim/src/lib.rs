@@ -26,6 +26,10 @@
 //!   telemetry stream ([`span::SpanId`], [`span::collect_spans`]);
 //! - [`attrib`]: per-interval, per-region time/energy attribution ledger
 //!   with conservation invariants ([`attrib::Ledger`]);
+//! - [`prof`]: a host-wall-clock self-profiling plane — scoped timers,
+//!   deterministic call/counter snapshots and collapsed-stack flamegraph
+//!   rendering for profiling the simulator itself ([`prof::scope`],
+//!   [`prof::snapshot`]);
 //! - [`prom`]: Prometheus text-format rendering of metrics snapshots and
 //!   attribution ledgers;
 //! - [`report`]: aligned text tables used by the `repro` harness.
@@ -69,6 +73,7 @@ pub mod exec;
 pub mod flight;
 pub mod hist;
 pub mod live;
+pub mod prof;
 pub mod prom;
 pub mod report;
 pub mod rng;

@@ -58,6 +58,11 @@ static INSTALLED: Mutex<Option<Arc<LiveState>>> = Mutex::new(None);
 pub struct LiveState {
     started: Instant,
     phase: Mutex<(String, Instant)>,
+    /// Executor counters at the start of the current phase, so the
+    /// speedup gauge describes *this* study, not the whole process —
+    /// `repro all` runs many studies in one invocation and a cumulative
+    /// ratio would smear them together.
+    phase_exec_base: Mutex<exec::ExecStats>,
     cells_done: AtomicU64,
     cells_total: AtomicU64,
     exposition: Mutex<String>,
@@ -80,6 +85,7 @@ impl LiveState {
         LiveState {
             started: now,
             phase: Mutex::new((String::from("startup"), now)),
+            phase_exec_base: Mutex::new(exec::stats()),
             cells_done: AtomicU64::new(0),
             cells_total: AtomicU64::new(0),
             exposition: Mutex::new(String::new()),
@@ -94,6 +100,7 @@ impl LiveState {
         let mut guard = self.phase.lock().expect("live phase lock");
         let prev = std::mem::replace(&mut guard.0, phase.to_string());
         guard.1 = Instant::now();
+        *self.phase_exec_base.lock().expect("live exec base lock") = exec::stats();
         prev
     }
 
@@ -168,10 +175,33 @@ impl LiveState {
         );
         gauge(
             &mut out,
-            "aum_exec_speedup",
-            "Observed sweep speedup (busy over wall).",
-            stats.speedup(),
+            "aum_exec_claim_seconds",
+            "Summed worker time claiming cells from the sweep cursor.",
+            stats.claim.as_secs_f64(),
         );
+        gauge(
+            &mut out,
+            "aum_exec_merge_seconds",
+            "Summed time merging per-cell traces into the parent tracer.",
+            stats.merge.as_secs_f64(),
+        );
+        gauge(
+            &mut out,
+            "aum_exec_idle_seconds",
+            "Summed pool-worker wall time not spent computing or claiming.",
+            stats.idle.as_secs_f64(),
+        );
+        // Per-phase delta, not the process-cumulative ratio: one `repro
+        // all` invocation runs many studies and the cumulative ratio
+        // would average them together.
+        let phase_delta = stats.since(&self.phase_exec_base.lock().expect("live exec base lock"));
+        gauge(
+            &mut out,
+            "aum_exec_speedup",
+            "Observed sweep speedup (busy over wall) of the current phase.",
+            phase_delta.speedup(),
+        );
+        self.render_prof(&mut out);
         let flight = self.flight.lock().expect("live flight lock");
         if let Some(source) = flight.as_ref() {
             let fs = source();
@@ -213,6 +243,83 @@ impl LiveState {
             out.push_str(&exposition);
         }
         out
+    }
+
+    /// Self-profiling gauges (`aum_selftime_*`, `aum_cache_*`), emitted
+    /// only once the [`crate::prof`] plane has recorded something — the
+    /// section is absent for runs that never enabled self-profiling.
+    fn render_prof(&self, out: &mut String) {
+        let snap = crate::prof::snapshot();
+        if snap.nodes.is_empty() && snap.counters.is_empty() {
+            return;
+        }
+        if !snap.nodes.is_empty() {
+            out.push_str(
+                "# HELP aum_selftime_seconds Host seconds inside a self-profiling scope \
+                 (children included).\n# TYPE aum_selftime_seconds gauge\n",
+            );
+            for n in &snap.nodes {
+                out.push_str(&format!(
+                    "aum_selftime_seconds{{scope=\"{}\"}} {}\n",
+                    escape_label(&n.path),
+                    n.total_nanos as f64 / 1e9,
+                ));
+            }
+            out.push_str(
+                "# HELP aum_selftime_calls Times a self-profiling scope was entered.\n\
+                 # TYPE aum_selftime_calls gauge\n",
+            );
+            for n in &snap.nodes {
+                out.push_str(&format!(
+                    "aum_selftime_calls{{scope=\"{}\"}} {}\n",
+                    escape_label(&n.path),
+                    n.calls,
+                ));
+            }
+        }
+        let lookups = snap.counter("model_cache.lookup");
+        let builds = snap.counter("model_cache.build");
+        if lookups > 0 || builds > 0 {
+            let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+                ));
+            };
+            gauge(
+                out,
+                "aum_cache_lookups_total",
+                "ModelCache lookups observed by the self-profiling plane.",
+                lookups as f64,
+            );
+            gauge(
+                out,
+                "aum_cache_builds_total",
+                "ModelCache profiling sweeps actually executed.",
+                builds as f64,
+            );
+            gauge(
+                out,
+                "aum_cache_hits_total",
+                "ModelCache lookups served without building.",
+                lookups.saturating_sub(builds) as f64,
+            );
+            gauge(
+                out,
+                "aum_cache_hit_rate",
+                "Fraction of ModelCache lookups served from cache.",
+                if lookups == 0 {
+                    1.0
+                } else {
+                    lookups.saturating_sub(builds) as f64 / lookups as f64
+                },
+            );
+            gauge(
+                out,
+                "aum_cache_cow_clones_total",
+                "Copy-on-write AUV-model clones triggered by controller refinement.",
+                snap.counter("model.cow_clone") as f64,
+            );
+        }
     }
 }
 
